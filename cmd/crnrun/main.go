@@ -1,0 +1,201 @@
+// Command crnrun simulates an arbitrary chemical reaction network described
+// in the text format of internal/crn (see -help for the grammar). It runs
+// exact Gillespie simulation from a given initial state and prints either a
+// per-reaction trace or batch statistics of the final state.
+//
+// Examples:
+//
+//	crnrun -network lv-sd.crn -init "X0=60,X1=40" -runs 1000
+//	crnrun -network lv-sd.crn -init "X0=60,X1=40" -trace
+//	echo 'X -> 2 X @ 1
+//	X -> 0 @ 1.1' | crnrun -init "X=100"
+//
+// The network file format, one reaction per line, with optional comments:
+//
+//	species: X0 X1          # optional explicit declaration
+//	X0 -> 2 X0 @ 1          # birth at rate 1
+//	X0 + X1 -> 0 @ 0.5      # both die on contact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lvmajority/internal/crn"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crnrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("crnrun", flag.ContinueOnError)
+	var (
+		networkPath = fs.String("network", "", "path to the network file (default: read from stdin)")
+		initText    = fs.String("init", "", `initial counts, e.g. "X0=60,X1=40" (unlisted species start at 0)`)
+		runs        = fs.Int("runs", 1, "number of independent runs")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		maxSteps    = fs.Int("max-steps", 10_000_000, "reaction budget per run")
+		maxTime     = fs.Float64("max-time", 0, "simulated-time budget per run (0 = unlimited)")
+		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
+		echo        = fs.Bool("echo", false, "print the parsed network before simulating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	text, err := readNetworkText(*networkPath, stdin)
+	if err != nil {
+		return err
+	}
+	net, err := crn.Parse(text)
+	if err != nil {
+		return err
+	}
+	initial, err := parseInit(net, *initText)
+	if err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("need at least one run, got %d", *runs)
+	}
+	if *echo {
+		fmt.Fprint(w, crn.Format(net))
+		fmt.Fprintln(w)
+	}
+
+	src := rng.New(*seed)
+	if *traceRun {
+		if err := printTrace(w, net, initial, src, *maxSteps, *maxTime); err != nil {
+			return err
+		}
+		if *runs == 1 {
+			return nil
+		}
+	}
+	return batchRuns(w, net, initial, src, *runs, *maxSteps, *maxTime)
+}
+
+// readNetworkText loads the network description from a file or stdin.
+func readNetworkText(path string, stdin io.Reader) (string, error) {
+	if path == "" {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return "", fmt.Errorf("read stdin: %w", err)
+		}
+		if len(data) == 0 {
+			return "", fmt.Errorf("no network: pass -network FILE or pipe a description to stdin")
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// parseInit parses "X0=60,X1=40" into a state vector over net's species.
+func parseInit(net *crn.Network, text string) ([]int, error) {
+	state := make([]int, net.NumSpecies())
+	if strings.TrimSpace(text) == "" {
+		return state, nil
+	}
+	for _, item := range strings.Split(text, ",") {
+		name, countText, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return nil, fmt.Errorf(`bad -init item %q (want "NAME=COUNT")`, item)
+		}
+		s, err := net.SpeciesByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(countText))
+		if err != nil || count < 0 {
+			return nil, fmt.Errorf("bad count %q for species %s", countText, name)
+		}
+		state[s] = count
+	}
+	return state, nil
+}
+
+// printTrace runs one simulation, printing every reaction.
+func printTrace(w io.Writer, net *crn.Network, initial []int, src *rng.Source, maxSteps int, maxTime float64) error {
+	sim, err := crn.NewSimulator(net, initial, src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s  %-24s  %12s  %s\n", "step", "reaction", "time", "state")
+	fmt.Fprintf(w, "%8d  %-24s  %12.4f  %s\n", 0, "init", 0.0, formatState(net, initial))
+	for sim.Steps() < maxSteps {
+		if maxTime > 0 && sim.Time() >= maxTime {
+			fmt.Fprintf(w, "# time budget reached\n")
+			break
+		}
+		r, _, err := sim.StepTime()
+		if err == crn.ErrExhausted {
+			fmt.Fprintf(w, "# chain absorbed (zero total propensity)\n")
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d  %-24s  %12.4f  %s\n",
+			sim.Steps(), net.Reaction(r).Name, sim.Time(), formatState(net, sim.State()))
+	}
+	return nil
+}
+
+// batchRuns aggregates final-state statistics over many runs.
+func batchRuns(w io.Writer, net *crn.Network, initial []int, src *rng.Source, runs, maxSteps int, maxTime float64) error {
+	finals := make([]stats.Running, net.NumSpecies())
+	var steps stats.Running
+	absorbed := 0
+	for i := 0; i < runs; i++ {
+		sim, err := crn.NewSimulator(net, initial, src)
+		if err != nil {
+			return err
+		}
+		var res crn.RunResult
+		if maxTime > 0 {
+			res, err = sim.RunTime(nil, maxTime, maxSteps, nil)
+		} else {
+			res, err = sim.Run(nil, maxSteps, nil)
+		}
+		if err != nil {
+			return err
+		}
+		if res.Absorbed {
+			absorbed++
+		}
+		steps.Add(float64(sim.Steps()))
+		for s, c := range sim.State() {
+			finals[s].Add(float64(c))
+		}
+	}
+	fmt.Fprintf(w, "runs:        %d\n", runs)
+	fmt.Fprintf(w, "absorbed:    %d\n", absorbed)
+	fmt.Fprintf(w, "steps:       %s\n", &steps)
+	for s := range finals {
+		fmt.Fprintf(w, "final %-10s %s\n", net.SpeciesName(crn.Species(s))+":", &finals[s])
+	}
+	return nil
+}
+
+// formatState renders a state vector as "X0=12 X1=3".
+func formatState(net *crn.Network, state []int) string {
+	parts := make([]string, len(state))
+	for s, c := range state {
+		parts[s] = fmt.Sprintf("%s=%d", net.SpeciesName(crn.Species(s)), c)
+	}
+	return strings.Join(parts, " ")
+}

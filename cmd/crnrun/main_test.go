@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const lvSDNetwork = `
+species: X0 X1
+X0 -> 2 X0 @ 1
+X1 -> 2 X1 @ 1
+X0 -> 0 @ 1
+X1 -> 0 @ 1
+X0 + X1 -> 0 @ 0.5
+X1 + X0 -> 0 @ 0.5
+`
+
+func writeNetworkFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lv.crn")
+	if err := os.WriteFile(path, []byte(lvSDNetwork), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBatchFromFile(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-network", writeNetworkFile(t),
+		"-init", "X0=30,X1=20",
+		"-runs", "20", "-seed", "5",
+	}, strings.NewReader(""), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"runs:        20", "final X0:", "final X1:", "steps:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceFromStdin(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-init", "X=5", "-trace", "-seed", "2"},
+		strings.NewReader("X -> 0 @ 1\n"), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "init") || !strings.Contains(out, "absorbed") {
+		t.Errorf("trace output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "X=0") {
+		t.Errorf("pure-death chain did not reach extinction:\n%s", out)
+	}
+}
+
+func TestRunEcho(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-init", "X=1", "-echo", "-runs", "1"},
+		strings.NewReader("X -> 0 @ 1\n"), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "species: X") {
+		t.Errorf("echo missing species directive:\n%s", b.String())
+	}
+}
+
+func TestRunMaxTime(t *testing.T) {
+	var b strings.Builder
+	// Birth-only chain never absorbs; the time budget must stop it.
+	err := run([]string{"-init", "X=10", "-max-time", "0.5", "-seed", "3"},
+		strings.NewReader("X -> 2 X @ 1\n"), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "absorbed:    0") {
+		t.Errorf("birth-only chain reported absorption:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-network", "/nonexistent/net.crn"},
+		{"-init", "Y=5"},  // unknown species
+		{"-init", "X"},    // malformed init
+		{"-init", "X=-3"}, // negative count
+		{"-runs", "0", "-init", "X=1"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, strings.NewReader("X -> 0 @ 1\n"), &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunEmptyStdin(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, strings.NewReader(""), &b); err == nil {
+		t.Error("empty stdin accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command experiments regenerates the paper's evaluation artifacts: Table 1
+// of the paper (six competition regimes) plus the per-theorem validation
+// experiments indexed in DESIGN.md. Run with no arguments to execute
+// everything at the quick effort level, or name experiment IDs.
+//
+// Examples:
+//
+//	experiments                       # run all, quick grids
+//	experiments -full T1-SD T1-NSD    # heavier grids, two experiments
+//	experiments -list
+//	experiments -csv out/ E-SEP       # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lvmajority/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		full    = fs.Bool("full", false, "use the heavier (recorded) parameter grids")
+		seed    = fs.Uint64("seed", 20240506, "random seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
+		quiet   = fs.Bool("q", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(w, "%-10s %s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return nil
+	}
+
+	var selected []experiment.Experiment
+	if fs.NArg() == 0 {
+		selected = experiment.All()
+	} else {
+		for _, id := range fs.Args() {
+			e, err := experiment.ByID(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiment.Config{
+		Seed:    *seed,
+		Workers: *workers,
+		Full:    *full,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating CSV directory: %w", err)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(w, "\n### %s — %s\n### artifact: %s\n\n", e.ID, e.Title, e.Artifact)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for i, tbl := range tables {
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", sanitize(e.ID), i)
+				if err := writeCSVFile(filepath.Join(*csvDir, name), tbl); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(w, "### %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+func writeCSVFile(path string, tbl *experiment.Table) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer func() {
+		if closeErr := f.Close(); closeErr != nil && err == nil {
+			err = closeErr
+		}
+	}()
+	return tbl.WriteCSV(f)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"T1-SD", "T1-NSD", "E-DOM", "E-GAMMA"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-q", "NOPE"}, &b); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	// E-DOM is the cheapest registered experiment.
+	if err := run([]string{"-q", "-csv", dir, "E-DOM"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E-DOM") || !strings.Contains(out, "finished in") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("no CSV files written")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("CSV %s is empty", e.Name())
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("T1-SD"); got != "T1-SD" {
+		t.Errorf("sanitize(T1-SD) = %q", got)
+	}
+	if got := sanitize("a/b c"); got != "a_b_c" {
+		t.Errorf("sanitize(a/b c) = %q", got)
+	}
+}

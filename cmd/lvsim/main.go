@@ -1,0 +1,200 @@
+// Command lvsim simulates trajectories of the two-species stochastic
+// Lotka–Volterra chains from the paper and prints either a per-event trace
+// or the aggregate outcome statistics of a batch of runs.
+//
+// Examples:
+//
+//	lvsim -a 60 -b 40 -competition sd -trace
+//	lvsim -a 600 -b 400 -competition nsd -runs 1000
+//	lvsim -a 60 -b 40 -alpha0 0.5 -alpha1 1.5 -gamma0 0.2 -gamma1 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+	"lvmajority/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lvsim", flag.ContinueOnError)
+	var (
+		a           = fs.Int("a", 60, "initial count of species 0 (the majority by convention)")
+		b           = fs.Int("b", 40, "initial count of species 1")
+		beta        = fs.Float64("beta", 1, "per-capita birth rate")
+		delta       = fs.Float64("delta", 1, "per-capita death rate")
+		alpha0      = fs.Float64("alpha0", 1, "interspecific competition rate initiated by species 0")
+		alpha1      = fs.Float64("alpha1", 1, "interspecific competition rate initiated by species 1")
+		gamma0      = fs.Float64("gamma0", 0, "intraspecific competition rate of species 0")
+		gamma1      = fs.Float64("gamma1", 0, "intraspecific competition rate of species 1")
+		competition = fs.String("competition", "sd", `competition model: "sd" (self-destructive) or "nsd"`)
+		runs        = fs.Int("runs", 1, "number of independent runs")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
+		plot        = fs.Bool("plot", false, "draw an ASCII chart of the first run's trajectory")
+		maxSteps    = fs.Int("max-steps", 0, "step budget per run (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var comp lv.Competition
+	switch *competition {
+	case "sd":
+		comp = lv.SelfDestructive
+	case "nsd":
+		comp = lv.NonSelfDestructive
+	default:
+		return fmt.Errorf("unknown competition model %q (want sd or nsd)", *competition)
+	}
+	params := lv.Params{
+		Beta: *beta, Delta: *delta,
+		Alpha:       [2]float64{*alpha0, *alpha1},
+		Gamma:       [2]float64{*gamma0, *gamma1},
+		Competition: comp,
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	initial := lv.State{X0: *a, X1: *b}
+	if err := initial.Validate(); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("need at least one run, got %d", *runs)
+	}
+
+	src := rng.New(*seed)
+	if *plot {
+		if err := plotRun(w, params, initial, src, *maxSteps); err != nil {
+			return err
+		}
+		if *runs == 1 && !*traceRun {
+			return nil
+		}
+	}
+	if *traceRun {
+		if err := printTrace(w, params, initial, src, *maxSteps); err != nil {
+			return err
+		}
+		if *runs == 1 {
+			return nil
+		}
+	}
+	return batchRuns(w, params, initial, src, *runs, *maxSteps)
+}
+
+// plotRun simulates one run while recording the trajectory and draws it.
+func plotRun(w io.Writer, params lv.Params, initial lv.State, src *rng.Source, maxSteps int) error {
+	chain, err := lv.NewChain(params, initial, src)
+	if err != nil {
+		return err
+	}
+	chain.SetTrackTime(true)
+	tr := trace.NewTrajectory(2048)
+	tr.Add(0, initial.X0, initial.X1)
+	budget := maxSteps
+	if budget <= 0 {
+		budget = lv.DefaultMaxSteps
+	}
+	for !chain.State().Consensus() && chain.Steps() < budget {
+		if _, ok := chain.Step(); !ok {
+			break
+		}
+		s := chain.State()
+		tr.Add(chain.Time(), s.X0, s.X1)
+	}
+	fmt.Fprintf(w, "# %s, one trajectory (%d reactions)\n", params, chain.Steps())
+	return tr.RenderASCII(w, 100, 20)
+}
+
+// printTrace prints one run event by event.
+func printTrace(w io.Writer, params lv.Params, initial lv.State, src *rng.Source, maxSteps int) error {
+	chain, err := lv.NewChain(params, initial, src)
+	if err != nil {
+		return err
+	}
+	chain.SetTrackTime(true)
+	fmt.Fprintf(w, "# %s\n", params)
+	fmt.Fprintf(w, "%8s  %-8s  %6s  %6s  %10s\n", "step", "event", "x0", "x1", "time")
+	fmt.Fprintf(w, "%8d  %-8s  %6d  %6d  %10.4f\n", 0, "init", initial.X0, initial.X1, 0.0)
+	budget := maxSteps
+	if budget <= 0 {
+		budget = lv.DefaultMaxSteps
+	}
+	for !chain.State().Consensus() && chain.Steps() < budget {
+		kind, ok := chain.Step()
+		if !ok {
+			fmt.Fprintf(w, "# chain absorbed with zero propensity\n")
+			break
+		}
+		s := chain.State()
+		fmt.Fprintf(w, "%8d  %-8s  %6d  %6d  %10.4f\n", chain.Steps(), kind, s.X0, s.X1, chain.Time())
+	}
+	final := chain.State()
+	fmt.Fprintf(w, "# final state (%d, %d), winner %d after %d steps\n",
+		final.X0, final.X1, final.Winner(), chain.Steps())
+	return nil
+}
+
+// batchRuns aggregates outcome statistics over many runs.
+func batchRuns(w io.Writer, params lv.Params, initial lv.State, src *rng.Source, runs, maxSteps int) error {
+	var (
+		wins, doubleExtinctions, unresolved int
+		steps, individual, competitive, bad stats.Running
+	)
+	for i := 0; i < runs; i++ {
+		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: maxSteps})
+		if err != nil {
+			return err
+		}
+		if !out.Consensus {
+			unresolved++
+			continue
+		}
+		if out.MajorityWon {
+			wins++
+		}
+		if out.Winner == -1 {
+			doubleExtinctions++
+		}
+		steps.Add(float64(out.Steps))
+		individual.Add(float64(out.Individual))
+		competitive.Add(float64(out.Competitive))
+		bad.Add(float64(out.BadNonCompetitive))
+	}
+
+	fmt.Fprintf(w, "model:               %s\n", params)
+	fmt.Fprintf(w, "initial state:       (%d, %d), gap %d, total %d\n",
+		initial.X0, initial.X1, initial.AbsGap(), initial.Total())
+	fmt.Fprintf(w, "runs:                %d\n", runs)
+	decided := runs - unresolved
+	if decided > 0 {
+		est, err := stats.WilsonInterval(wins, runs, stats.Z99)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "majority wins:       %s\n", est)
+		fmt.Fprintf(w, "double extinctions:  %d\n", doubleExtinctions)
+		fmt.Fprintf(w, "consensus time T(S): %s\n", &steps)
+		fmt.Fprintf(w, "individual events:   %s\n", &individual)
+		fmt.Fprintf(w, "competitive events:  %s\n", &competitive)
+		fmt.Fprintf(w, "bad events J(S):     %s\n", &bad)
+	}
+	if unresolved > 0 {
+		fmt.Fprintf(w, "unresolved runs:     %d (step budget exhausted)\n", unresolved)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBatch(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-a", "30", "-b", "20", "-runs", "50", "-seed", "7"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"majority wins:", "consensus time T(S):", "bad events J(S):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-a", "5", "-b", "3", "-trace", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "init") || !strings.Contains(out, "final state") {
+		t.Errorf("trace output malformed:\n%s", out)
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-a", "40", "-b", "30", "-plot", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "one trajectory") {
+		t.Errorf("plot output malformed:\n%s", b.String())
+	}
+}
+
+func TestRunNSD(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-a", "20", "-b", "10", "-competition", "nsd", "-runs", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-competition", "bogus"},
+		{"-a", "-1"},
+		{"-beta", "-2"},
+		{"-runs", "0"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) did not error", args)
+		}
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// Birth-only chain cannot reach consensus: the budget must surface
+	// unresolved runs without hanging.
+	var b strings.Builder
+	err := run([]string{"-a", "5", "-b", "5", "-delta", "0", "-alpha0", "0", "-alpha1", "0", "-runs", "3", "-max-steps", "100"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "unresolved runs") {
+		t.Errorf("output missing unresolved-run report:\n%s", b.String())
+	}
+}

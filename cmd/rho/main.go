@@ -1,0 +1,144 @@
+// Command rho computes exact majority-consensus probabilities ρ(a, b) and
+// expected consensus times for the two-species Lotka–Volterra chains by
+// solving the first-step recurrence (Eq. 8 of the paper) on a truncated
+// grid — no Monte-Carlo sampling error.
+//
+// Examples:
+//
+//	rho -a 10 -b 5 -competition sd -gamma0 1 -gamma1 1 -alpha0 0.5 -alpha1 0.5
+//	rho -table 8 -competition nsd
+//	rho -a 10 -b 5 -tie 0.5 -steps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lvmajority/internal/crn"
+	"lvmajority/internal/exact"
+	"lvmajority/internal/lv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rho:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rho", flag.ContinueOnError)
+	var (
+		a           = fs.Int("a", 10, "count of species 0")
+		b           = fs.Int("b", 5, "count of species 1")
+		beta        = fs.Float64("beta", 1, "per-capita birth rate")
+		delta       = fs.Float64("delta", 1, "per-capita death rate")
+		alpha0      = fs.Float64("alpha0", 1, "interspecific rate initiated by species 0")
+		alpha1      = fs.Float64("alpha1", 1, "interspecific rate initiated by species 1")
+		gamma0      = fs.Float64("gamma0", 0, "intraspecific rate of species 0")
+		gamma1      = fs.Float64("gamma1", 0, "intraspecific rate of species 1")
+		competition = fs.String("competition", "sd", `competition model: "sd" or "nsd"`)
+		tie         = fs.Float64("tie", 0, "value of the double-extinction state (0 = paper-strict, 0.5 = fair tiebreak)")
+		max         = fs.Int("max", 0, "grid ceiling (0 = 4*(a+b)+40)")
+		table       = fs.Int("table", 0, "if > 0, print the full rho table up to this count instead of one state")
+		steps       = fs.Bool("steps", false, "also compute the expected consensus time")
+		networkPath = fs.String("network", "", "solve this two-species network file (internal/crn text format) instead of the LV rate flags")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ceiling := *max
+	if ceiling <= 0 {
+		ceiling = 4*(*a+*b) + 40
+		if *table > 0 && 4**table+40 > ceiling {
+			ceiling = 4**table + 40
+		}
+	}
+	opts := exact.Options{Max: ceiling, TieValue: *tie}
+
+	var (
+		sol   *exact.Solution
+		err   error
+		label string
+	)
+	if *networkPath != "" {
+		data, err2 := os.ReadFile(*networkPath)
+		if err2 != nil {
+			return err2
+		}
+		net, err2 := crn.Parse(string(data))
+		if err2 != nil {
+			return err2
+		}
+		label = fmt.Sprintf("network %s (%d reactions)", *networkPath, net.NumReactions())
+		if *steps {
+			sol, err = exact.SolveNetworkWithSteps(net, opts)
+		} else {
+			sol, err = exact.SolveNetwork(net, opts)
+		}
+	} else {
+		var comp lv.Competition
+		switch *competition {
+		case "sd":
+			comp = lv.SelfDestructive
+		case "nsd":
+			comp = lv.NonSelfDestructive
+		default:
+			return fmt.Errorf("unknown competition model %q", *competition)
+		}
+		params := lv.Params{
+			Beta: *beta, Delta: *delta,
+			Alpha:       [2]float64{*alpha0, *alpha1},
+			Gamma:       [2]float64{*gamma0, *gamma1},
+			Competition: comp,
+		}
+		label = params.String()
+		if *steps {
+			sol, err = exact.SolveWithSteps(params, opts)
+		} else {
+			sol, err = exact.Solve(params, opts)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "# %s, tie value %g, grid ceiling %d\n", label, *tie, ceiling)
+	if *table > 0 {
+		fmt.Fprintf(w, "%6s", "a\\b")
+		for bb := 1; bb <= *table; bb++ {
+			fmt.Fprintf(w, "  %7d", bb)
+		}
+		fmt.Fprintln(w)
+		for aa := 1; aa <= *table; aa++ {
+			fmt.Fprintf(w, "%6d", aa)
+			for bb := 1; bb <= *table; bb++ {
+				v, err := sol.Rho(aa, bb)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %7.4f", v)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+
+	v, err := sol.Rho(*a, *b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rho(%d, %d) = %.6f\n", *a, *b, v)
+	fmt.Fprintf(w, "a/(a+b)    = %.6f\n", float64(*a)/float64(*a+*b))
+	if *steps {
+		s, err := sol.Steps(*a, *b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "E[T(%d, %d)] = %.4f reactions\n", *a, *b, s)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command threshold estimates the empirical majority-consensus threshold
+// Ψ(n) — the smallest initial gap reaching success probability 1 − 1/n —
+// for a chosen protocol over a range of population sizes, and fits the
+// scaling exponent. This regenerates the rows of Table 1 of the paper for
+// a single protocol.
+//
+// Examples:
+//
+//	threshold -protocol lv-sd -n 256,1024,4096
+//	threshold -protocol lv-nsd -n 1024 -trials 8000
+//	threshold -protocol 3-state-am -n 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/exploit"
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/moran"
+	"lvmajority/internal/protocols"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "threshold:", err)
+		os.Exit(1)
+	}
+}
+
+// protocolByName builds the requested protocol.
+func protocolByName(name string) (consensus.Protocol, error) {
+	switch name {
+	case "lv-sd":
+		return consensus.LVProtocol{
+			Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive),
+			Label:  "lv-sd",
+		}, nil
+	case "lv-nsd":
+		return consensus.LVProtocol{
+			Params: lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive),
+			Label:  "lv-nsd",
+		}, nil
+	case "cho":
+		return protocols.NewChoProtocol(1, 1), nil
+	case "andaur":
+		return protocols.AndaurProtocol{Beta: 1, Alpha: 1, ResourceCap: 1 << 20}, nil
+	case "condon-single-b":
+		return protocols.CondonProtocol{Variant: protocols.SingleB}, nil
+	case "condon-double-b":
+		return protocols.CondonProtocol{Variant: protocols.DoubleB}, nil
+	case "condon-heavy-b":
+		return protocols.CondonProtocol{Variant: protocols.HeavyB}, nil
+	case "condon-tri":
+		return protocols.CondonProtocol{Variant: protocols.TriMajority}, nil
+	case "3-state-am":
+		return protocols.NewThreeStateAM(), nil
+	case "4-state-exact":
+		return protocols.NewFourStateExact(), nil
+	case "ternary":
+		return protocols.NewTernarySignaling(), nil
+	case "voter":
+		return &gossip.Protocol{Dynamics: gossip.Voter{}}, nil
+	case "two-choices":
+		return &gossip.Protocol{Dynamics: gossip.TwoChoices{}}, nil
+	case "3-majority":
+		return &gossip.Protocol{Dynamics: gossip.ThreeMajority{}}, nil
+	case "usd":
+		return &gossip.Protocol{Dynamics: gossip.Undecided{}}, nil
+	case "moran":
+		return &moran.Protocol{Fitness: 1}, nil
+	case "chemostat":
+		return &exploit.Protocol{
+			Params: exploit.Params{Lambda: 200, Mu: 1, Beta: 0.1, Delta: 1, R0: 10},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (try lv-sd, lv-nsd, cho, andaur, condon-single-b, condon-double-b, condon-heavy-b, condon-tri, 3-state-am, 4-state-exact, ternary, voter, two-choices, 3-majority, usd, moran, chemostat)", name)
+	}
+}
+
+func parseNs(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	ns := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad population size %q: %w", p, err)
+		}
+		if v < 4 {
+			return nil, fmt.Errorf("population size %d too small", v)
+		}
+		ns = append(ns, v)
+	}
+	return ns, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("threshold", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "lv-sd", "protocol to measure")
+		nSpec     = fs.String("n", "256,512,1024,2048", "comma-separated population sizes")
+		trials    = fs.Int("trials", 0, "Monte-Carlo trials per probed gap (0 = 2n capped at 8000)")
+		target    = fs.Float64("target", 0, "success probability target (0 = 1-1/n)")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		verbose   = fs.Bool("v", false, "print every probed gap")
+		fast      = fs.Bool("fast", false, "probe gaps with the early-stopping sequential estimator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proto, err := protocolByName(*protoName)
+	if err != nil {
+		return err
+	}
+	ns, err := parseNs(*nSpec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "protocol: %s\n", proto.Name())
+	fmt.Fprintf(w, "%8s  %10s  %10s  %14s  %14s\n", "n", "target", "threshold", "thr/log2(n)^2", "thr/sqrt(n)")
+
+	var points []consensus.CurvePoint
+	for _, n := range ns {
+		tr := *trials
+		if tr <= 0 {
+			tr = 2 * n
+			if tr > 8000 {
+				tr = 8000
+			}
+			if tr < 1000 {
+				tr = 1000
+			}
+		}
+		res, err := consensus.FindThreshold(proto, n, consensus.ThresholdOptions{
+			Target:    *target,
+			Trials:    tr,
+			Workers:   *workers,
+			Seed:      *seed + uint64(n),
+			EarlyStop: *fast,
+		})
+		if err != nil {
+			return err
+		}
+		if *verbose {
+			for _, ev := range res.Evaluations {
+				fmt.Fprintf(w, "  probe n=%d delta=%d rho=%s\n", n, ev.Delta, ev.Estimate)
+			}
+		}
+		points = append(points, consensus.CurvePoint{N: n, Threshold: res.Threshold, Found: res.Found})
+		if !res.Found {
+			fmt.Fprintf(w, "%8d  %10.6f  %10s  %14s  %14s\n", n, res.Target, "not found", "-", "-")
+			continue
+		}
+		fn := float64(n)
+		fmt.Fprintf(w, "%8d  %10.6f  %10d  %14.4f  %14.4f\n",
+			n, res.Target, res.Threshold,
+			float64(res.Threshold)/consensus.ShapeLog2(fn),
+			float64(res.Threshold)/consensus.ShapeSqrt(fn))
+	}
+
+	if fit, err := consensus.FitCurve(points); err == nil {
+		fmt.Fprintf(w, "scaling fit: %s\n", fit)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtocolByName(t *testing.T) {
+	known := []string{
+		"lv-sd", "lv-nsd", "cho", "andaur",
+		"condon-single-b", "condon-double-b", "condon-heavy-b", "condon-tri",
+		"3-state-am", "4-state-exact", "ternary",
+		"voter", "two-choices", "3-majority", "usd", "moran", "chemostat",
+	}
+	for _, name := range known {
+		p, err := protocolByName(name)
+		if err != nil {
+			t.Errorf("protocolByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("protocol %q has empty name", name)
+		}
+	}
+	if _, err := protocolByName("bogus"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestParseNs(t *testing.T) {
+	ns, err := parseNs("64, 128,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || ns[0] != 64 || ns[2] != 256 {
+		t.Errorf("parseNs = %v", ns)
+	}
+	if _, err := parseNs("64,abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseNs("2"); err == nil {
+		t.Error("tiny n accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-protocol", "lv-sd", "-n", "64", "-trials", "200", "-v"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "protocol:") || !strings.Contains(out, "probe n=64") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "bogus"},
+		{"-n", "xyz"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) did not error", args)
+		}
+	}
+}

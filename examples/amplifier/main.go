@@ -1,0 +1,94 @@
+// Amplifier: the paper's motivating synthetic-biology use case (§1.1) — a
+// majority-consensus layer as a differential signal amplifier.
+//
+// An upstream, noisy biosensor sub-circuit splits a founding population of n
+// cells between reporter species X0 and X1 with a per-cell bias p slightly
+// above 1/2 toward the correct readout. On its own, the raw population split
+// is a weak, noisy signal. Feeding it into an engineered interference-
+// competition layer amplifies it: the community fights until only one
+// species remains, and with self-destructive competition the survivor is
+// almost always the majority — even when the initial difference is tiny.
+//
+// This example measures end-to-end readout fidelity (probability the
+// surviving species matches the upstream signal) for the two competition
+// mechanisms the paper contrasts.
+//
+// Run with: go run ./examples/amplifier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func main() {
+	const (
+		n      = 2000 // founding population size
+		trials = 2000
+	)
+	sd := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	nsd := lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive)
+
+	fmt.Printf("founding population n = %d, %d trials per cell\n", n, trials)
+	fmt.Printf("%-10s  %-22s  %-22s  %s\n", "bias p", "fidelity SD", "fidelity NSD", "mean |gap| from sensor")
+	for _, bias := range []float64{0.51, 0.53, 0.55, 0.60} {
+		fidSD, gapMean, err := fidelity(sd, n, bias, trials, 1000+uint64(bias*100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fidNSD, _, err := fidelity(nsd, n, bias, trials, 2000+uint64(bias*100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.2f  %-22s  %-22s  %.1f\n", bias, fidSD, fidNSD, gapMean)
+	}
+	fmt.Println()
+	fmt.Println("Self-destructive competition amplifies even a 51% sensor bias to a")
+	fmt.Println("near-certain readout, because its majority-consensus threshold is")
+	fmt.Println("polylogarithmic (Theorem 14). Non-self-destructive competition needs a")
+	fmt.Println("gap on the order of sqrt(n) (Theorem 19), so weak biases stay noisy.")
+}
+
+// fidelity runs end-to-end trials: sample the upstream sensor split, run the
+// competition layer, and score whether the survivor matches the signal.
+func fidelity(params lv.Params, n int, bias float64, trials int, seed uint64) (stats.BernoulliEstimate, float64, error) {
+	src := rng.New(seed)
+	correct := 0
+	var gapAcc stats.Running
+	for i := 0; i < trials; i++ {
+		// The upstream sub-circuit: each founding cell independently
+		// commits to the correct reporter with probability bias.
+		x0 := src.Binomial(n, bias)
+		x1 := n - x0
+		gap := x0 - x1
+		if gap < 0 {
+			gap = -gap
+		}
+		gapAcc.Add(float64(gap))
+		if x0 == 0 || x1 == 0 {
+			// The sensor itself already reached consensus.
+			if x0 > 0 {
+				correct++
+			}
+			continue
+		}
+		out, err := lv.Run(params, lv.State{X0: x0, X1: x1}, src, lv.RunOptions{})
+		if err != nil {
+			return stats.BernoulliEstimate{}, 0, err
+		}
+		// The readout is correct when species 0 (the one the sensor
+		// biases toward) survives.
+		if out.Consensus && out.Winner == 0 {
+			correct++
+		}
+	}
+	est, err := stats.WilsonInterval(correct, trials, stats.Z99)
+	if err != nil {
+		return stats.BernoulliEstimate{}, 0, err
+	}
+	return est, gapAcc.Mean(), nil
+}

@@ -1,0 +1,89 @@
+// Chemostat: majority sensing in a bioreactor with explicit nutrient flow.
+//
+// The paper's models treat competition as the only interaction and study
+// the exponential growth phase. This example moves one step closer to a
+// real bioreactor (the §1.6 future-work direction): two engineered strains
+// compete for a shared nutrient that flows into the vessel and washes out
+// (exploitative competition), and the designer can additionally program
+// interference competition between the strains.
+//
+// The run shows the design lesson measured by the E-EXPLOIT experiment:
+// nutrient competition alone barely amplifies the majority signal — the
+// strains drift like a voter model — while layering engineered interference
+// (a lysis bacteriocin, i.e. self-destructive competition) on top of the
+// same chemostat turns it into a reliable majority sensor.
+//
+// Run with: go run ./examples/chemostat
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmajority/internal/crn"
+	"lvmajority/internal/exploit"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func main() {
+	// A vessel sized for ~180 cells at equilibrium: inflow λ, washout μ,
+	// consumption-driven division β, death δ.
+	base := exploit.Params{Lambda: 190, Mu: 1, Beta: 0.1, Delta: 1, R0: 10}
+	engineered := base
+	engineered.Alpha = [2]float64{0.5, 0.5}
+	engineered.Competition = lv.SelfDestructive
+
+	fmt.Printf("chemostat: carrying capacity x* = %.0f cells, resource equilibrium R* = %.0f\n\n",
+		base.CarryingCapacity(), base.ResourceEquilibrium(true))
+
+	// Print the exact reaction network of the engineered design in the
+	// shareable text format (readable back by cmd/crnrun).
+	net, err := exploit.Network(engineered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("engineered design, reaction network:")
+	fmt.Print(crn.Format(net))
+	fmt.Println()
+
+	// Sense a 60/40 split of an initial inoculum of 100 cells.
+	const (
+		a, b   = 60, 40
+		trials = 400
+	)
+	for _, design := range []struct {
+		name   string
+		params exploit.Params
+	}{
+		{"nutrient competition only ", base},
+		{"nutrient + SD interference", engineered},
+	} {
+		src := rng.New(42)
+		wins := 0
+		var steps stats.Running
+		for i := 0; i < trials; i++ {
+			out, err := exploit.Run(design.params, a, b, src, exploit.RunOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !out.Consensus {
+				log.Fatalf("%s: run %d did not resolve", design.name, i)
+			}
+			if out.MajorityWon {
+				wins++
+			}
+			steps.Add(float64(out.Steps))
+		}
+		est, err := stats.WilsonInterval(wins, trials, stats.Z95)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: majority wins %s  (mean %.0f reactions to exclusion)\n",
+			design.name, est, steps.Mean())
+	}
+
+	fmt.Println("\nlesson: the shared nutrient induces a carrying capacity but no signal")
+	fmt.Println("amplification; programmed interference competition supplies the decision.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: simulate the paper's two-species stochastic Lotka–Volterra
+// chain, watch it reach consensus, and estimate the majority-consensus
+// probability ρ for a given initial gap.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+func main() {
+	// A neutral community with self-destructive interference competition
+	// (model (1) of the paper): birth rate β = 1, death rate δ = 1,
+	// interspecific competition α₀ = α₁ = 1, no intraspecific
+	// competition.
+	params := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+
+	// One run: 60 majority cells vs 40 minority cells.
+	src := rng.New(42)
+	out, err := lv.Run(params, lv.State{X0: 60, X1: 40}, src, lv.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- single run ---")
+	fmt.Printf("consensus reached:   %v\n", out.Consensus)
+	fmt.Printf("winner:              species %d (majority won: %v)\n", out.Winner, out.MajorityWon)
+	fmt.Printf("consensus time T(S): %d reactions\n", out.Steps)
+	fmt.Printf("individual events:   %d, competitive events: %d\n", out.Individual, out.Competitive)
+	fmt.Printf("bad events J(S):     %d (individual events that shrank the gap)\n", out.BadNonCompetitive)
+
+	// Estimate ρ for a population of n = 1000 with initial gap Δ₀ = 20,
+	// using the parallel Monte-Carlo estimator.
+	protocol := consensus.LVProtocol{Params: params, Label: "quickstart"}
+	est, err := consensus.EstimateWinProbability(protocol, 1000, 20, consensus.EstimateOptions{
+		Trials: 5000,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- Monte-Carlo estimate ---")
+	fmt.Printf("rho(n=1000, gap=20) = %s\n", est)
+
+	// Find the empirical majority-consensus threshold Ψ(n): the smallest
+	// gap whose success probability reaches 1 − 1/n.
+	res, err := consensus.FindThreshold(protocol, 1000, consensus.ThresholdOptions{
+		Trials: 3000,
+		Seed:   11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- threshold search ---")
+	fmt.Printf("threshold Psi(1000) at target %.4f: gap %d (%d gaps probed)\n",
+		res.Target, res.Threshold, len(res.Evaluations))
+	fmt.Println("the paper proves this gap is only polylogarithmic in n for")
+	fmt.Println("self-destructive competition (Theorem 14) — compare with the")
+	fmt.Println("sqrt(n)-scale gap NSD competition needs (Theorem 18/19).")
+}

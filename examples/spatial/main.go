@@ -1,0 +1,104 @@
+// Spatial: explores the paper's future-work question (§1.6–1.7) — does the
+// self-destructive amplifier survive when the well-mixed assumption breaks?
+//
+// The population is split across demes on a ring; individuals migrate
+// between neighboring demes at a per-capita rate m. L = 1 is the paper's
+// well-mixed model. The example sweeps fragmentation and migration and
+// prints the success probability at a fixed polylog-scale gap, then shows
+// one spatial trajectory.
+//
+// Run with: go run ./examples/spatial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/spatial"
+)
+
+func main() {
+	const (
+		n      = 512
+		trials = 1000
+	)
+	gap := consensus.MatchParity(n, 20) // ~log2(n)^2/4, the polylog scale
+	local := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+
+	fmt.Printf("SD amplifier, n = %d, gap = %d, ring topology (%d trials/cell)\n\n", n, gap, trials)
+	fmt.Printf("%8s", "demes")
+	migrations := []float64{0.1, 1, 10}
+	for _, m := range migrations {
+		fmt.Printf("  m=%-6g", m)
+	}
+	fmt.Println()
+
+	for _, sites := range []int{1, 4, 16, 32} {
+		fmt.Printf("%8d", sites)
+		for _, m := range migrations {
+			p := spatial.Protocol{
+				Spatial: spatial.Params{
+					Local:     local,
+					Sites:     sites,
+					Migration: m,
+					Topology:  spatial.Cycle,
+				},
+			}
+			est, err := consensus.EstimateWinProbability(p, n, gap, consensus.EstimateOptions{
+				Trials: trials,
+				Seed:   uint64(sites*1000) + uint64(m*10),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8.3f", est.P())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: the well-mixed amplifier (1 deme) is nearly perfect")
+	fmt.Println("at this polylog gap. Fragmenting the consortium into weakly-coupled")
+	fmt.Println("demes makes each deme resolve almost independently from a per-deme gap")
+	fmt.Println("of ~1, so global accuracy decays; faster migration restores the")
+	fmt.Println("well-mixed behaviour. The paper's trade-offs are robust to mild")
+	fmt.Println("spatial structure but not to strong fragmentation.")
+
+	// One spatial run, deme by deme.
+	fmt.Println("\none run, 8 demes, m = 1, per-deme final states:")
+	sys, err := spatial.NewSystem(spatial.Params{
+		Local: local, Sites: 8, Migration: 1, Topology: spatial.Cycle,
+	}, initialDemes(8, n, gap), rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !sys.GlobalState().Consensus() {
+		if !sys.Step() {
+			break
+		}
+	}
+	for d := 0; d < 8; d++ {
+		s := sys.Deme(d)
+		fmt.Printf("  deme %d: (%d, %d)\n", d, s.X0, s.X1)
+	}
+	g := sys.GlobalState()
+	fmt.Printf("global winner: species %d after %d events\n", g.Winner(), sys.Steps())
+}
+
+// initialDemes spreads a majority of (n+gap)/2 and minority of (n−gap)/2
+// individuals round-robin across demes.
+func initialDemes(sites, n, gap int) []lv.State {
+	demes := make([]lv.State, sites)
+	a := (n + gap) / 2
+	b := n - a
+	for i := 0; i < a; i++ {
+		demes[i%sites].X0++
+	}
+	for i := 0; i < b; i++ {
+		demes[i%sites].X1++
+	}
+	return demes
+}

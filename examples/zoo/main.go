@@ -1,0 +1,73 @@
+// Zoo: every majority-consensus mechanism in this repository, measured on
+// the same input through the shared consensus.Protocol interface.
+//
+// All protocols get the same task: population n = 256, initial gap Δ = 16
+// (the √n scale — large enough that drift-based mechanisms should succeed,
+// small enough to expose the weak ones). The table that prints is the
+// repository's one-look summary of the paper's landscape:
+//
+//   - ecological LV chains (growing population, the paper's contribution),
+//   - static-population protocols (population protocols, gossip dynamics,
+//     the Moran process), and
+//   - the chemostat hybrid (explicit resource).
+//
+// Run with: go run ./examples/zoo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/exploit"
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/moran"
+	"lvmajority/internal/protocols"
+)
+
+func main() {
+	const (
+		n      = 256
+		delta  = 16
+		trials = 1000
+	)
+
+	chemostat := exploit.Params{Lambda: float64(n) + 10, Mu: 1, Beta: 0.1, Delta: 1, R0: 10}
+	zoo := []struct {
+		family string
+		proto  consensus.Protocol
+	}{
+		{"ecological LV", consensus.LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive), Label: "LV self-destructive"}},
+		{"ecological LV", consensus.LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive), Label: "LV non-self-destructive"}},
+		{"ecological LV", consensus.LVProtocol{Params: lv.Neutral(1, 1, 0, 1, lv.SelfDestructive), Label: "LV intraspecific only"}},
+		{"population protocol", protocols.NewThreeStateAM()},
+		{"population protocol", protocols.NewFourStateExact()},
+		{"population protocol", protocols.NewTernarySignaling()},
+		{"gossip (synchronous)", &gossip.Protocol{Dynamics: gossip.Voter{}}},
+		{"gossip (synchronous)", &gossip.Protocol{Dynamics: gossip.TwoChoices{}}},
+		{"gossip (synchronous)", &gossip.Protocol{Dynamics: gossip.ThreeMajority{}}},
+		{"gossip (synchronous)", &gossip.Protocol{Dynamics: gossip.Undecided{}}},
+		{"population genetics", &moran.Protocol{Fitness: 1}},
+		{"resource-consumer", &exploit.Protocol{Params: chemostat}},
+	}
+
+	fmt.Printf("majority consensus at n=%d, gap=%d (%d trials each; 95%% Wilson CI)\n\n", n, delta, trials)
+	fmt.Printf("%-22s %-40s %s\n", "family", "protocol", "rho")
+	for _, entry := range zoo {
+		est, err := consensus.EstimateWinProbability(entry.proto, n, delta, consensus.EstimateOptions{
+			Trials: trials,
+			Seed:   7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-40s %.3f [%.3f, %.3f]\n",
+			entry.family, entry.proto.Name(), est.P(), est.Lo, est.Hi)
+	}
+
+	fmt.Println("\nreading the table: the SD Lotka-Volterra chain and the exact population")
+	fmt.Println("protocol decide correctly essentially always at this gap; drift-based")
+	fmt.Println("gossip dynamics mostly succeed; driftless mechanisms (voter, Moran,")
+	fmt.Println("intraspecific-only LV, bare chemostat) hover near the a/n baseline.")
+}

@@ -1,0 +1,116 @@
+// Package approx provides a diffusion (central-limit) approximation of the
+// majority-consensus probability ρ built directly on the paper's noise
+// decomposition (§1.5): ρ(S) = Pr[F < Δ₀], where F = F_ind + F_comp is the
+// net demographic noise accumulated before consensus. Approximating F by a
+// centered normal with standard deviation σ turns the paper's qualitative
+// picture into a one-parameter quantitative model:
+//
+//	ρ(Δ) ≈ Φ(Δ/σ),    Ψ(target) ≈ σ · Φ⁻¹(target).
+//
+// σ is calibrated empirically from pilot simulations started at a tie: under
+// self-destructive competition F = F_ind is a short (polylogarithmic-length)
+// fair walk, so σ is polylogarithmic in n; under non-self-destructive
+// competition the Θ(n) competition events contribute a √n-scale walk. The
+// same σ then *predicts* the full ρ-versus-Δ curve and the threshold, which
+// the E-DIFF experiment checks against direct Monte-Carlo estimates.
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// Model is a calibrated diffusion approximation of one LV system at one
+// population size.
+type Model struct {
+	// Params are the rates the model was calibrated for.
+	Params lv.Params
+	// N is the total initial population size used during calibration.
+	N int
+	// Sigma is the fitted standard deviation of the demographic noise F.
+	Sigma float64
+	// Pilots is the number of pilot runs used.
+	Pilots int
+	// MeanF is the empirical mean of F over the pilots, a diagnostic for
+	// the zero-drift assumption (it should be near 0 for neutral
+	// systems).
+	MeanF float64
+}
+
+// Rho predicts the majority-consensus probability for an initial gap delta:
+// Φ(delta/σ).
+func (m Model) Rho(delta float64) float64 {
+	if m.Sigma <= 0 {
+		// A noiseless system always preserves the initial ordering.
+		if delta > 0 {
+			return 1
+		}
+		return 0.5
+	}
+	return stats.NormalCDF(delta / m.Sigma)
+}
+
+// Threshold predicts the smallest gap whose success probability reaches
+// target: σ·Φ⁻¹(target), rounded up.
+func (m Model) Threshold(target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("approx: target %v outside (0, 1)", target)
+	}
+	if m.Sigma <= 0 {
+		return 1, nil
+	}
+	return int(math.Ceil(m.Sigma * stats.NormalQuantile(target))), nil
+}
+
+// String renders the model compactly.
+func (m Model) String() string {
+	return fmt.Sprintf("diffusion model(n=%d, sigma=%.2f, pilots=%d)", m.N, m.Sigma, m.Pilots)
+}
+
+// CalibrateOptions configures Calibrate.
+type CalibrateOptions struct {
+	// Pilots is the number of pilot simulations (default 400).
+	Pilots int
+	// MaxSteps bounds each pilot run (0 means the lv default).
+	MaxSteps int
+}
+
+// Calibrate estimates σ = sd(F) from pilot runs of the given system started
+// at an even split of n individuals (or the closest feasible split for odd
+// n). The returned model predicts ρ(Δ) for gaps small compared to n.
+func Calibrate(params lv.Params, n int, src *rng.Source, opts CalibrateOptions) (Model, error) {
+	if err := params.Validate(); err != nil {
+		return Model{}, err
+	}
+	if n < 2 {
+		return Model{}, fmt.Errorf("approx: population %d too small", n)
+	}
+	pilots := opts.Pilots
+	if pilots <= 0 {
+		pilots = 400
+	}
+	b := n / 2
+	initial := lv.State{X0: n - b, X1: b}
+	var acc stats.Running
+	for i := 0; i < pilots; i++ {
+		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: opts.MaxSteps})
+		if err != nil {
+			return Model{}, err
+		}
+		if !out.Consensus {
+			return Model{}, fmt.Errorf("approx: pilot %d did not reach consensus; raise MaxSteps", i)
+		}
+		acc.Add(float64(out.FInd + out.FComp))
+	}
+	return Model{
+		Params: params,
+		N:      n,
+		Sigma:  acc.StdDev(),
+		Pilots: pilots,
+		MeanF:  acc.Mean(),
+	}, nil
+}

@@ -1,0 +1,143 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+func TestModelRhoShape(t *testing.T) {
+	m := Model{Sigma: 10}
+	if got := m.Rho(0); got != 0.5 {
+		t.Errorf("Rho(0) = %v, want 0.5", got)
+	}
+	prev := 0.0
+	for delta := -30.0; delta <= 30; delta += 5 {
+		cur := m.Rho(delta)
+		if cur <= prev {
+			t.Fatalf("Rho not strictly increasing at delta=%v", delta)
+		}
+		prev = cur
+	}
+	// Symmetry: Rho(x) + Rho(-x) = 1.
+	if sum := m.Rho(7) + m.Rho(-7); math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Rho symmetry violated: %v", sum)
+	}
+}
+
+func TestModelRhoDegenerate(t *testing.T) {
+	m := Model{Sigma: 0}
+	if got := m.Rho(1); got != 1 {
+		t.Errorf("noiseless Rho(1) = %v, want 1", got)
+	}
+	if got := m.Rho(0); got != 0.5 {
+		t.Errorf("noiseless Rho(0) = %v, want 0.5", got)
+	}
+}
+
+func TestModelThreshold(t *testing.T) {
+	m := Model{Sigma: 10}
+	for _, target := range []float64{0.9, 0.99, 0.999} {
+		th, err := m.Threshold(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Rho(float64(th)); got < target {
+			t.Errorf("Rho(Threshold(%v)) = %v below target", target, got)
+		}
+		if got := m.Rho(float64(th - 2)); got >= target {
+			t.Errorf("threshold %d for target %v is not tight", th, target)
+		}
+	}
+	if _, err := m.Threshold(0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := m.Threshold(1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if th, err := (Model{Sigma: 0}).Threshold(0.99); err != nil || th != 1 {
+		t.Errorf("noiseless threshold = %d, %v; want 1", th, err)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Calibrate(lv.Params{}, 100, src, CalibrateOptions{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	ok := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	if _, err := Calibrate(ok, 1, src, CalibrateOptions{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+// TestCalibrateSeparatesSDFromNSD is the qualitative heart of the package:
+// the calibrated noise scale must be polylogarithmic under self-destructive
+// competition and √n-scale under non-self-destructive competition, so σ_NSD
+// must dwarf σ_SD at moderate n.
+func TestCalibrateSeparatesSDFromNSD(t *testing.T) {
+	const n = 1024
+	src := rng.New(7)
+	sd, err := Calibrate(lv.Neutral(1, 1, 1, 0, lv.SelfDestructive), n, src, CalibrateOptions{Pilots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsd, err := Calibrate(lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive), n, src, CalibrateOptions{Pilots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := math.Log(float64(n))
+	sqrtN := math.Sqrt(float64(n))
+	if sd.Sigma > 4*logN {
+		t.Errorf("SD sigma %.2f not polylogarithmic (4·ln n = %.2f)", sd.Sigma, 4*logN)
+	}
+	if nsd.Sigma < 0.3*sqrtN || nsd.Sigma > 3*sqrtN {
+		t.Errorf("NSD sigma %.2f not on the √n scale (%.2f)", nsd.Sigma, sqrtN)
+	}
+	if nsd.Sigma < 5*sd.Sigma {
+		t.Errorf("no separation: sigma_NSD %.2f vs sigma_SD %.2f", nsd.Sigma, sd.Sigma)
+	}
+	// Neutral systems have no drift: mean F should be small relative to
+	// the noise scale.
+	if math.Abs(nsd.MeanF) > nsd.Sigma {
+		t.Errorf("NSD mean F %.2f exceeds one sigma %.2f", nsd.MeanF, nsd.Sigma)
+	}
+}
+
+// TestModelPredictsMonteCarloRho is the end-to-end accuracy check: the
+// calibrated normal approximation must predict the measured ρ(Δ) of the NSD
+// system to within a few percentage points at gaps around one sigma.
+func TestModelPredictsMonteCarloRho(t *testing.T) {
+	const n = 512
+	params := lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive)
+	src := rng.New(17)
+	model, err := Calibrate(params, n, src, CalibrateOptions{Pilots: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := &consensus.LVProtocol{Params: params}
+	for _, mult := range []float64{0.5, 1, 2} {
+		delta := consensus.MatchParity(n, int(model.Sigma*mult))
+		est, err := consensus.EstimateWinProbability(proto, n, delta, consensus.EstimateOptions{
+			Trials: 2500, Seed: 23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Rho(float64(delta))
+		if math.Abs(est.P()-want) > 0.06 {
+			t.Errorf("delta=%d: predicted rho %.3f, measured %.3f ± [%.3f, %.3f]",
+				delta, want, est.P(), est.Lo, est.Hi)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := Model{N: 256, Sigma: 12.345, Pilots: 400}
+	if got := m.String(); got != "diffusion model(n=256, sigma=12.35, pilots=400)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,25 @@
+package approx_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/approx"
+)
+
+// A calibrated diffusion model turns the noise scale σ into predictions:
+// the success probability at any gap and the gap needed for any target.
+func ExampleModel() {
+	m := approx.Model{N: 1024, Sigma: 30}
+	fmt.Printf("rho at gap 30 (one sigma): %.3f\n", m.Rho(30))
+	fmt.Printf("rho at gap 60 (two sigma): %.3f\n", m.Rho(60))
+	threshold, err := m.Threshold(1 - 1.0/1024)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("predicted threshold for 1-1/n: %d\n", threshold)
+	// Output:
+	// rho at gap 30 (one sigma): 0.841
+	// rho at gap 60 (two sigma): 0.977
+	// predicted threshold for 1-1/n: 93
+}

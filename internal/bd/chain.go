@@ -1,0 +1,179 @@
+// Package bd implements the discrete-time birth–death chains of Section 4 of
+// the paper: chains on ℕ defined by a birth probability p(n), a death
+// probability q(n), and holding probability 1−p(n)−q(n), with 0 the unique
+// absorbing state. It provides
+//
+//   - simulation of the extinction time E(n) and the birth count B(n),
+//     the two quantities the paper's chain-domination lemma transfers to the
+//     two-species Lotka–Volterra process;
+//   - the "nice chain" predicate (p(n) ≤ C/n and q(n) ≥ D, Section 4);
+//   - the dominating chain for competitive LV systems (Section 5.2); and
+//   - exact expected absorption times and birth counts via first-step
+//     recurrences, used as analytic oracles for Lemmas 5 and 6.
+package bd
+
+import (
+	"fmt"
+
+	"lvmajority/internal/rng"
+)
+
+// Chain is a discrete-time birth–death chain on ℕ. Birth and Death give the
+// transition probabilities p(n) and q(n); the chain holds with the remaining
+// probability. Both functions must return 0 at n = 0 (making 0 absorbing)
+// and values with p(n) + q(n) <= 1 elsewhere; Step validates this at every
+// state it touches so misconfigured chains fail loudly rather than silently
+// skewing statistics.
+type Chain struct {
+	// Birth returns the probability p(n) of moving n → n+1.
+	Birth func(n int) float64
+	// Death returns the probability q(n) of moving n → n−1.
+	Death func(n int) float64
+}
+
+// New returns a Chain with the given birth and death probability functions.
+// It returns an error if either function is nil.
+func New(birth, death func(int) float64) (*Chain, error) {
+	if birth == nil || death == nil {
+		return nil, fmt.Errorf("bd: nil probability function")
+	}
+	return &Chain{Birth: birth, Death: death}, nil
+}
+
+// StepKind classifies the outcome of a single chain step.
+type StepKind int
+
+// The possible step outcomes.
+const (
+	StepHold StepKind = iota + 1
+	StepBirth
+	StepDeath
+)
+
+// String returns the name of the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepHold:
+		return "hold"
+	case StepBirth:
+		return "birth"
+	case StepDeath:
+		return "death"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// probs fetches and validates (p, q) at state n.
+func (c *Chain) probs(n int) (p, q float64, err error) {
+	if n < 0 {
+		return 0, 0, fmt.Errorf("bd: negative state %d", n)
+	}
+	p, q = c.Birth(n), c.Death(n)
+	if p < 0 || q < 0 || p+q > 1+1e-12 {
+		return 0, 0, fmt.Errorf("bd: invalid probabilities p(%d)=%v, q(%d)=%v", n, p, n, q)
+	}
+	if n == 0 && (p != 0 || q != 0) {
+		return 0, 0, fmt.Errorf("bd: state 0 must be absorbing, got p=%v q=%v", p, q)
+	}
+	return p, q, nil
+}
+
+// Step samples one transition from state n and returns the new state and the
+// step kind.
+func (c *Chain) Step(n int, src *rng.Source) (int, StepKind, error) {
+	p, q, err := c.probs(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	u := src.Float64()
+	switch {
+	case u < p:
+		return n + 1, StepBirth, nil
+	case u >= 1-q:
+		return n - 1, StepDeath, nil
+	default:
+		return n, StepHold, nil
+	}
+}
+
+// Result summarizes a run of the chain until extinction.
+type Result struct {
+	// Extinct reports whether the chain reached state 0 (as opposed to
+	// hitting the step budget).
+	Extinct bool
+	// Steps is the number of steps taken, i.e. the extinction time E(n)
+	// when Extinct is true.
+	Steps int
+	// Births is the number of birth events B(n) that occurred.
+	Births int
+	// Deaths is the number of death events.
+	Deaths int
+	// Holds is the number of holding steps.
+	Holds int
+	// MaxState is the largest state visited.
+	MaxState int
+}
+
+// RunToExtinction simulates the chain from state n until it is absorbed at 0
+// or maxSteps steps have elapsed (maxSteps <= 0 means no limit, which is safe
+// only for chains that go extinct almost surely — nice chains do).
+func (c *Chain) RunToExtinction(n int, src *rng.Source, maxSteps int) (Result, error) {
+	if n < 0 {
+		return Result{}, fmt.Errorf("bd: negative start state %d", n)
+	}
+	res := Result{MaxState: n}
+	state := n
+	for state > 0 {
+		if maxSteps > 0 && res.Steps >= maxSteps {
+			return res, nil
+		}
+		next, kind, err := c.Step(state, src)
+		if err != nil {
+			return res, err
+		}
+		res.Steps++
+		switch kind {
+		case StepBirth:
+			res.Births++
+		case StepDeath:
+			res.Deaths++
+		case StepHold:
+			res.Holds++
+		}
+		state = next
+		if state > res.MaxState {
+			res.MaxState = state
+		}
+	}
+	res.Extinct = true
+	return res, nil
+}
+
+// VerifyNice checks the paper's nice-chain conditions p(n) <= C/n and
+// q(n) >= D for all 1 <= n <= upTo, plus absorption at 0. It returns a
+// descriptive error for the first violated state.
+func (c *Chain) VerifyNice(cConst, dConst float64, upTo int) error {
+	if cConst <= 0 || dConst <= 0 {
+		return fmt.Errorf("bd: nice-chain constants must be positive, got C=%v D=%v", cConst, dConst)
+	}
+	if _, _, err := c.probs(0); err != nil {
+		return err
+	}
+	for n := 1; n <= upTo; n++ {
+		p, q, err := c.probs(n)
+		if err != nil {
+			return err
+		}
+		if p <= 0 || q <= 0 {
+			return fmt.Errorf("bd: nice chain needs p(n), q(n) > 0 for n > 0; state %d has p=%v q=%v", n, p, q)
+		}
+		if p > cConst/float64(n)+1e-12 {
+			return fmt.Errorf("bd: p(%d)=%v exceeds C/n=%v", n, p, cConst/float64(n))
+		}
+		if q < dConst-1e-12 {
+			return fmt.Errorf("bd: q(%d)=%v below D=%v", n, q, dConst)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package bd
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// pureDeath is the trivial chain that always steps down.
+func pureDeath(t *testing.T) *Chain {
+	t.Helper()
+	c, err := New(
+		func(n int) float64 { return 0 },
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 1
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// lazyWalk holds with probability 1/2 and otherwise steps down.
+func lazyWalk(t *testing.T) *Chain {
+	t.Helper()
+	c, err := New(
+		func(n int) float64 { return 0 },
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.5
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, func(int) float64 { return 0 }); err == nil {
+		t.Error("nil birth function did not error")
+	}
+	if _, err := New(func(int) float64 { return 0 }, nil); err == nil {
+		t.Error("nil death function did not error")
+	}
+}
+
+func TestStepInvalidProbabilities(t *testing.T) {
+	bad, err := New(
+		func(n int) float64 { return 0.7 },
+		func(n int) float64 { return 0.7 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bad.Step(1, rng.New(1)); err == nil {
+		t.Error("p+q > 1 did not error")
+	}
+	nonAbsorbing, err := New(
+		func(n int) float64 { return 0.5 },
+		func(n int) float64 { return 0 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nonAbsorbing.Step(0, rng.New(1)); err == nil {
+		t.Error("non-absorbing state 0 did not error")
+	}
+	if _, _, err := pureDeath(t).Step(-1, rng.New(1)); err == nil {
+		t.Error("negative state did not error")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	cases := map[StepKind]string{
+		StepHold:     "hold",
+		StepBirth:    "birth",
+		StepDeath:    "death",
+		StepKind(42): "StepKind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestPureDeathExactSteps(t *testing.T) {
+	c := pureDeath(t)
+	const n = 91
+	res, err := c.RunToExtinction(n, rng.New(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Extinct {
+		t.Fatal("pure death chain did not go extinct")
+	}
+	if res.Steps != n || res.Deaths != n || res.Births != 0 || res.Holds != 0 {
+		t.Errorf("result = %+v, want exactly %d deaths", res, n)
+	}
+	if res.MaxState != n {
+		t.Errorf("MaxState = %d, want %d", res.MaxState, n)
+	}
+}
+
+func TestLazyWalkHoldCounting(t *testing.T) {
+	c := lazyWalk(t)
+	const n = 40
+	const trials = 2000
+	var steps stats.Running
+	src := rng.New(4)
+	for i := 0; i < trials; i++ {
+		res, err := c.RunToExtinction(n, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Extinct || res.Deaths != n {
+			t.Fatalf("unexpected result %+v", res)
+		}
+		if res.Steps != res.Deaths+res.Holds {
+			t.Fatalf("step accounting broken: %+v", res)
+		}
+		steps.Add(float64(res.Steps))
+	}
+	// Each level takes Geometric(1/2) steps, so E[steps] = 2n.
+	want := float64(2 * n)
+	if math.Abs(steps.Mean()-want) > 5*steps.StdErr() {
+		t.Errorf("mean steps = %v, want ~%v", steps.Mean(), want)
+	}
+}
+
+func TestRunToExtinctionFromZero(t *testing.T) {
+	c := pureDeath(t)
+	res, err := c.RunToExtinction(0, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Extinct || res.Steps != 0 {
+		t.Errorf("result from 0 = %+v, want immediate extinction", res)
+	}
+}
+
+func TestRunToExtinctionNegativeStart(t *testing.T) {
+	c := pureDeath(t)
+	if _, err := c.RunToExtinction(-1, rng.New(1), 0); err == nil {
+		t.Error("negative start did not error")
+	}
+}
+
+func TestRunToExtinctionMaxSteps(t *testing.T) {
+	c := lazyWalk(t)
+	res, err := c.RunToExtinction(1000, rng.New(5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extinct {
+		t.Error("chain claimed extinction despite step budget")
+	}
+	if res.Steps != 10 {
+		t.Errorf("steps = %d, want 10", res.Steps)
+	}
+}
+
+func TestVerifyNice(t *testing.T) {
+	nice, err := New(
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.5 / float64(n)
+		},
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.25
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nice.VerifyNice(0.5, 0.25, 1000); err != nil {
+		t.Errorf("nice chain failed verification: %v", err)
+	}
+	// Tighter constants must fail.
+	if err := nice.VerifyNice(0.4, 0.25, 1000); err == nil {
+		t.Error("C too small did not error")
+	}
+	if err := nice.VerifyNice(0.5, 0.3, 1000); err == nil {
+		t.Error("D too large did not error")
+	}
+	if err := nice.VerifyNice(-1, 0.25, 10); err == nil {
+		t.Error("negative C did not error")
+	}
+	// A chain with q = 0 somewhere is not nice.
+	if err := pureDeath(t).VerifyNice(1, 0.5, 10); err == nil {
+		t.Error("pure-death chain (p=0) passed niceness")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	c, err := New(
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.2
+		},
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.3
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(6)
+	const trials = 60000
+	counts := map[StepKind]int{}
+	for i := 0; i < trials; i++ {
+		_, kind, err := c.Step(5, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[kind]++
+	}
+	check := func(kind StepKind, want float64) {
+		got := float64(counts[kind]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v frequency = %v, want ~%v", kind, got, want)
+		}
+	}
+	check(StepBirth, 0.2)
+	check(StepDeath, 0.3)
+	check(StepHold, 0.5)
+}

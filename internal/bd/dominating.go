@@ -1,0 +1,84 @@
+package bd
+
+import "fmt"
+
+// DominatingParams are the Lotka–Volterra rate parameters from which the
+// dominating single-species chain of Section 5.2 is constructed.
+type DominatingParams struct {
+	// Beta and Delta are the individual birth and death rates; the paper
+	// writes ϑ = β + δ.
+	Beta, Delta float64
+	// Alpha0 and Alpha1 are the interspecific competition rates of the two
+	// species; the construction uses α = α₀+α₁ and α_min = min(α₀, α₁).
+	Alpha0, Alpha1 float64
+}
+
+// Validate checks that the parameters admit the §5.2 construction, which
+// requires α_min > 0 (some interspecific competition in both directions
+// combined) and non-negative rates. The construction also needs ϑ > 0 for
+// the chain to have positive birth probabilities (niceness requires
+// p(n) > 0); ϑ = 0 is allowed but yields a pure-death dominating chain.
+func (p DominatingParams) Validate() error {
+	if p.Beta < 0 || p.Delta < 0 || p.Alpha0 < 0 || p.Alpha1 < 0 {
+		return fmt.Errorf("bd: negative rate in %+v", p)
+	}
+	if min(p.Alpha0, p.Alpha1) <= 0 {
+		return fmt.Errorf("bd: dominating chain needs alpha_min > 0, got alpha0=%v alpha1=%v", p.Alpha0, p.Alpha1)
+	}
+	return nil
+}
+
+// Dominating returns the nice birth–death chain of Section 5.2 that
+// dominates the two-species LV chain with the given rates (and γ = 0):
+//
+//	p(m) = ϑ/(αm + ϑ),  q(m) = α_min/(α + 2ϑ)  for m > 0,
+//	p(0) = q(0) = 0,
+//
+// with ϑ = β+δ, α = α₀+α₁, α_min = min(α₀, α₁). By Lemma 12 this chain
+// satisfies the domination conditions (D1), (D2), so by the chain-domination
+// lemma (Lemma 9) its extinction time stochastically dominates the LV
+// consensus time and its birth count dominates the LV bad-event count.
+func Dominating(params DominatingParams) (*Chain, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	theta := params.Beta + params.Delta
+	alpha := params.Alpha0 + params.Alpha1
+	alphaMin := min(params.Alpha0, params.Alpha1)
+	q := alphaMin / (alpha + 2*theta)
+	birth := func(m int) float64 {
+		if m <= 0 {
+			return 0
+		}
+		if theta == 0 {
+			return 0
+		}
+		return theta / (alpha*float64(m) + theta)
+	}
+	death := func(m int) float64 {
+		if m <= 0 {
+			return 0
+		}
+		return q
+	}
+	return New(birth, death)
+}
+
+// DominatingNiceConstants returns constants (C, D) witnessing that the
+// Dominating chain for params is nice: p(m) <= C/m and q(m) >= D.
+func DominatingNiceConstants(params DominatingParams) (cConst, dConst float64, err error) {
+	if err := params.Validate(); err != nil {
+		return 0, 0, err
+	}
+	theta := params.Beta + params.Delta
+	alpha := params.Alpha0 + params.Alpha1
+	alphaMin := min(params.Alpha0, params.Alpha1)
+	// p(m) = ϑ/(αm+ϑ) <= ϑ/(αm) = (ϑ/α)/m.
+	cConst = theta / alpha
+	if cConst == 0 {
+		// Pure-death chain: any positive C works.
+		cConst = 1
+	}
+	dConst = alphaMin / (alpha + 2*theta)
+	return cConst, dConst, nil
+}

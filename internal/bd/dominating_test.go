@@ -1,0 +1,113 @@
+package bd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lvmajority/internal/rng"
+)
+
+func TestDominatingValidation(t *testing.T) {
+	cases := []DominatingParams{
+		{Beta: 1, Delta: 1, Alpha0: 0, Alpha1: 1},  // alpha_min = 0
+		{Beta: -1, Delta: 1, Alpha0: 1, Alpha1: 1}, // negative beta
+		{Beta: 1, Delta: 1, Alpha0: 1, Alpha1: -2}, // negative alpha
+	}
+	for _, p := range cases {
+		if _, err := Dominating(p); err == nil {
+			t.Errorf("Dominating(%+v) did not error", p)
+		}
+	}
+}
+
+func TestDominatingFormulas(t *testing.T) {
+	p := DominatingParams{Beta: 2, Delta: 1, Alpha0: 0.5, Alpha1: 1.5}
+	dom, err := Dominating(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := 3.0
+	alpha := 2.0
+	alphaMin := 0.5
+	for _, m := range []int{1, 2, 10, 1000} {
+		wantP := theta / (alpha*float64(m) + theta)
+		if got := dom.Birth(m); math.Abs(got-wantP) > 1e-12 {
+			t.Errorf("p(%d) = %v, want %v", m, got, wantP)
+		}
+		wantQ := alphaMin / (alpha + 2*theta)
+		if got := dom.Death(m); math.Abs(got-wantQ) > 1e-12 {
+			t.Errorf("q(%d) = %v, want %v", m, got, wantQ)
+		}
+	}
+	if dom.Birth(0) != 0 || dom.Death(0) != 0 {
+		t.Error("state 0 is not absorbing")
+	}
+}
+
+func TestDominatingIsNice(t *testing.T) {
+	p := DominatingParams{Beta: 1, Delta: 0.5, Alpha0: 2, Alpha1: 1}
+	dom, err := Dominating(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, d, err := DominatingNiceConstants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.VerifyNice(c, d, 10000); err != nil {
+		t.Errorf("dominating chain not nice with its own constants: %v", err)
+	}
+}
+
+func TestDominatingProbabilitiesValidProperty(t *testing.T) {
+	// For arbitrary positive rates, p(m) + q(m) <= 1 must hold everywhere
+	// (the paper argues p(1) + q <= 1; we check a range of states).
+	err := quick.Check(func(b, d, a0, a1 uint8, mRaw uint16) bool {
+		p := DominatingParams{
+			Beta:   float64(b)/16 + 0.01,
+			Delta:  float64(d) / 16,
+			Alpha0: float64(a0)/16 + 0.01,
+			Alpha1: float64(a1)/16 + 0.01,
+		}
+		dom, err := Dominating(p)
+		if err != nil {
+			return false
+		}
+		m := int(mRaw)%1000 + 1
+		pm, qm := dom.Birth(m), dom.Death(m)
+		return pm >= 0 && qm > 0 && pm+qm <= 1+1e-12
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatingPureDeathWhenThetaZero(t *testing.T) {
+	// β = δ = 0 means no individual events, so the dominating chain is
+	// pure death and extinction takes exactly n steps.
+	dom, err := Dominating(DominatingParams{Alpha0: 1, Alpha1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Birth(5) != 0 {
+		t.Errorf("p(5) = %v, want 0 for theta=0", dom.Birth(5))
+	}
+	res, err := dom.RunToExtinction(10, rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Extinct || res.Births != 0 {
+		t.Errorf("result = %+v, want extinction with no births", res)
+	}
+}
+
+func TestDominatingNiceConstantsThetaZero(t *testing.T) {
+	c, d, err := DominatingNiceConstants(DominatingParams{Alpha0: 1, Alpha1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || d <= 0 {
+		t.Errorf("constants (%v, %v) not positive", c, d)
+	}
+}

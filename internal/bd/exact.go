@@ -1,0 +1,93 @@
+package bd
+
+import "fmt"
+
+// The functions below solve the first-step recurrences for birth–death
+// absorption quantities on a truncated state space {0, ..., truncation}. The
+// truncation treats the top state as having no birth move (its birth
+// probability mass becomes holding), which converges to the untruncated
+// value as the truncation grows because nice chains have p(n) → 0.
+//
+// Derivation: for T(i) = expected steps to absorption from i,
+//
+//	T(i) = 1 + p(i)·T(i+1) + q(i)·T(i−1) + (1−p(i)−q(i))·T(i)
+//
+// so with d(i) = T(i) − T(i−1):
+//
+//	d(i) = (1 + p(i)·d(i+1)) / q(i),  d(M) = 1/q(M),
+//
+// solved backwards from the truncation M; then T(n) = Σ_{i=1..n} d(i).
+// The analogous recurrence for expected births b(i) uses
+// e(i) = p(i)·(1 + e(i+1)) / q(i) with e(M) = 0.
+
+// ExpectedAbsorptionTime returns the exact expected number of steps for the
+// chain to reach 0 from state n, computed on the state space truncated at
+// the given ceiling. It returns an error if n < 0, truncation < n, or the
+// chain has a zero death probability in (0, truncation] (absorption would
+// not be guaranteed).
+func ExpectedAbsorptionTime(c *Chain, n, truncation int) (float64, error) {
+	d, err := differenceSolve(c, truncation, func(p float64) (float64, float64) {
+		// d(i) = (1 + p·d(i+1))/q: constant term 1, coefficient p.
+		return 1, p
+	})
+	if err != nil {
+		return 0, err
+	}
+	return prefixSum(d, n)
+}
+
+// ExpectedBirths returns the exact expected number of birth events before
+// absorption from state n, on the truncated state space.
+func ExpectedBirths(c *Chain, n, truncation int) (float64, error) {
+	d, err := differenceSolve(c, truncation, func(p float64) (float64, float64) {
+		// e(i) = p·(1 + e(i+1))/q: constant term p, coefficient p.
+		return p, p
+	})
+	if err != nil {
+		return 0, err
+	}
+	return prefixSum(d, n)
+}
+
+// differenceSolve computes the difference sequence d(1..M) backwards. The
+// terms callback maps p(i) to the constant term and the d(i+1) coefficient
+// of the recurrence q(i)·d(i) = const + coef·d(i+1).
+func differenceSolve(c *Chain, truncation int, terms func(p float64) (constant, coefficient float64)) ([]float64, error) {
+	if truncation < 1 {
+		return nil, fmt.Errorf("bd: truncation %d < 1", truncation)
+	}
+	d := make([]float64, truncation+1) // d[0] unused
+	for i := truncation; i >= 1; i-- {
+		p, q, err := c.probs(i)
+		if err != nil {
+			return nil, err
+		}
+		if q <= 0 {
+			return nil, fmt.Errorf("bd: q(%d) = 0, absorption not guaranteed", i)
+		}
+		if i == truncation {
+			p = 0 // truncate: no upward move from the ceiling
+		}
+		constant, coef := terms(p)
+		next := 0.0
+		if i < truncation {
+			next = d[i+1]
+		}
+		d[i] = (constant + coef*next) / q
+	}
+	return d, nil
+}
+
+func prefixSum(d []float64, n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("bd: negative state %d", n)
+	}
+	if n >= len(d) {
+		return 0, fmt.Errorf("bd: state %d beyond truncation %d", n, len(d)-1)
+	}
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += d[i]
+	}
+	return total, nil
+}

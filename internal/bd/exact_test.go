@@ -1,0 +1,225 @@
+package bd
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// denseSolveAbsorption solves the absorption-time system directly by
+// Gauss–Seidel iteration on the truncated chain, as an independent oracle
+// for the difference-recurrence implementation.
+func denseSolveAbsorption(t *testing.T, c *Chain, truncation int, births bool) []float64 {
+	t.Helper()
+	vals := make([]float64, truncation+1)
+	for iter := 0; iter < 200000; iter++ {
+		var maxDelta float64
+		for i := 1; i <= truncation; i++ {
+			p, q, err := c.probs(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == truncation {
+				p = 0
+			}
+			up := 0.0
+			if i < truncation {
+				up = vals[i+1]
+			}
+			constant := 1.0
+			if births {
+				constant = p
+			}
+			// (p+q)·v(i) = constant + p·v(i+1) + q·v(i−1)
+			newVal := (constant + p*up + q*vals[i-1]) / (p + q)
+			if d := math.Abs(newVal - vals[i]); d > maxDelta {
+				maxDelta = d
+			}
+			vals[i] = newVal
+		}
+		if maxDelta < 1e-13 {
+			break
+		}
+	}
+	return vals
+}
+
+func TestExpectedAbsorptionTimePureDeath(t *testing.T) {
+	c := pureDeath(t)
+	for _, n := range []int{0, 1, 5, 50} {
+		got, err := ExpectedAbsorptionTime(c, n, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(n)) > 1e-9 {
+			t.Errorf("E[T(%d)] = %v, want %d", n, got, n)
+		}
+	}
+}
+
+func TestExpectedAbsorptionTimeLazyWalk(t *testing.T) {
+	c := lazyWalk(t)
+	got, err := ExpectedAbsorptionTime(c, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-9 {
+		t.Errorf("E[T(10)] = %v, want 20", got)
+	}
+}
+
+func TestExpectedAbsorptionMatchesDenseSolve(t *testing.T) {
+	dom, err := Dominating(DominatingParams{Beta: 1, Delta: 1, Alpha0: 1, Alpha1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truncation = 60
+	wantT := denseSolveAbsorption(t, dom, truncation, false)
+	wantB := denseSolveAbsorption(t, dom, truncation, true)
+	for _, n := range []int{1, 5, 17, 40, 60} {
+		gotT, err := ExpectedAbsorptionTime(dom, n, truncation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotT-wantT[n]) > 1e-6*(1+wantT[n]) {
+			t.Errorf("E[T(%d)] = %v, dense solve gives %v", n, gotT, wantT[n])
+		}
+		gotB, err := ExpectedBirths(dom, n, truncation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotB-wantB[n]) > 1e-6*(1+wantB[n]) {
+			t.Errorf("E[B(%d)] = %v, dense solve gives %v", n, gotB, wantB[n])
+		}
+	}
+}
+
+func TestExpectedAbsorptionErrors(t *testing.T) {
+	c := pureDeath(t)
+	if _, err := ExpectedAbsorptionTime(c, 5, 0); err == nil {
+		t.Error("truncation < 1 did not error")
+	}
+	if _, err := ExpectedAbsorptionTime(c, -1, 10); err == nil {
+		t.Error("negative state did not error")
+	}
+	if _, err := ExpectedAbsorptionTime(c, 11, 10); err == nil {
+		t.Error("state beyond truncation did not error")
+	}
+	birthOnly, err := New(
+		func(n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return 0.5
+		},
+		func(n int) float64 { return 0 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectedAbsorptionTime(birthOnly, 5, 10); err == nil {
+		t.Error("chain with q=0 did not error")
+	}
+}
+
+func TestSimulationMatchesExactDominating(t *testing.T) {
+	// Monte-Carlo extinction times and birth counts of the dominating
+	// chain must agree with the exact recurrences.
+	params := DominatingParams{Beta: 1, Delta: 1, Alpha0: 1, Alpha1: 1}
+	dom, err := Dominating(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	const truncation = 400
+	wantT, err := ExpectedAbsorptionTime(dom, n, truncation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := ExpectedBirths(dom, n, truncation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(12)
+	var timeAcc, birthAcc stats.Running
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		res, err := dom.RunToExtinction(n, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Extinct {
+			t.Fatal("dominating chain failed to go extinct")
+		}
+		timeAcc.Add(float64(res.Steps))
+		birthAcc.Add(float64(res.Births))
+	}
+	if math.Abs(timeAcc.Mean()-wantT) > 5*timeAcc.StdErr()+0.01*wantT {
+		t.Errorf("mean extinction time = %v, exact %v", timeAcc.Mean(), wantT)
+	}
+	if math.Abs(birthAcc.Mean()-wantB) > 5*birthAcc.StdErr()+0.02*wantB {
+		t.Errorf("mean births = %v, exact %v", birthAcc.Mean(), wantB)
+	}
+}
+
+func TestLemma5ExtinctionTimeLinear(t *testing.T) {
+	// Lemma 5: E[E(n)] = Θ(n) for nice chains. The exact recurrence lets
+	// us check linearity over a wide range without sampling noise.
+	dom, err := Dominating(DominatingParams{Beta: 1, Delta: 1, Alpha0: 1, Alpha1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For this chain q = 1/6 away from small states, so E[T(n)]/n → 6
+	// with an O(log n / n) correction. Θ(n) shows up as the ratio staying
+	// within constant bounds and the successive changes shrinking.
+	var ratios []float64
+	for _, n := range []int{100, 400, 1600, 6400, 25600} {
+		v, err := ExpectedAbsorptionTime(dom, n, 4*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < float64(n) {
+			t.Errorf("E[T(%d)] = %v below the trivial lower bound n", n, v)
+		}
+		ratios = append(ratios, v/float64(n))
+	}
+	for _, r := range ratios {
+		if r < 1 || r > 20 {
+			t.Fatalf("E[T(n)]/n = %v outside constant band: %v", r, ratios)
+		}
+	}
+	for i := 2; i < len(ratios); i++ {
+		prevChange := math.Abs(ratios[i-1] - ratios[i-2])
+		change := math.Abs(ratios[i] - ratios[i-1])
+		if change > prevChange {
+			t.Errorf("E[T(n)]/n changes not shrinking: %v", ratios)
+		}
+	}
+	if last := ratios[len(ratios)-1]; math.Abs(last-6) > 0.5 {
+		t.Errorf("E[T(n)]/n = %v at the largest n, want ~6 = 1/q", last)
+	}
+}
+
+func TestLemma6BirthsLogarithmic(t *testing.T) {
+	// Lemma 6: E[B(n)] = O(log n). Check that E[B(n)]/H_n is bounded and
+	// roughly flat as n grows.
+	dom, err := Dominating(DominatingParams{Beta: 1, Delta: 1, Alpha0: 1, Alpha1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	for _, n := range []int{64, 256, 1024, 4096} {
+		v, err := ExpectedBirths(dom, n, 4*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, v/stats.HarmonicNumber(n))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 2*ratios[0]+1 {
+			t.Errorf("E[B(n)]/H_n growing: %v", ratios)
+		}
+	}
+}

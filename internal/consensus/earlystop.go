@@ -1,0 +1,64 @@
+package consensus
+
+import (
+	"fmt"
+
+	"lvmajority/internal/stats"
+)
+
+// EstimateWithEarlyStop estimates the success probability like
+// EstimateWinProbability, but samples in batches and stops as soon as the
+// Wilson interval excludes the target on either side — typically a large
+// saving at gaps far from the threshold, where a few hundred trials already
+// settle the comparison. The final estimate uses however many trials were
+// actually run (at most opts.Trials).
+//
+// The procedure is deterministic for fixed options: batch seeds derive from
+// opts.Seed and the batch index. Because the interval is inspected
+// repeatedly, its coverage is nominally optimistic (sequential testing);
+// callers that need calibrated intervals should use the fixed-size
+// estimator. Threshold searches only need the accept/reject side, for which
+// the repeated-look optimism is acceptable and symmetric across probed gaps.
+func EstimateWithEarlyStop(p Protocol, n, delta int, target float64, opts EstimateOptions) (stats.BernoulliEstimate, error) {
+	if p == nil {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: nil protocol")
+	}
+	if target <= 0 || target >= 1 {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: early-stop target %v outside (0, 1)", target)
+	}
+	opts.normalize()
+
+	batch := opts.Trials / 10
+	if batch < 200 {
+		batch = 200
+	}
+	if batch > opts.Trials {
+		batch = opts.Trials
+	}
+
+	successes, trials := 0, 0
+	for batchIdx := 0; trials < opts.Trials; batchIdx++ {
+		size := batch
+		if trials+size > opts.Trials {
+			size = opts.Trials - trials
+		}
+		batchOpts := opts
+		batchOpts.Trials = size
+		batchOpts.Seed = opts.Seed + 0x9e3779b97f4a7c15*uint64(batchIdx+1)
+		est, err := EstimateWinProbability(p, n, delta, batchOpts)
+		if err != nil {
+			return stats.BernoulliEstimate{}, err
+		}
+		successes += est.Successes
+		trials += est.Trials
+
+		combined, err := stats.WilsonInterval(successes, trials, opts.Z)
+		if err != nil {
+			return stats.BernoulliEstimate{}, err
+		}
+		if combined.Lo > target || combined.Hi < target {
+			return combined, nil
+		}
+	}
+	return stats.WilsonInterval(successes, trials, opts.Z)
+}

@@ -1,0 +1,103 @@
+package consensus
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// EstimateOptions configures EstimateWinProbability.
+type EstimateOptions struct {
+	// Trials is the number of Monte-Carlo trials (default 1000).
+	Trials int
+	// Z is the normal quantile of the Wilson interval (default stats.Z99).
+	Z float64
+	// Workers is the number of parallel workers (default GOMAXPROCS).
+	Workers int
+	// Seed determines every random stream; the same options always
+	// reproduce the same estimate bit-for-bit.
+	Seed uint64
+}
+
+func (o *EstimateOptions) normalize() {
+	if o.Trials <= 0 {
+		o.Trials = 1000
+	}
+	if o.Z <= 0 {
+		o.Z = stats.Z99
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Trials {
+		o.Workers = o.Trials
+	}
+}
+
+// EstimateWinProbability estimates ρ — the probability that the protocol
+// reaches majority consensus — for total population n and initial gap delta,
+// running trials in parallel. The result is deterministic in (protocol
+// behaviour, options): worker streams are pre-split from the seed, so
+// scheduling cannot change the outcome.
+func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (stats.BernoulliEstimate, error) {
+	if p == nil {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: nil protocol")
+	}
+	opts.normalize()
+	// Validate the configuration once, up front, so workers cannot race
+	// on the same configuration error.
+	if _, _, err := SplitInitial(n, delta); err != nil {
+		return stats.BernoulliEstimate{}, err
+	}
+
+	root := rng.New(opts.Seed)
+	sources := make([]*rng.Source, opts.Workers)
+	for i := range sources {
+		sources[i] = root.Split()
+	}
+
+	// Distribute trials across workers as evenly as possible.
+	per := opts.Trials / opts.Workers
+	extra := opts.Trials % opts.Workers
+
+	type result struct {
+		wins int
+		err  error
+	}
+	results := make([]result, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			src := sources[w]
+			for i := 0; i < trials; i++ {
+				won, err := p.Trial(n, delta, src)
+				if err != nil {
+					results[w].err = err
+					return
+				}
+				if won {
+					results[w].wins++
+				}
+			}
+		}(w, trials)
+	}
+	wg.Wait()
+
+	wins := 0
+	for _, r := range results {
+		if r.err != nil {
+			return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", r.err)
+		}
+		wins += r.wins
+	}
+	return stats.WilsonInterval(wins, opts.Trials, opts.Z)
+}

@@ -1,0 +1,133 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+// fixedProtocol wins each trial independently with probability p.
+type fixedProtocol struct {
+	p float64
+}
+
+func (f fixedProtocol) Name() string { return fmt.Sprintf("fixed(%v)", f.p) }
+
+func (f fixedProtocol) Trial(_, _ int, src *rng.Source) (bool, error) {
+	return src.Bernoulli(f.p), nil
+}
+
+// failingProtocol errors after a number of trials.
+type failingProtocol struct{}
+
+func (failingProtocol) Name() string { return "failing" }
+
+func (failingProtocol) Trial(_, _ int, _ *rng.Source) (bool, error) {
+	return false, errors.New("boom")
+}
+
+func TestEstimateNilProtocol(t *testing.T) {
+	if _, err := EstimateWinProbability(nil, 100, 10, EstimateOptions{}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+}
+
+func TestEstimateInvalidSplit(t *testing.T) {
+	if _, err := EstimateWinProbability(fixedProtocol{0.5}, 100, 3, EstimateOptions{}); err == nil {
+		t.Error("parity mismatch accepted")
+	}
+}
+
+func TestEstimatePropagatesTrialErrors(t *testing.T) {
+	_, err := EstimateWinProbability(failingProtocol{}, 100, 10, EstimateOptions{Trials: 100, Workers: 4})
+	if err == nil {
+		t.Error("trial error swallowed")
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.93} {
+		est, err := EstimateWinProbability(fixedProtocol{p}, 100, 10, EstimateOptions{
+			Trials:  20000,
+			Workers: 8,
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.P()-p) > 0.015 {
+			t.Errorf("estimate for p=%v: %v", p, est)
+		}
+		if est.Lo > p || est.Hi < p {
+			t.Errorf("CI %v does not contain %v", est, p)
+		}
+		if est.Trials != 20000 {
+			t.Errorf("trials = %d, want 20000", est.Trials)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	// Identical options must give bit-identical results regardless of
+	// scheduling, because worker streams are pre-split.
+	opts := EstimateOptions{Trials: 5000, Workers: 7, Seed: 99}
+	a, err := EstimateWinProbability(fixedProtocol{0.42}, 100, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateWinProbability(fixedProtocol{0.42}, 100, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Successes != b.Successes {
+		t.Errorf("non-deterministic estimates: %d vs %d successes", a.Successes, b.Successes)
+	}
+}
+
+func TestEstimateWorkerCountIndependence(t *testing.T) {
+	// Different worker counts change the stream layout (allowed) but not
+	// the statistical validity; both should be near truth.
+	for _, workers := range []int{1, 3, 16} {
+		est, err := EstimateWinProbability(fixedProtocol{0.7}, 100, 10, EstimateOptions{
+			Trials:  10000,
+			Workers: workers,
+			Seed:    7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.P()-0.7) > 0.02 {
+			t.Errorf("workers=%d: estimate %v far from 0.7", workers, est)
+		}
+	}
+}
+
+func TestEstimateMoreWorkersThanTrials(t *testing.T) {
+	est, err := EstimateWinProbability(fixedProtocol{1}, 100, 10, EstimateOptions{
+		Trials:  3,
+		Workers: 64,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Successes != 3 || est.Trials != 3 {
+		t.Errorf("estimate = %v, want 3/3", est)
+	}
+}
+
+func TestEstimateWithLVProtocol(t *testing.T) {
+	// End-to-end: a large gap at small n should give a high estimate.
+	p := LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)}
+	est, err := EstimateWinProbability(p, 64, 48, EstimateOptions{Trials: 1500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P() < 0.9 {
+		t.Errorf("estimate %v unexpectedly low for a huge gap", est)
+	}
+}

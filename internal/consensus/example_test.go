@@ -1,0 +1,41 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/lv"
+)
+
+// ExampleEstimateWinProbability estimates ρ for a large gap, where the
+// majority almost surely wins.
+func ExampleEstimateWinProbability() {
+	protocol := consensus.LVProtocol{
+		Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive),
+	}
+	est, err := consensus.EstimateWinProbability(protocol, 128, 96, consensus.EstimateOptions{
+		Trials:  500,
+		Workers: 1,
+		Seed:    7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("high:", est.P() > 0.95)
+	fmt.Println("trials:", est.Trials)
+	// Output:
+	// high: true
+	// trials: 500
+}
+
+// ExampleSplitInitial splits a population into majority and minority counts.
+func ExampleSplitInitial() {
+	a, b, err := consensus.SplitInitial(100, 10)
+	fmt.Println(a, b, err)
+	_, _, err = consensus.SplitInitial(100, 11)
+	fmt.Println(err != nil)
+	// Output:
+	// 55 45 <nil>
+	// true
+}

@@ -1,0 +1,49 @@
+package consensus
+
+import "testing"
+
+// FuzzSplitInitial checks the splitter's arithmetic invariants for arbitrary
+// inputs: whenever it succeeds, the parts reconstruct (n, delta) exactly and
+// the minority is non-empty.
+func FuzzSplitInitial(f *testing.F) {
+	f.Add(100, 10)
+	f.Add(101, 1)
+	f.Add(3, 1)
+	f.Add(2, 0)
+	f.Add(-5, 2)
+	f.Add(1000000, 999998)
+	f.Fuzz(func(t *testing.T, n, delta int) {
+		a, b, err := SplitInitial(n, delta)
+		if err != nil {
+			return // rejected inputs are fine; we check accepted ones
+		}
+		if a+b != n {
+			t.Fatalf("SplitInitial(%d, %d): a+b = %d", n, delta, a+b)
+		}
+		if a-b != delta {
+			t.Fatalf("SplitInitial(%d, %d): a-b = %d", n, delta, a-b)
+		}
+		if b <= 0 || a < b {
+			t.Fatalf("SplitInitial(%d, %d): (a, b) = (%d, %d)", n, delta, a, b)
+		}
+	})
+}
+
+// FuzzMatchParity checks that the returned gap is feasible and minimal.
+func FuzzMatchParity(f *testing.F) {
+	f.Add(100, 10)
+	f.Add(101, 10)
+	f.Add(7, 0)
+	f.Fuzz(func(t *testing.T, n, delta int) {
+		if n < 1 || delta < 0 || delta > 1<<30 {
+			return
+		}
+		got := MatchParity(n, delta)
+		if got < delta || got > delta+1 {
+			t.Fatalf("MatchParity(%d, %d) = %d", n, delta, got)
+		}
+		if (n-got)%2 != 0 {
+			t.Fatalf("MatchParity(%d, %d) = %d has wrong parity", n, delta, got)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+// stepProtocol succeeds deterministically once delta reaches its cutoff.
+type stepProtocol struct {
+	cutoff int
+}
+
+func (s stepProtocol) Name() string { return fmt.Sprintf("step(%d)", s.cutoff) }
+
+func (s stepProtocol) Trial(_, delta int, _ *rng.Source) (bool, error) {
+	return delta >= s.cutoff, nil
+}
+
+// noisyRampProtocol has success probability ramping linearly from 0 at
+// delta=0 to 1 at delta=ramp.
+type noisyRampProtocol struct {
+	ramp int
+}
+
+func (s noisyRampProtocol) Name() string { return fmt.Sprintf("ramp(%d)", s.ramp) }
+
+func (s noisyRampProtocol) Trial(_, delta int, src *rng.Source) (bool, error) {
+	p := float64(delta) / float64(s.ramp)
+	return src.Bernoulli(p), nil
+}
+
+func TestFindThresholdValidation(t *testing.T) {
+	if _, err := FindThreshold(nil, 100, ThresholdOptions{}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := FindThreshold(stepProtocol{1}, 2, ThresholdOptions{}); err == nil {
+		t.Error("tiny population accepted")
+	}
+	if _, err := FindThreshold(stepProtocol{1}, 100, ThresholdOptions{Target: 1.5}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestFindThresholdExactStep(t *testing.T) {
+	for _, cutoff := range []int{2, 6, 20, 60} {
+		res, err := FindThreshold(stepProtocol{cutoff}, 100, ThresholdOptions{
+			Trials: 50,
+			Seed:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("cutoff %d: threshold not found", cutoff)
+		}
+		want := MatchParity(100, cutoff)
+		if res.Threshold != want {
+			t.Errorf("cutoff %d: threshold = %d, want %d", cutoff, res.Threshold, want)
+		}
+	}
+}
+
+func TestFindThresholdOddPopulation(t *testing.T) {
+	res, err := FindThreshold(stepProtocol{10}, 101, ThresholdOptions{Trials: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("threshold not found")
+	}
+	// Parity grid for odd n is odd gaps; smallest feasible >= 10 is 11.
+	if res.Threshold != 11 {
+		t.Errorf("threshold = %d, want 11", res.Threshold)
+	}
+}
+
+func TestFindThresholdNotFound(t *testing.T) {
+	// A protocol that never succeeds has no threshold.
+	res, err := FindThreshold(stepProtocol{1 << 30}, 100, ThresholdOptions{Trials: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Threshold != -1 {
+		t.Errorf("result = %+v, want not found", res)
+	}
+	if len(res.Evaluations) == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestFindThresholdAtMaximalGap(t *testing.T) {
+	// Succeeds only at the largest feasible gap (n−2 for even n).
+	res, err := FindThreshold(stepProtocol{98}, 100, ThresholdOptions{Trials: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Threshold != 98 {
+		t.Errorf("result = %+v, want threshold 98", res)
+	}
+}
+
+func TestFindThresholdImmediateSuccess(t *testing.T) {
+	// Succeeds at every feasible gap: the threshold is the smallest one.
+	res, err := FindThreshold(stepProtocol{0}, 100, ThresholdOptions{Trials: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Threshold != 2 {
+		t.Errorf("result = %+v, want threshold 2 (smallest probed even gap)", res)
+	}
+}
+
+func TestFindThresholdNoisyRamp(t *testing.T) {
+	// With target 0.9 and a linear ramp to 1 at delta=50, the true
+	// 0.9-threshold is 45; allow a small statistical neighborhood.
+	res, err := FindThreshold(noisyRampProtocol{50}, 200, ThresholdOptions{
+		Target: 0.9,
+		Trials: 4000,
+		Seed:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("threshold not found")
+	}
+	if res.Threshold < 40 || res.Threshold > 50 {
+		t.Errorf("threshold = %d, want ~45", res.Threshold)
+	}
+}
+
+func TestFindThresholdDeterministic(t *testing.T) {
+	opts := ThresholdOptions{Trials: 500, Seed: 7}
+	a, err := FindThreshold(noisyRampProtocol{30}, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindThreshold(noisyRampProtocol{30}, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Threshold != b.Threshold || len(a.Evaluations) != len(b.Evaluations) {
+		t.Errorf("non-deterministic search: %+v vs %+v", a, b)
+	}
+}
+
+func TestFindThresholdProbeCountLogarithmic(t *testing.T) {
+	res, err := FindThreshold(stepProtocol{513}, 1<<14, ThresholdOptions{Trials: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("threshold not found")
+	}
+	if len(res.Evaluations) > 40 {
+		t.Errorf("search used %d probes, want O(log n)", len(res.Evaluations))
+	}
+}
+
+func TestFindThresholdLVEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)}
+	res, err := FindThreshold(p, 256, ThresholdOptions{Trials: 800, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no threshold found for SD LV at n=256")
+	}
+	// The SD threshold is polylogarithmic: it must sit far below √n·log n.
+	if float64(res.Threshold) > ShapeSqrtLog(256) {
+		t.Errorf("SD threshold %d at n=256 unexpectedly above √(n log n) = %v", res.Threshold, ShapeSqrtLog(256))
+	}
+}
+
+func TestFitCurve(t *testing.T) {
+	points := []CurvePoint{
+		{N: 100, Threshold: 10, Found: true},
+		{N: 400, Threshold: 20, Found: true},
+		{N: 1600, Threshold: 40, Found: true},
+		{N: 6400, Threshold: -1, Found: false}, // skipped
+	}
+	fit, err := FitCurve(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-0.5) > 1e-9 {
+		t.Errorf("exponent = %v, want 0.5", fit.Exponent)
+	}
+}
+
+func TestFitCurveTooFewPoints(t *testing.T) {
+	if _, err := FitCurve([]CurvePoint{{N: 10, Threshold: 5, Found: true}}); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestNormalizedAgainst(t *testing.T) {
+	points := []CurvePoint{
+		{N: 16, Threshold: 4, Found: true},
+		{N: 64, Threshold: 8, Found: true},
+		{N: 100, Threshold: -1, Found: false},
+	}
+	vals := NormalizedAgainst(points, ShapeSqrt)
+	if len(vals) != 2 {
+		t.Fatalf("got %d values, want 2", len(vals))
+	}
+	if vals[0] != 1 || vals[1] != 1 {
+		t.Errorf("normalized = %v, want [1 1]", vals)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if got := ShapeSqrt(64); got != 8 {
+		t.Errorf("ShapeSqrt(64) = %v", got)
+	}
+	if got := ShapeLog2(256); got != 64 {
+		t.Errorf("ShapeLog2(256) = %v, want 64", got)
+	}
+	if got := ShapeSqrtLog(256); math.Abs(got-math.Sqrt(256*8)) > 1e-12 {
+		t.Errorf("ShapeSqrtLog(256) = %v", got)
+	}
+}

@@ -1,0 +1,246 @@
+package coupling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvmajority/internal/bd"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func domFor(t *testing.T, p lv.Params) *bd.Chain {
+	t.Helper()
+	dom, err := bd.Dominating(bd.DominatingParams{
+		Beta: p.Beta, Delta: p.Delta,
+		Alpha0: p.Alpha[0], Alpha1: p.Alpha[1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+func TestNewValidation(t *testing.T) {
+	p := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	dom := domFor(t, p)
+	src := rng.New(1)
+	if _, err := New(p, lv.State{X0: 5, X1: 3}, nil, 3, src); err == nil {
+		t.Error("nil dominating chain accepted")
+	}
+	if _, err := New(p, lv.State{X0: 5, X1: 3}, dom, 3, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(p, lv.State{X0: 5, X1: 3}, dom, 2, src); err == nil {
+		t.Error("min S0 > N0 accepted")
+	}
+	if _, err := New(p, lv.State{X0: -1, X1: 3}, dom, 3, src); err == nil {
+		t.Error("negative state accepted")
+	}
+	if _, err := New(lv.Params{Beta: -1, Competition: lv.SelfDestructive}, lv.State{X0: 1, X1: 1}, dom, 1, src); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestLemma10InvariantsSD(t *testing.T) {
+	testLemma10Invariants(t, lv.SelfDestructive, 101)
+}
+
+func TestLemma10InvariantsNSD(t *testing.T) {
+	testLemma10Invariants(t, lv.NonSelfDestructive, 103)
+}
+
+// testLemma10Invariants runs the coupled chain and asserts min Ŝ ≤ N̂ and
+// J ≤ B at every step (Lemma 10), across many random initial states.
+func testLemma10Invariants(t *testing.T, comp lv.Competition, seed uint64) {
+	t.Helper()
+	p := lv.Neutral(1, 1, 1, 0, comp)
+	dom := domFor(t, p)
+	src := rng.New(seed)
+	for trial := 0; trial < 50; trial++ {
+		b := 5 + src.Intn(30)
+		a := b + src.Intn(20)
+		initial := lv.State{X0: a, X1: b}
+		c, err := New(p, initial, dom, initial.Min(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 3000; step++ {
+			if err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.InvariantError(); err != nil {
+				t.Fatalf("trial %d from %+v: %v", trial, initial, err)
+			}
+			if c.NState() == 0 && c.SState().Min() == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestLemma10InvariantsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, bRaw, gapRaw uint8, sd bool) bool {
+		comp := lv.SelfDestructive
+		if !sd {
+			comp = lv.NonSelfDestructive
+		}
+		p := lv.Neutral(0.5, 1.5, 2, 0, comp)
+		dom, err := bd.Dominating(bd.DominatingParams{
+			Beta: p.Beta, Delta: p.Delta, Alpha0: p.Alpha[0], Alpha1: p.Alpha[1],
+		})
+		if err != nil {
+			return false
+		}
+		b := int(bRaw%20) + 1
+		initial := lv.State{X0: b + int(gapRaw%20), X1: b}
+		c, err := New(p, initial, dom, b, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 1000; step++ {
+			if err := c.Step(); err != nil {
+				return false
+			}
+			if err := c.InvariantError(); err != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalOfNMatchesDominatingChain(t *testing.T) {
+	// Rule (1) must leave N̂ distributed exactly as the dominating chain:
+	// compare extinction-time distributions of N̂ (inside the coupling)
+	// and of the plain chain via a KS distance.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	dom := domFor(t, p)
+	const n0 = 20
+	const trials = 2500
+
+	coupledTimes := make([]float64, 0, trials)
+	src := rng.New(107)
+	for i := 0; i < trials; i++ {
+		c, err := New(p, lv.State{X0: n0 + 5, X1: n0}, dom, n0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for c.NState() > 0 {
+			if err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if steps > 1_000_000 {
+				t.Fatal("N̂ did not go extinct")
+			}
+		}
+		coupledTimes = append(coupledTimes, float64(steps))
+	}
+
+	plainTimes := make([]float64, 0, trials)
+	src2 := rng.New(109)
+	for i := 0; i < trials; i++ {
+		res, err := dom.RunToExtinction(n0, src2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainTimes = append(plainTimes, float64(res.Steps))
+	}
+
+	d, err := stats.KSDistance(stats.NewECDF(coupledTimes), stats.NewECDF(plainTimes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same distribution: KS distance should be small at this sample size.
+	if d > 0.06 {
+		t.Errorf("KS distance between coupled and plain N̂ extinction times = %v", d)
+	}
+}
+
+func TestLemma9DominationEmpirical(t *testing.T) {
+	// Lemma 9: T(S) ⪯ E(N) and J(S) ⪯ B(N). Check via independent
+	// simulations and the ECDF domination-violation statistic.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	dom := domFor(t, p)
+	const trials = 3000
+	initial := lv.State{X0: 30, X1: 20}
+
+	tS := make([]float64, 0, trials)
+	jS := make([]float64, 0, trials)
+	src := rng.New(113)
+	for i := 0; i < trials; i++ {
+		out, err := lv.Run(p, initial, src, lv.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Consensus {
+			t.Fatal("no consensus")
+		}
+		tS = append(tS, float64(out.Steps))
+		jS = append(jS, float64(out.BadNonCompetitive))
+	}
+
+	eN := make([]float64, 0, trials)
+	bN := make([]float64, 0, trials)
+	src2 := rng.New(127)
+	for i := 0; i < trials; i++ {
+		res, err := dom.RunToExtinction(initial.Min(), src2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eN = append(eN, float64(res.Steps))
+		bN = append(bN, float64(res.Births))
+	}
+
+	// Domination X ⪯ Y shows up as violation(X, Y) ≲ sampling error.
+	vT, err := stats.DominationViolation(stats.NewECDF(tS), stats.NewECDF(eN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vT > 0.05 {
+		t.Errorf("T(S) ⪯ E(N) violated by %v", vT)
+	}
+	vJ, err := stats.DominationViolation(stats.NewECDF(jS), stats.NewECDF(bN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vJ > 0.05 {
+		t.Errorf("J(S) ⪯ B(N) violated by %v", vJ)
+	}
+}
+
+func TestMeetingsCounted(t *testing.T) {
+	p := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	dom := domFor(t, p)
+	initial := lv.State{X0: 8, X1: 5}
+	c, err := New(p, initial, dom, initial.Min(), rng.New(131))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meetings() != 1 {
+		t.Errorf("initial meetings = %d, want 1 (τ(1) = 0)", c.Meetings())
+	}
+	for i := 0; i < 500; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Steps() != 500 {
+		t.Errorf("steps = %d, want 500", c.Steps())
+	}
+	if c.Meetings() < 1 {
+		t.Error("meetings vanished")
+	}
+}

@@ -1,0 +1,78 @@
+package crn
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// lvBenchNetwork builds the two-species NSD Lotka–Volterra network used to
+// compare the three simulation methods on identical dynamics.
+func lvBenchNetwork(b *testing.B) *Network {
+	b.Helper()
+	net, err := NewNetwork("X0", "X1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := Species(0); i < 2; i++ {
+		other := 1 - i
+		net.MustAddReaction(Reaction{Reactants: []Species{i}, Products: []Species{i, i}, Rate: 1})
+		net.MustAddReaction(Reaction{Reactants: []Species{i}, Rate: 1})
+		net.MustAddReaction(Reaction{Reactants: []Species{i, other}, Products: []Species{i}, Rate: 1})
+	}
+	return net
+}
+
+// BenchmarkDirectMethod measures the Gillespie direct method on a full
+// LV consensus run (ablation baseline for the simulator design choices).
+func BenchmarkDirectMethod(b *testing.B) {
+	net := lvBenchNetwork(b)
+	src := rng.New(1)
+	stop := func(state []int) bool { return state[0] == 0 || state[1] == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(net, []int{600, 400}, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.RunTime(stop, 0, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNextReactionMethod measures the Gibson–Bruck simulator on the
+// same dynamics.
+func BenchmarkNextReactionMethod(b *testing.B) {
+	net := lvBenchNetwork(b)
+	src := rng.New(1)
+	stop := func(state []int) bool { return state[0] == 0 || state[1] == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewNRMSimulator(net, []int{600, 400}, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(stop, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTauLeaping measures the approximate tau-leaping simulator on the
+// same dynamics.
+func BenchmarkTauLeaping(b *testing.B) {
+	net := lvBenchNetwork(b)
+	src := rng.New(1)
+	stop := func(state []int) bool { return state[0] == 0 || state[1] == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewLeapSimulator(net, []int{600, 400}, src, LeapOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.RunLeap(stop, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

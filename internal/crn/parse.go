@@ -1,0 +1,278 @@
+package crn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small text format for reaction networks so that
+// networks can be stored in files, embedded in documentation, and fed to
+// the cmd/crnrun tool. The grammar, line by line:
+//
+//	# comment                                 (also allowed after any line)
+//	species: X0 X1 R                          (optional, at most once, first)
+//	reactants -> products @ rate
+//
+// Each side of a reaction is a "+"-separated list of species terms; a term
+// is a species name optionally preceded by an integer stoichiometric
+// coefficient ("2 X0" means X0 + X0). The empty multiset is written "0" or
+// "∅". Examples, defining the paper's self-destructive LV model (1):
+//
+//	species: X0 X1
+//	X0 -> 2 X0 @ 1        # birth
+//	X0 -> 0 @ 1           # death
+//	X0 + X1 -> 0 @ 0.5    # interspecific competition, both die
+//
+// Without a species directive, species are numbered in order of first
+// appearance. With one, referencing an undeclared species is an error,
+// which catches typos in larger models.
+
+// ParseError reports a syntax or validation error in the network text
+// format, with the 1-based line it occurred on.
+type ParseError struct {
+	// Line is the 1-based line number.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("crn: line %d: %s", e.Line, e.Msg)
+}
+
+// parsedReaction is one reaction line after lexing, before species
+// resolution.
+type parsedReaction struct {
+	line      int
+	reactants []string
+	products  []string
+	rate      float64
+}
+
+// Parse reads a network from its text representation. See the format
+// description above; Format is its inverse.
+func Parse(text string) (*Network, error) {
+	var (
+		declared  []string
+		haveDecl  bool
+		order     []string
+		seen      = map[string]bool{}
+		reactions []parsedReaction
+	)
+	note := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	for i, raw := range strings.Split(text, "\n") {
+		line := i + 1
+		content := raw
+		if idx := strings.Index(content, "#"); idx >= 0 {
+			content = content[:idx]
+		}
+		content = strings.TrimSpace(content)
+		if content == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(content, "species:"); ok {
+			if haveDecl {
+				return nil, &ParseError{line, "duplicate species directive"}
+			}
+			if len(reactions) > 0 {
+				return nil, &ParseError{line, "species directive must precede all reactions"}
+			}
+			haveDecl = true
+			declared = strings.Fields(name)
+			if len(declared) == 0 {
+				return nil, &ParseError{line, "species directive declares no species"}
+			}
+			for _, s := range declared {
+				if err := checkSpeciesName(s); err != nil {
+					return nil, &ParseError{line, err.Error()}
+				}
+				if seen[s] {
+					return nil, &ParseError{line, fmt.Sprintf("duplicate species %q", s)}
+				}
+				note(s)
+			}
+			continue
+		}
+		lhs, rest, ok := strings.Cut(content, "->")
+		if !ok {
+			return nil, &ParseError{line, "expected 'reactants -> products @ rate'"}
+		}
+		rhs, rateText, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, &ParseError{line, "missing '@ rate'"}
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateText), 64)
+		if err != nil {
+			return nil, &ParseError{line, fmt.Sprintf("bad rate %q", strings.TrimSpace(rateText))}
+		}
+		if rate < 0 || rate != rate || rate > 1e300 {
+			return nil, &ParseError{line, fmt.Sprintf("rate %v out of range", rate)}
+		}
+		reactants, err := parseSide(lhs)
+		if err != nil {
+			return nil, &ParseError{line, "reactants: " + err.Error()}
+		}
+		products, err := parseSide(rhs)
+		if err != nil {
+			return nil, &ParseError{line, "products: " + err.Error()}
+		}
+		if len(reactants) > MaxReactants {
+			return nil, &ParseError{line, fmt.Sprintf("%d reactants, max %d", len(reactants), MaxReactants)}
+		}
+		for _, s := range append(append([]string{}, reactants...), products...) {
+			if haveDecl && !seen[s] {
+				return nil, &ParseError{line, fmt.Sprintf("undeclared species %q", s)}
+			}
+			note(s)
+		}
+		reactions = append(reactions, parsedReaction{
+			line: line, reactants: reactants, products: products, rate: rate,
+		})
+	}
+	if len(order) == 0 {
+		return nil, &ParseError{1, "network defines no species"}
+	}
+	net, err := NewNetwork(order...)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range reactions {
+		r := Reaction{Rate: pr.rate}
+		for _, name := range pr.reactants {
+			s, err := net.SpeciesByName(name)
+			if err != nil {
+				return nil, &ParseError{pr.line, err.Error()}
+			}
+			r.Reactants = append(r.Reactants, s)
+		}
+		for _, name := range pr.products {
+			s, err := net.SpeciesByName(name)
+			if err != nil {
+				return nil, &ParseError{pr.line, err.Error()}
+			}
+			r.Products = append(r.Products, s)
+		}
+		if err := net.AddReaction(r); err != nil {
+			return nil, &ParseError{pr.line, err.Error()}
+		}
+	}
+	return net, nil
+}
+
+// parseSide expands one side of a reaction into a species-name multiset.
+func parseSide(side string) ([]string, error) {
+	side = strings.TrimSpace(side)
+	if side == "" {
+		return nil, fmt.Errorf("empty side; write 0 or ∅ for the empty multiset")
+	}
+	terms := strings.Split(side, "+")
+	if len(terms) == 1 {
+		t := strings.TrimSpace(terms[0])
+		if t == "0" || t == "∅" {
+			return nil, nil
+		}
+	}
+	var names []string
+	for _, term := range terms {
+		fields := strings.Fields(term)
+		switch len(fields) {
+		case 0:
+			return nil, fmt.Errorf("empty term in %q", side)
+		case 1:
+			name := fields[0]
+			// Compact coefficient form "2X0".
+			digits := 0
+			for digits < len(name) && name[digits] >= '0' && name[digits] <= '9' {
+				digits++
+			}
+			if digits > 0 && digits < len(name) {
+				coeff, err := strconv.Atoi(name[:digits])
+				if err != nil || coeff < 1 {
+					return nil, fmt.Errorf("bad coefficient in %q", name)
+				}
+				rest := name[digits:]
+				if err := checkSpeciesName(rest); err != nil {
+					return nil, err
+				}
+				for i := 0; i < coeff; i++ {
+					names = append(names, rest)
+				}
+				continue
+			}
+			if err := checkSpeciesName(name); err != nil {
+				return nil, err
+			}
+			names = append(names, name)
+		case 2:
+			coeff, err := strconv.Atoi(fields[0])
+			if err != nil || coeff < 1 {
+				return nil, fmt.Errorf("bad coefficient %q", fields[0])
+			}
+			if err := checkSpeciesName(fields[1]); err != nil {
+				return nil, err
+			}
+			for i := 0; i < coeff; i++ {
+				names = append(names, fields[1])
+			}
+		default:
+			return nil, fmt.Errorf("cannot parse term %q", strings.TrimSpace(term))
+		}
+	}
+	return names, nil
+}
+
+// checkSpeciesName validates a species identifier: it must start with a
+// letter or underscore and continue with letters, digits, or underscores.
+func checkSpeciesName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty species name")
+	}
+	for i, r := range name {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("species name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("species name %q contains %q", name, r)
+		}
+	}
+	return nil
+}
+
+// Format renders the network in the text format accepted by Parse, starting
+// with an explicit species directive so that species indexes round-trip.
+// Custom reaction names are not part of the format and are not preserved.
+func Format(n *Network) string {
+	var b strings.Builder
+	b.WriteString("species:")
+	for _, name := range n.speciesNames {
+		b.WriteByte(' ')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	formatSide := func(ss []Species) string {
+		if len(ss) == 0 {
+			return "0"
+		}
+		parts := make([]string, len(ss))
+		for i, s := range ss {
+			parts[i] = n.SpeciesName(s)
+		}
+		return strings.Join(parts, " + ")
+	}
+	for _, r := range n.reactions {
+		fmt.Fprintf(&b, "%s -> %s @ %s\n",
+			formatSide(r.Reactants), formatSide(r.Products),
+			strconv.FormatFloat(r.Rate, 'g', -1, 64))
+	}
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package crn_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/crn"
+)
+
+// Networks round-trip through the text format: Parse reads the DSL and
+// Format writes it back with a pinned species order.
+func ExampleParse() {
+	net, err := crn.Parse(`
+# Self-destructive Lotka-Volterra competition, one direction.
+X0 -> 2 X0 @ 1
+X0 + X1 -> 0 @ 0.5
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(crn.Format(net))
+	// Output:
+	// species: X0 X1
+	// X0 -> X0 + X0 @ 1
+	// X0 + X1 -> 0 @ 0.5
+}

@@ -1,0 +1,44 @@
+package crn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the parser. It must never panic; when
+// it accepts an input, the parsed network must survive a Format/Parse round
+// trip with identical species, stoichiometry, and rates.
+func FuzzParse(f *testing.F) {
+	f.Add("species: X0 X1\nX0 + X1 -> 0 @ 0.5\n")
+	f.Add("A -> 2 A @ 1\nA -> 0 @ 1.5 # death\n")
+	f.Add("2X -> X @ 3\n∅ -> X @ 1\n")
+	f.Add("species:\n")
+	f.Add("X @ ->")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		net, err := Parse(text)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(net))
+		if err != nil {
+			t.Fatalf("round trip rejected accepted network: %v\ninput: %q\nformatted:\n%s",
+				err, text, Format(net))
+		}
+		if back.NumSpecies() != net.NumSpecies() || back.NumReactions() != net.NumReactions() {
+			t.Fatalf("round trip changed shape for %q", text)
+		}
+		for i := 0; i < net.NumSpecies(); i++ {
+			if net.SpeciesName(Species(i)) != back.SpeciesName(Species(i)) {
+				t.Fatalf("round trip renamed species %d for %q", i, text)
+			}
+		}
+		for r := 0; r < net.NumReactions(); r++ {
+			a, b := net.Reaction(r), back.Reaction(r)
+			if !reflect.DeepEqual(a.Reactants, b.Reactants) ||
+				!reflect.DeepEqual(a.Products, b.Products) || a.Rate != b.Rate {
+				t.Fatalf("round trip changed reaction %d for %q", r, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package crn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lvmajority/internal/rng"
+)
+
+// ErrExhausted reports that the chain reached a state with zero total
+// propensity (every reaction channel is dead), so no further event can occur.
+var ErrExhausted = errors.New("crn: zero total propensity, chain is absorbed")
+
+// Simulator runs exact stochastic simulation of a Network. It implements
+// both the discrete-time jump chain (Step) and Gillespie's direct method in
+// continuous time (StepTime). A Simulator is not safe for concurrent use.
+type Simulator struct {
+	net   *Network
+	state []int
+	src   *rng.Source
+
+	time  float64
+	steps int
+
+	// props is scratch space for per-reaction propensities.
+	props []float64
+}
+
+// NewSimulator creates a simulator over net starting from the given initial
+// state, drawing randomness from src. The initial state is copied. It
+// returns an error on length mismatch or negative counts.
+func NewSimulator(net *Network, initial []int, src *rng.Source) (*Simulator, error) {
+	if len(initial) != net.NumSpecies() {
+		return nil, fmt.Errorf("crn: initial state has %d species, network has %d", len(initial), net.NumSpecies())
+	}
+	for i, x := range initial {
+		if x < 0 {
+			return nil, fmt.Errorf("crn: negative initial count %d for species %s", x, net.SpeciesName(Species(i)))
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("crn: nil random source")
+	}
+	state := make([]int, len(initial))
+	copy(state, initial)
+	return &Simulator{
+		net:   net,
+		state: state,
+		src:   src,
+		props: make([]float64, net.NumReactions()),
+	}, nil
+}
+
+// State returns the current state. The returned slice is a copy.
+func (sim *Simulator) State() []int {
+	out := make([]int, len(sim.state))
+	copy(out, sim.state)
+	return out
+}
+
+// Count returns the current count of species s.
+func (sim *Simulator) Count(s Species) int { return sim.state[s] }
+
+// Time returns the accumulated continuous time (advanced only by StepTime).
+func (sim *Simulator) Time() float64 { return sim.time }
+
+// Steps returns the number of reactions fired so far.
+func (sim *Simulator) Steps() int { return sim.steps }
+
+// pick samples the next reaction index proportionally to propensity, or
+// returns ErrExhausted when the total propensity is zero. It also returns
+// the total propensity for holding-time draws.
+func (sim *Simulator) pick() (int, float64, error) {
+	var total float64
+	for r := range sim.props {
+		p := sim.net.Propensity(r, sim.state)
+		sim.props[r] = p
+		total += p
+	}
+	if total <= 0 {
+		return 0, 0, ErrExhausted
+	}
+	u := sim.src.Float64() * total
+	acc := 0.0
+	last := 0
+	for r, p := range sim.props {
+		if p == 0 {
+			continue
+		}
+		acc += p
+		last = r
+		if u < acc {
+			return r, total, nil
+		}
+	}
+	// Floating-point slack: u landed within rounding of the total.
+	return last, total, nil
+}
+
+// Step advances the discrete-time jump chain by one reaction and returns the
+// index of the fired reaction. It returns ErrExhausted when the chain is
+// absorbed.
+func (sim *Simulator) Step() (int, error) {
+	r, _, err := sim.pick()
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.net.Apply(r, sim.state); err != nil {
+		// Unreachable for mass-action propensities: a reaction with
+		// insufficient reactants has zero propensity and cannot be
+		// picked.
+		return 0, err
+	}
+	sim.steps++
+	return r, nil
+}
+
+// StepTime advances the continuous-time chain by one reaction: it draws an
+// exponential holding time at the total-propensity rate, then fires a
+// reaction chosen by the direct method. It returns the fired reaction index
+// and the holding time.
+func (sim *Simulator) StepTime() (reaction int, hold float64, err error) {
+	r, total, err := sim.pick()
+	if err != nil {
+		return 0, 0, err
+	}
+	hold = sim.src.Exp(total)
+	if err := sim.net.Apply(r, sim.state); err != nil {
+		return 0, 0, err
+	}
+	sim.steps++
+	sim.time += hold
+	return r, hold, nil
+}
+
+// RunResult summarizes a Run invocation.
+type RunResult struct {
+	// Steps is the number of reactions fired during this Run call.
+	Steps int
+	// Absorbed reports whether the chain hit zero total propensity.
+	Absorbed bool
+	// Stopped reports whether the stop predicate ended the run.
+	Stopped bool
+}
+
+// Run fires jump-chain steps until the stop predicate returns true, the
+// chain is absorbed, or maxSteps reactions have fired (maxSteps <= 0 means
+// no limit). The predicate sees the live state slice and must not modify or
+// retain it. onEvent, if non-nil, is invoked with each fired reaction index
+// after it is applied.
+func (sim *Simulator) Run(stop func(state []int) bool, maxSteps int, onEvent func(reaction int)) (RunResult, error) {
+	var res RunResult
+	if stop != nil && stop(sim.state) {
+		res.Stopped = true
+		return res, nil
+	}
+	for maxSteps <= 0 || res.Steps < maxSteps {
+		r, err := sim.Step()
+		if errors.Is(err, ErrExhausted) {
+			res.Absorbed = true
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Steps++
+		if onEvent != nil {
+			onEvent(r)
+		}
+		if stop != nil && stop(sim.state) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// RunTime is Run for the continuous-time chain, stopping additionally when
+// the accumulated time exceeds maxTime (maxTime <= 0 or +Inf means no time
+// limit).
+func (sim *Simulator) RunTime(stop func(state []int) bool, maxTime float64, maxSteps int, onEvent func(reaction int, hold float64)) (RunResult, error) {
+	var res RunResult
+	if maxTime <= 0 {
+		maxTime = math.Inf(1)
+	}
+	if stop != nil && stop(sim.state) {
+		res.Stopped = true
+		return res, nil
+	}
+	for (maxSteps <= 0 || res.Steps < maxSteps) && sim.time < maxTime {
+		r, hold, err := sim.StepTime()
+		if errors.Is(err, ErrExhausted) {
+			res.Absorbed = true
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Steps++
+		if onEvent != nil {
+			onEvent(r, hold)
+		}
+		if stop != nil && stop(sim.state) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/exact"
+	"lvmajority/internal/lv"
+)
+
+// ExampleSolve reproduces the Theorem 20 closed form ρ(a,b) = a/(a+b) for
+// the self-destructive chain with α = γ, using the fair tiebreak at (0,0).
+func ExampleSolve() {
+	params := lv.Params{
+		Beta: 1, Delta: 1,
+		Alpha:       [2]float64{0.5, 0.5}, // total interspecific constant α = 1
+		Gamma:       [2]float64{1, 1},     // γ = 1 = α
+		Competition: lv.SelfDestructive,
+	}
+	sol, err := exact.Solve(params, exact.Options{Max: 60, TieValue: 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	v, err := sol.Rho(10, 5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("rho(10,5) = %.4f (closed form %.4f)\n", v, 10.0/15)
+	// Output:
+	// rho(10,5) = 0.6667 (closed form 0.6667)
+}

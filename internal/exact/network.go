@@ -1,0 +1,145 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"lvmajority/internal/crn"
+)
+
+// SolveNetwork computes the ρ grid (and optionally the expected
+// consensus-time grid) for an arbitrary *two-species* chemical reaction
+// network: ρ(a, b) is the probability that species 0 is the sole survivor
+// of the jump chain started at counts (a, b). It generalizes Solve from
+// the paper's Lotka–Volterra parameterization to any two-species model
+// built on internal/crn — in particular the non-neutral (per-species
+// birth/death) chains of internal/protocols, which gives the Monte-Carlo
+// pipeline for those models a sampling-free oracle.
+//
+// Truncation follows Solve: moves that would push either count above
+// opts.Max are disabled and the jump chain renormalizes over the remaining
+// channels. The double-extinction state (0, 0) takes opts.TieValue.
+// Reactions must change the state (a two-species network with a
+// no-op channel would make the jump chain ill-defined on the grid); such
+// networks are rejected.
+func SolveNetwork(net *crn.Network, opts Options) (*Solution, error) {
+	return solveNetwork(net, opts, false)
+}
+
+// SolveNetworkWithSteps additionally solves the expected consensus-time
+// grid.
+func SolveNetworkWithSteps(net *crn.Network, opts Options) (*Solution, error) {
+	return solveNetwork(net, opts, true)
+}
+
+func solveNetwork(net *crn.Network, opts Options, withSteps bool) (*Solution, error) {
+	if net == nil {
+		return nil, fmt.Errorf("exact: nil network")
+	}
+	if net.NumSpecies() != 2 {
+		return nil, fmt.Errorf("exact: grid solver needs exactly 2 species, network has %d", net.NumSpecies())
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	for r := 0; r < net.NumReactions(); r++ {
+		if net.Delta(r, 0) == 0 && net.Delta(r, 1) == 0 && net.Reaction(r).Rate > 0 {
+			return nil, fmt.Errorf("exact: reaction %q does not change the state", net.Reaction(r).Name)
+		}
+	}
+	m := opts.Max
+
+	sol := &Solution{max: m, tie: opts.TieValue}
+	sol.rho = newGrid(m)
+	for a := 1; a <= m; a++ {
+		sol.rho[a][0] = 1
+	}
+	sol.rho[0][0] = opts.TieValue
+
+	trans := func(dst []transition, a, b int) []transition {
+		return networkTransitionsInto(dst, net, a, b, m)
+	}
+	if err := sweepGrid(sol.rho, m, opts, trans, func(trs []transition, a, b int) (float64, bool) {
+		if len(trs) == 0 {
+			return 0, true
+		}
+		var v float64
+		for _, tr := range trs {
+			v += tr.prob * sol.rho[tr.a2][tr.b2]
+		}
+		return v, true
+	}); err != nil {
+		return nil, err
+	}
+
+	if withSteps {
+		sol.steps = newGrid(m)
+		if err := sweepGrid(sol.steps, m, opts, trans, func(trs []transition, a, b int) (float64, bool) {
+			if len(trs) == 0 {
+				return 0, false
+			}
+			v := 1.0
+			for _, tr := range trs {
+				v += tr.prob * sol.steps[tr.a2][tr.b2]
+			}
+			return v, true
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+// networkTransitionsInto fills dst with the truncated jump-chain
+// transitions of the network from (a, b).
+func networkTransitionsInto(dst []transition, net *crn.Network, a, b, max int) []transition {
+	dst = dst[:0]
+	state := []int{a, b}
+	var total float64
+	for r := 0; r < net.NumReactions(); r++ {
+		v := net.Propensity(r, state)
+		if v <= 0 {
+			continue
+		}
+		a2 := a + net.Delta(r, 0)
+		b2 := b + net.Delta(r, 1)
+		if a2 < 0 || b2 < 0 || a2 > max || b2 > max {
+			continue // impossible or truncated move
+		}
+		dst = append(dst, transition{prob: v, a2: a2, b2: b2})
+		total += v
+	}
+	if total == 0 {
+		return dst[:0]
+	}
+	for i := range dst {
+		dst[i].prob /= total
+	}
+	return dst
+}
+
+// sweepGrid is the Gauss–Seidel iteration shared by the network solver; it
+// mirrors gaussSeidel but takes an explicit transition generator.
+func sweepGrid(grid [][]float64, m int, opts Options, trans func(dst []transition, a, b int) []transition, update func(trs []transition, a, b int) (float64, bool)) error {
+	scratch := make([]transition, 0, 16)
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		var maxDelta float64
+		for a := 1; a <= m; a++ {
+			for b := 1; b <= m; b++ {
+				scratch = trans(scratch, a, b)
+				v, ok := update(scratch, a, b)
+				if !ok {
+					continue
+				}
+				if d := math.Abs(v - grid[a][b]); d > maxDelta {
+					maxDelta = d
+				}
+				grid[a][b] = v
+			}
+		}
+		if maxDelta < opts.Tol {
+			return nil
+		}
+	}
+	return fmt.Errorf("exact: Gauss–Seidel did not converge within %d sweeps", opts.MaxSweeps)
+}

@@ -1,0 +1,179 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/crn"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/protocols"
+)
+
+func TestSolveNetworkValidation(t *testing.T) {
+	if _, err := SolveNetwork(nil, Options{Max: 10}); err == nil {
+		t.Error("nil network accepted")
+	}
+	three, err := crn.NewNetwork("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveNetwork(three, Options{Max: 10}); err == nil {
+		t.Error("3-species network accepted")
+	}
+	two, err := protocols.FromNeutral(lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)).Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveNetwork(two, Options{Max: 0}); err == nil {
+		t.Error("zero ceiling accepted")
+	}
+}
+
+// TestSolveNetworkMatchesSolve is the equivalence check between the two
+// solver front ends: the CRN formulation of the neutral LV chain must yield
+// the same ρ grid as the specialized lv.Params solver, cell by cell.
+func TestSolveNetworkMatchesSolve(t *testing.T) {
+	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
+		params := lv.Neutral(1, 1, 1, 0, comp)
+		const m = 24
+		direct, err := Solve(params, Options{Max: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := protocols.FromNeutral(params).Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaNetwork, err := SolveNetwork(net, Options{Max: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for a := 0; a <= m; a++ {
+			for b := 0; b <= m; b++ {
+				v1, err1 := direct.Rho(a, b)
+				v2, err2 := viaNetwork.Rho(a, b)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if d := math.Abs(v1 - v2); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > 1e-9 {
+			t.Errorf("%s: solvers disagree by %v", comp, worst)
+		}
+	}
+}
+
+// TestSolveNetworkNonNeutralVsMonteCarlo validates the general solver in a
+// regime the lv.Params front end cannot express: per-species birth rates.
+func TestSolveNetworkNonNeutralVsMonteCarlo(t *testing.T) {
+	params := protocols.FromNeutral(lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive))
+	params.Beta[1] = 2 // minority reproduces twice as fast
+	net, err := params.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveNetwork(net, Options{Max: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start (14, 10): n = 24, delta = 4 on the protocol's grid.
+	exactRho, err := sol.Rho(14, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := consensus.EstimateWinProbability(
+		&protocols.GeneralLVProtocol{Params: params}, 24, 4,
+		consensus.EstimateOptions{Trials: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactRho < est.Lo || exactRho > est.Hi {
+		t.Errorf("exact rho %.4f outside MC CI [%.4f, %.4f]", exactRho, est.Lo, est.Hi)
+	}
+	// The fitness handicap must show: rho below the neutral value at the
+	// same state.
+	neutralNet, err := protocols.FromNeutral(lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive)).Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutralSol, err := SolveNetwork(neutralNet, Options{Max: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutralRho, err := neutralSol.Rho(14, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactRho >= neutralRho {
+		t.Errorf("minority fitness advantage did not lower rho: %.4f vs neutral %.4f", exactRho, neutralRho)
+	}
+}
+
+// TestSolveNetworkMonotone checks structural sanity of the solved grid:
+// with positive competition, ρ is nondecreasing in a and nonincreasing in b.
+func TestSolveNetworkMonotone(t *testing.T) {
+	net, err := protocols.FromNeutral(lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)).Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveNetwork(net, Options{Max: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-9
+	for a := 1; a < 20; a++ {
+		for b := 1; b < 20; b++ {
+			cur, _ := sol.Rho(a, b)
+			upA, _ := sol.Rho(a+1, b)
+			upB, _ := sol.Rho(a, b+1)
+			if upA < cur-eps {
+				t.Fatalf("rho decreasing in a at (%d, %d): %v -> %v", a, b, cur, upA)
+			}
+			if upB > cur+eps {
+				t.Fatalf("rho increasing in b at (%d, %d): %v -> %v", a, b, cur, upB)
+			}
+		}
+	}
+}
+
+// TestSolveNetworkWithSteps sanity-checks the expected consensus times of
+// the general solver against the drift picture: more competition means
+// faster consensus.
+func TestSolveNetworkWithSteps(t *testing.T) {
+	strong := protocols.FromNeutral(lv.Neutral(1, 1, 4, 0, lv.SelfDestructive))
+	weak := protocols.FromNeutral(lv.Neutral(1, 1, 0.5, 0, lv.SelfDestructive))
+	solve := func(p protocols.GeneralLVParams) float64 {
+		t.Helper()
+		net, err := p.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveNetworkWithSteps(net, Options{Max: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := sol.Steps(12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if fast, slow := solve(strong), solve(weak); fast >= slow {
+		t.Errorf("stronger competition should reach consensus faster: %v vs %v", fast, slow)
+	}
+}
+
+func TestSolveNetworkRejectsNoOpReaction(t *testing.T) {
+	net, err := crn.Parse("species: X0 X1\nX0 -> X0 @ 1\nX0 + X1 -> 0 @ 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveNetwork(net, Options{Max: 10}); err == nil {
+		t.Error("no-op reaction accepted")
+	}
+}

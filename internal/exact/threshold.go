@@ -1,0 +1,80 @@
+package exact
+
+import (
+	"fmt"
+
+	"lvmajority/internal/lv"
+)
+
+// Threshold computes the exact majority-consensus threshold Ψ(n) for the
+// given chain at total population n: the smallest gap Δ (with n−Δ even and
+// a non-empty minority) such that ρ((n+Δ)/2, (n−Δ)/2) >= target, evaluated
+// on the solved grid with no sampling error. A target of 0 means the
+// paper's 1 − 1/n. It returns found = false when no feasible gap reaches
+// the target.
+//
+// The grid must have been solved with Max >= n (ideally a few times larger
+// so truncation is negligible); Threshold returns an error otherwise.
+func (s *Solution) Threshold(n int, target float64) (threshold int, found bool, err error) {
+	if n < 3 {
+		return 0, false, fmt.Errorf("exact: population %d too small for a threshold", n)
+	}
+	if n > s.max {
+		return 0, false, fmt.Errorf("exact: population %d beyond the solved grid %d", n, s.max)
+	}
+	if target <= 0 {
+		target = 1 - 1/float64(n)
+	}
+	if target >= 1 {
+		return 0, false, fmt.Errorf("exact: unreachable target %v", target)
+	}
+	start := n % 2 // smallest gap with matching parity
+	if start == 0 {
+		start = 2 // gap 0 defines no majority
+	}
+	for delta := start; delta <= n-2; delta += 2 {
+		a := (n + delta) / 2
+		b := n - a
+		rho, err := s.Rho(a, b)
+		if err != nil {
+			return 0, false, err
+		}
+		if rho >= target {
+			return delta, true, nil
+		}
+	}
+	return -1, false, nil
+}
+
+// ThresholdCurve computes exact thresholds for each population size using a
+// single solved grid sized to the largest n.
+func ThresholdCurve(params lv.Params, ns []int, target float64, opts Options) (map[int]int, error) {
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("exact: empty population list")
+	}
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if opts.Max < maxN {
+		opts.Max = 3 * maxN
+	}
+	sol, err := Solve(params, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, len(ns))
+	for _, n := range ns {
+		thr, found, err := sol.Threshold(n, target)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			thr = -1
+		}
+		out[n] = thr
+	}
+	return out, nil
+}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"lvmajority/internal/protocols"
+	"lvmajority/internal/rng"
+)
+
+// choAdapter is the Cho et al. model (δ = 0, self-destructive LV) with unit
+// rates, as a consensus.Protocol.
+type choAdapter struct{}
+
+// Name implements consensus.Protocol.
+func (choAdapter) Name() string { return "Cho et al. (delta=0, SD LV)" }
+
+// Trial implements consensus.Protocol.
+func (choAdapter) Trial(n, delta int, src *rng.Source) (bool, error) {
+	return protocols.NewChoProtocol(1, 1).Trial(n, delta, src)
+}
+
+// andaurAdapter is the Andaur et al. resource-consumer reconstruction with
+// the resource capacity tied to the population size (resources scale with
+// the experiment, matching their thermodynamically sensible regime).
+type andaurAdapter struct{}
+
+// Name implements consensus.Protocol.
+func (andaurAdapter) Name() string { return "Andaur et al. (bounded growth, NSD)" }
+
+// Trial implements consensus.Protocol.
+func (andaurAdapter) Trial(n, delta int, src *rng.Source) (bool, error) {
+	p := protocols.AndaurProtocol{Beta: 1, Alpha: 1, ResourceCap: n}
+	return p.Trial(n, delta, src)
+}

@@ -1,0 +1,227 @@
+// Package experiment implements the reproduction harness: one registered
+// experiment per paper artifact (the six rows of Table 1) plus one per
+// load-bearing theorem or lemma, as indexed in DESIGN.md §3. Each experiment
+// produces tables whose rows mirror what the paper reports, at two effort
+// levels (quick for CI/benchmarks, full for the record in EXPERIMENTS.md).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed determines all randomness; runs are reproducible per seed.
+	Seed uint64
+	// Workers is the parallel worker count; zero uses GOMAXPROCS.
+	Workers int
+	// Full selects the heavier parameter grids used for the recorded
+	// results; the default (quick) grids keep every experiment in the
+	// tens-of-seconds range.
+	Full bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "T1-SD").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper artifact the experiment reproduces.
+	Artifact string
+	// Run executes the experiment and returns its tables.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+// registry returns all experiments in presentation order. A function rather
+// than a package-level variable keeps the package free of mutable globals.
+func registry() []Experiment {
+	return []Experiment{
+		{
+			ID:       "T1-SD",
+			Title:    "Threshold scaling, self-destructive interspecific competition",
+			Artifact: "Table 1 row 1 (SD); Theorems 14 and 17",
+			Run:      runTable1SD,
+		},
+		{
+			ID:       "T1-NSD",
+			Title:    "Threshold scaling, non-self-destructive interspecific competition",
+			Artifact: "Table 1 row 1 (NSD); Theorems 18 and 19",
+			Run:      runTable1NSD,
+		},
+		{
+			ID:       "T1-BOTH",
+			Title:    "Inter- and intraspecific competition: exact rho = a/(a+b)",
+			Artifact: "Table 1 row 2; Theorems 20 and 23",
+			Run:      runTable1Both,
+		},
+		{
+			ID:       "T1-INTRA",
+			Title:    "Intraspecific competition only: no threshold exists",
+			Artifact: "Table 1 row 3; Theorem 25",
+			Run:      runTable1Intra,
+		},
+		{
+			ID:       "T1-CHO",
+			Title:    "delta = 0 special cases (Cho et al., Andaur et al.)",
+			Artifact: "Table 1 row 4; Section 2.2",
+			Run:      runTable1Cho,
+		},
+		{
+			ID:       "T1-NONE",
+			Title:    "No competition: rho = a/(a+b), threshold n-2",
+			Artifact: "Table 1 row 5",
+			Run:      runTable1None,
+		},
+		{
+			ID:       "E-SEP",
+			Title:    "Exponential SD vs NSD separation at fixed n",
+			Artifact: "Section 1.4 headline comparison",
+			Run:      runSeparation,
+		},
+		{
+			ID:       "E-TIME",
+			Title:    "Consensus time T(S) = O(n)",
+			Artifact: "Theorem 13(a)",
+			Run:      runConsensusTime,
+		},
+		{
+			ID:       "E-BAD",
+			Title:    "Bad non-competitive events J(S): O(log n) mean, O(log^2 n) whp",
+			Artifact: "Theorem 13(b)",
+			Run:      runBadEvents,
+		},
+		{
+			ID:       "E-NICE",
+			Title:    "Nice single-species chains: extinction Theta(n), births O(log n)",
+			Artifact: "Lemmas 5-8",
+			Run:      runNiceChain,
+		},
+		{
+			ID:       "E-DOM",
+			Title:    "Chain domination: T(S) <= E(N), J(S) <= B(N) stochastically",
+			Artifact: "Lemmas 9-12 (pseudo-coupling)",
+			Run:      runDomination,
+		},
+		{
+			ID:       "E-ODE",
+			Title:    "Deterministic ODE vs stochastic finite-n behaviour",
+			Artifact: "Section 2.1, Eq. (4)",
+			Run:      runODEComparison,
+		},
+		{
+			ID:       "E-BASE",
+			Title:    "Baseline protocols at matched population size",
+			Artifact: "Section 2.2 related-work comparison",
+			Run:      runBaselines,
+		},
+		{
+			ID:       "E-ASYM",
+			Title:    "Asymmetric competition: minority as the better competitor",
+			Artifact: "Theorem 18 (allows alpha0 != alpha1)",
+			Run:      runAsymmetric,
+		},
+		{
+			ID:       "E-EXACT",
+			Title:    "Closed form vs exact grid solver vs Monte Carlo",
+			Artifact: "Eq. (8) recurrence; Theorems 20 and 23",
+			Run:      runExactSolver,
+		},
+		{
+			ID:       "E-NOISE",
+			Title:    "Demographic noise decomposition F = F_ind + F_comp",
+			Artifact: "Section 1.5 (technique overview)",
+			Run:      runNoiseDecomposition,
+		},
+		{
+			ID:       "E-GAMMA",
+			Title:    "Threshold transition as gamma -> 0 (open problem)",
+			Artifact: "Section 1.6 open problems",
+			Run:      runGammaTransition,
+		},
+		{
+			ID:       "E-SPATIAL",
+			Title:    "Spatial (deme-structured) extension of the SD amplifier",
+			Artifact: "Sections 1.6-1.7 future work (explicit spatial dynamics)",
+			Run:      runSpatial,
+		},
+		{
+			ID:       "E-PLURAL",
+			Title:    "k-species plurality consensus generalization",
+			Artifact: "Section 2.2 (plurality consensus related work); exploration",
+			Run:      runPlurality,
+		},
+		{
+			ID:       "E-GOSSIP",
+			Title:    "Synchronous gossip dynamics thresholds (static population)",
+			Artifact: "Section 2.2 (gossip-model majority consensus [9, 11, 23, 33, 39])",
+			Run:      runGossip,
+		},
+		{
+			ID:       "E-MORAN",
+			Title:    "Moran process vs exact fixation probability",
+			Artifact: "Static-population baseline; mirrors Theorems 20/23 (rho = a/(a+b))",
+			Run:      runMoran,
+		},
+		{
+			ID:       "E-EXPLOIT",
+			Title:    "Exploitative (resource-consumer) competition chemostat",
+			Artifact: "Section 1.6 future work (exploitative competition)",
+			Run:      runExploit,
+		},
+		{
+			ID:       "E-DIFF",
+			Title:    "Diffusion approximation of rho from the noise decomposition",
+			Artifact: "Section 1.5 (F = F_ind + F_comp); quantitative model",
+			Run:      runDiffusion,
+		},
+		{
+			ID:       "E-FITNESS",
+			Title:    "Non-neutral birth rates: selection vs the majority signal",
+			Artifact: "Section 1.7 neutrality assumption; ablation",
+			Run:      runFitness,
+		},
+	}
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Experiment { return registry() }
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	exps := registry()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+}

@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"lvmajority/internal/approx"
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/exploit"
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/moran"
+	"lvmajority/internal/protocols"
+	"lvmajority/internal/rng"
+)
+
+// runGossip (E-GOSSIP) measures the gap thresholds of the classic
+// synchronous gossip dynamics the paper's related work surveys (§2.2):
+// two-choices, 3-majority, and the undecided-state dynamics all sit at the
+// Θ(√(n log n)) scale — the same scale as the paper's *non*-self-destructive
+// LV protocols — while the driftless voter model, like the paper's
+// no-competition regime, amplifies only linearly (win probability a/n).
+func runGossip(cfg Config) ([]*Table, error) {
+	shapes, order := nsdShapes()
+	var tables []*Table
+	for _, d := range []gossip.Dynamics{gossip.TwoChoices{}, gossip.ThreeMajority{}, gossip.Undecided{}} {
+		points, tbl, err := thresholdCurve(cfg, &gossip.Protocol{Dynamics: d},
+			fmt.Sprintf("E-GOSSIP: %s (synchronous, complete graph)", d.Name()),
+			"Static-population gossip dynamics; literature threshold scale Theta(sqrt(n log n)) — "+
+				"thr/sqrt(n log2 n) should stay bounded while thr/log2(n)^2 grows.",
+			shapes, order)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl, fitTable(points, fmt.Sprintf("E-GOSSIP: %s scaling fit", d.Name())))
+	}
+
+	// The voter model has no drift toward the majority: its win
+	// probability is exactly a/n, so no sublinear threshold exists.
+	// Verify the martingale prediction at a modest n (voter consensus
+	// needs Θ(n) rounds, so large n is pointlessly slow here).
+	n := 256
+	trials := 400
+	if cfg.Full {
+		n = 512
+		trials = 1500
+	}
+	voterTbl := &Table{
+		Title: fmt.Sprintf("E-GOSSIP: voter model win probability (n=%d)", n),
+		Caption: "Driftless baseline: rho = a/n exactly (martingale), mirroring the paper's " +
+			"no-competition LV regime. The CI must cover a/n for every gap.",
+		Columns: []string{"gap", "a/n", "rho estimate", "CI lo", "CI hi", "covers"},
+	}
+	for _, frac := range []float64{0.125, 0.25, 0.5} {
+		delta := consensus.MatchParity(n, int(frac*float64(n)))
+		est, err := consensus.EstimateWinProbability(&gossip.Protocol{Dynamics: gossip.Voter{}}, n, delta,
+			consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Seed: cfg.Seed + uint64(delta)})
+		if err != nil {
+			return nil, err
+		}
+		exactRho := (float64(n) + float64(delta)) / 2 / float64(n)
+		voterTbl.AddRow(delta, exactRho, est.P(), est.Lo, est.Hi, est.Lo <= exactRho && exactRho <= est.Hi)
+		cfg.logf("E-GOSSIP voter delta=%d rho=%.4f exact=%.4f", delta, est.P(), exactRho)
+	}
+	return append(tables, voterTbl), nil
+}
+
+// runMoran (E-MORAN) validates the Moran-process baseline against its exact
+// fixation formula ρ = (1 − r^−a)/(1 − r^−n), including the neutral a/n
+// case that also governs the paper's no-competition and balanced-
+// competition LV regimes (Table 1 rows 2 and 5, Theorems 20/23).
+func runMoran(cfg Config) ([]*Table, error) {
+	ns := []int{64, 256}
+	trials := 1500
+	if cfg.Full {
+		ns = []int{64, 256, 1024}
+		trials = 5000
+	}
+	tbl := &Table{
+		Title: "E-MORAN: Moran process vs exact fixation probability",
+		Caption: "Static-population birth-death baseline. MC estimates must cover the closed form; " +
+			"with r = 1 the process matches the paper's rho = a/(a+b) regimes, so majority consensus " +
+			"needs a linear gap. A small fitness advantage (r > 1) changes the picture qualitatively.",
+		Columns: []string{"n", "gap", "fitness r", "exact rho", "rho estimate", "CI lo", "CI hi", "covers"},
+	}
+	for _, n := range ns {
+		for _, r := range []float64{1, 1.05} {
+			for _, frac := range []float64{0.0625, 0.25} {
+				delta := consensus.MatchParity(n, int(frac*float64(n)))
+				a := n - (n-delta)/2
+				exact := moran.FixationProbability(r, n, a)
+				est, err := consensus.EstimateWinProbability(&moran.Protocol{Fitness: r}, n, delta,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(),
+						Seed: cfg.Seed + uint64(n)*31 + uint64(delta)})
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(n, delta, r, exact, est.P(), est.Lo, est.Hi,
+					est.Lo <= exact && exact <= est.Hi)
+				cfg.logf("E-MORAN n=%d delta=%d r=%g rho=%.4f exact=%.4f", n, delta, r, est.P(), exact)
+			}
+		}
+	}
+	return []*Table{tbl}, nil
+}
+
+// runExploit (E-EXPLOIT) probes the future-work direction of §1.6:
+// exploitative (resource-consumer) competition. Two species sharing a
+// chemostat resource exclude each other only by neutral drift — a weak,
+// voter-like amplifier — while layering interference competition on top
+// restores the strong thresholds of the paper's models.
+func runExploit(cfg Config) ([]*Table, error) {
+	capacity := 90
+	trials := 400
+	if cfg.Full {
+		capacity = 180
+		trials = 1500
+	}
+	base := exploit.Params{
+		Lambda: float64(capacity) + 10, Mu: 1, Beta: 0.1, Delta: 1, R0: 10,
+	}
+	mixedSD := base
+	mixedSD.Alpha = [2]float64{0.5, 0.5}
+	mixedSD.Competition = lv.SelfDestructive
+	mixedNSD := base
+	mixedNSD.Alpha = [2]float64{0.5, 0.5}
+	mixedNSD.Competition = lv.NonSelfDestructive
+
+	tbl := &Table{
+		Title: fmt.Sprintf("E-EXPLOIT: exploitative vs interference competition (carrying capacity %d)", capacity),
+		Caption: "Chemostat model: inflow lambda, dilution mu, consumption-driven birth beta, death delta. " +
+			"Pure exploitative competition amplifies weakly (voter-like); adding interference recovers " +
+			"strong majority consensus at the same gaps.",
+		Columns: []string{"competition", "n", "gap", "rho", "CI lo", "CI hi"},
+	}
+	n := capacity
+	logGap := consensus.MatchParity(n, int(consensus.ShapeLog2(float64(n))/2))
+	sqrtGap := consensus.MatchParity(n, int(2*consensus.ShapeSqrt(float64(n))))
+	linGap := consensus.MatchParity(n, n/3)
+	for _, tc := range []struct {
+		name   string
+		params exploit.Params
+	}{
+		{"exploitative only", base},
+		{"exploitative + SD interference", mixedSD},
+		{"exploitative + NSD interference", mixedNSD},
+	} {
+		for _, gap := range []int{logGap, sqrtGap, linGap} {
+			est, err := consensus.EstimateWinProbability(&exploit.Protocol{Params: tc.params}, n, gap,
+				consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(),
+					Seed: cfg.Seed + uint64(gap)*131})
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(tc.name, n, gap, est.P(), est.Lo, est.Hi)
+			cfg.logf("E-EXPLOIT %s gap=%d rho=%.4f", tc.name, gap, est.P())
+		}
+	}
+	return []*Table{tbl}, nil
+}
+
+// runDiffusion (E-DIFF) tests the one-parameter diffusion approximation of
+// §1.5's noise decomposition: calibrate σ = sd(F) from tie-start pilots,
+// then predict the whole ρ(Δ) curve as Φ(Δ/σ) and compare against direct
+// Monte-Carlo estimates. Accuracy here is evidence that the paper's
+// noise-accounting picture is not just an upper-bound device but the
+// actual mechanism.
+func runDiffusion(cfg Config) ([]*Table, error) {
+	ns := []int{512, 2048}
+	pilots := 400
+	trials := 1500
+	if cfg.Full {
+		ns = []int{512, 2048, 8192}
+		pilots = 2000
+		trials = 6000
+	}
+	tbl := &Table{
+		Title: "E-DIFF: diffusion approximation rho(gap) = Phi(gap/sigma) vs Monte Carlo",
+		Caption: "sigma calibrated as sd(F) from tie-start pilot runs (F = F_ind + F_comp, §1.5). " +
+			"SD sigma is polylog, NSD sigma is sqrt(n)-scale; predictions should track measurements " +
+			"to within a few percentage points.",
+		Columns: []string{"model", "n", "sigma", "gap", "predicted rho", "measured rho", "abs err"},
+	}
+	var worst float64
+	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
+		params := lv.Neutral(1, 1, 1, 0, comp)
+		for _, n := range ns {
+			src := rng.New(cfg.Seed + uint64(n) + uint64(comp)<<40)
+			model, err := approx.Calibrate(params, n, src, approx.CalibrateOptions{Pilots: pilots})
+			if err != nil {
+				return nil, err
+			}
+			proto := &consensus.LVProtocol{Params: params}
+			for _, mult := range []float64{0.5, 1, 2} {
+				delta := consensus.MatchParity(n, int(math.Max(1, model.Sigma*mult)))
+				est, err := consensus.EstimateWinProbability(proto, n, delta,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(),
+						Seed: cfg.Seed + uint64(n)*7 + uint64(delta)})
+				if err != nil {
+					return nil, err
+				}
+				pred := model.Rho(float64(delta))
+				errAbs := math.Abs(pred - est.P())
+				if errAbs > worst {
+					worst = errAbs
+				}
+				tbl.AddRow(comp.String(), n, model.Sigma, delta, pred, est.P(), errAbs)
+				cfg.logf("E-DIFF %v n=%d sigma=%.2f delta=%d pred=%.4f meas=%.4f",
+					comp, n, model.Sigma, delta, pred, est.P())
+			}
+		}
+	}
+	summary := &Table{
+		Title:   "E-DIFF: worst-case prediction error",
+		Caption: "Largest |predicted − measured| across all probed (model, n, gap) cells.",
+		Columns: []string{"max abs err"},
+	}
+	summary.AddRow(worst)
+	return []*Table{tbl, summary}, nil
+}
+
+// runFitness (E-FITNESS) is the non-neutrality ablation: the paper assumes
+// neutral communities (identical rates); here the minority species gets a
+// birth-rate advantage or handicap and we measure how far the SD amplifier
+// tolerates selection against the signal before the threshold picture
+// breaks down.
+func runFitness(cfg Config) ([]*Table, error) {
+	n := 512
+	trials := 1000
+	if cfg.Full {
+		n = 2048
+		trials = 4000
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("E-FITNESS: non-neutral birth rates (n=%d, minority birth rate beta1, beta0 = 1)", n),
+		Caption: "General LV chain with per-species birth rates. Each model is probed at a " +
+			"near-minimal gap and at its sufficient gap from the neutral theory (polylog for SD, " +
+			"sqrt-scale for NSD). Measured effect: at the sufficient gap both amplifiers tolerate " +
+			"even a 3x minority birth advantage; selection erodes rho only near the minimal gap.",
+		Columns: []string{"model", "gap regime", "gap", "beta1/beta0", "rho", "CI lo", "CI hi"},
+	}
+	minimalGap := consensus.MatchParity(n, 8)
+	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
+		sufficient := consensus.MatchParity(n, int(consensus.ShapeLog2(float64(n))/2))
+		if comp == lv.NonSelfDestructive {
+			sufficient = consensus.MatchParity(n, int(3*consensus.ShapeSqrt(float64(n))))
+		}
+		for _, probe := range []struct {
+			regime string
+			gap    int
+		}{
+			{"near-minimal", minimalGap},
+			{"sufficient", sufficient},
+		} {
+			for _, beta1 := range []float64{1, 1.5, 2, 3} {
+				params := protocols.FromNeutral(lv.Neutral(1, 1, 1, 0, comp))
+				params.Beta[1] = beta1
+				est, err := consensus.EstimateWinProbability(
+					&protocols.GeneralLVProtocol{Params: params}, n, probe.gap,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(),
+						Seed: cfg.Seed + uint64(comp)<<16 + uint64(probe.gap)<<24 + uint64(beta1*1000)})
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(comp.String(), probe.regime, probe.gap, beta1, est.P(), est.Lo, est.Hi)
+				cfg.logf("E-FITNESS %v %s gap=%d beta1=%.1f rho=%.4f",
+					comp, probe.regime, probe.gap, beta1, est.P())
+			}
+		}
+	}
+	return []*Table{tbl}, nil
+}

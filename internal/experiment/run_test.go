@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fmtSscan wraps fmt.Sscan for the fit-exponent extraction.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// TestRunAllExperimentsQuick executes every registered experiment at the
+// quick effort level and sanity-checks the resulting tables. This is the
+// end-to-end smoke test of the reproduction harness.
+func TestRunAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(Config{Seed: 20240506, Workers: 2})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" {
+					t.Errorf("%s: table without title", e.ID)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+				var b strings.Builder
+				if err := tbl.Render(&b); err != nil {
+					t.Errorf("%s: render %q: %v", e.ID, tbl.Title, err)
+				}
+				b.Reset()
+				if err := tbl.WriteCSV(&b); err != nil {
+					t.Errorf("%s: CSV %q: %v", e.ID, tbl.Title, err)
+				}
+			}
+		})
+	}
+}
+
+// TestExpectedShapesQuick asserts the headline quantitative claims on the
+// quick grids: the SD threshold exponent is far below 1/2 and the NSD
+// exponent is near 1/2 (Table 1 row 1), which is the core reproduction
+// target.
+func TestExpectedShapesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	t.Parallel()
+	cfg := Config{Seed: 99, Workers: 2}
+
+	sdTables, err := runTable1SD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsdTables, err := runTable1NSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdExp := fitExponent(t, sdTables)
+	nsdExp := fitExponent(t, nsdTables)
+	if sdExp > 0.35 {
+		t.Errorf("SD threshold exponent = %v, want well below 0.5 (polylog)", sdExp)
+	}
+	if nsdExp < 0.4 || nsdExp > 0.65 {
+		t.Errorf("NSD threshold exponent = %v, want ~0.5", nsdExp)
+	}
+	if nsdExp-sdExp < 0.2 {
+		t.Errorf("separation too small: SD %v vs NSD %v", sdExp, nsdExp)
+	}
+}
+
+// fitExponent extracts the exponent cell from a scaling-fit table produced
+// by fitTable.
+func fitExponent(t *testing.T, tables []*Table) float64 {
+	t.Helper()
+	for _, tbl := range tables {
+		if !strings.Contains(tbl.Title, "scaling fit") {
+			continue
+		}
+		if len(tbl.Rows) == 0 || len(tbl.Rows[0]) == 0 {
+			t.Fatalf("fit table %q empty", tbl.Title)
+		}
+		var v float64
+		if _, err := fmtSscan(tbl.Rows[0][0], &v); err != nil {
+			t.Fatalf("parsing exponent from %q: %v", tbl.Rows[0][0], err)
+		}
+		return v
+	}
+	t.Fatal("no scaling-fit table found")
+	return 0
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Caption: "caption line",
+		Columns: []string{"a", "long column"},
+	}
+	tbl.AddRow(1, "x")
+	tbl.AddRow(22.5, "yy")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "caption line", "a", "long column", "22.5000", "yy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderErrors(t *testing.T) {
+	empty := &Table{Title: "no columns"}
+	if err := empty.Render(&strings.Builder{}); err == nil {
+		t.Error("empty table rendered without error")
+	}
+	ragged := &Table{Columns: []string{"a", "b"}}
+	ragged.AddRow(1)
+	if err := ragged.Render(&strings.Builder{}); err == nil {
+		t.Error("ragged table rendered without error")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := &Table{Columns: []string{"v"}}
+	tbl.AddRow(0.0)
+	tbl.AddRow(0.00001)
+	tbl.AddRow(123456.0)
+	tbl.AddRow(0.5)
+	if tbl.Rows[0][0] != "0" {
+		t.Errorf("zero formatted as %q", tbl.Rows[0][0])
+	}
+	if !strings.Contains(tbl.Rows[1][0], "e-") {
+		t.Errorf("tiny value formatted as %q, want scientific", tbl.Rows[1][0])
+	}
+	if tbl.Rows[3][0] != "0.5000" {
+		t.Errorf("0.5 formatted as %q", tbl.Rows[3][0])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "y"}}
+	tbl.AddRow(1, "a,b")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("CSV escaping wrong: %q", out)
+	}
+}
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 24 {
+		t.Errorf("registry has %d experiments, want 24", len(seen))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("T1-SD")
+	if err != nil || e.ID != "T1-SD" {
+		t.Errorf("ByID(T1-SD) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("ids not sorted: %v", ids)
+		}
+	}
+}

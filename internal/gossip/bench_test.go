@@ -1,0 +1,44 @@
+package gossip
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// BenchmarkStep measures one synchronous round of each dynamics; the
+// count-based engine makes this O(1) in the population size.
+func BenchmarkStep(b *testing.B) {
+	for _, d := range All() {
+		b.Run(d.Name(), func(b *testing.B) {
+			src := rng.New(1)
+			c := Counts{C0: 600_000, C1: 400_000}
+			if d.Undecided() {
+				c = Counts{C0: 500_000, C1: 400_000, U: 100_000}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c = d.Step(c, src)
+				if c.N() != 1_000_000 {
+					b.Fatal("population changed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunThreeMajority measures a full drift-dynamics execution from a
+// 60/40 split of a large population.
+func BenchmarkRunThreeMajority(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(ThreeMajority{}, Counts{C0: 60_000, C1: 40_000}, src, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Winner == -1 {
+			b.Fatal("undecided")
+		}
+	}
+}

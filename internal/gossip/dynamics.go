@@ -1,0 +1,160 @@
+package gossip
+
+import "lvmajority/internal/rng"
+
+// Voter is the synchronous pull voter model: each agent adopts the opinion
+// of one uniformly sampled agent. On the complete graph this coincides with
+// the neutral two-allele Wright–Fisher model of population genetics (the
+// next opinion-0 count is Binomial(n, p₀)). The fraction of opinion-0
+// agents is a martingale, so — exactly like the paper's no-competition LV
+// regime (Table 1 row 5) and the neutral Moran process — the initial
+// majority wins with probability a/n only, and no sublinear gap can give
+// majority consensus with high probability.
+type Voter struct{}
+
+// Name implements Dynamics.
+func (Voter) Name() string { return "voter" }
+
+// Undecided implements Dynamics.
+func (Voter) Undecided() bool { return false }
+
+// Step implements Dynamics: every agent's next opinion is an independent
+// Bernoulli(p₀) draw with p₀ the current opinion-0 fraction.
+func (Voter) Step(c Counts, src *rng.Source) Counts {
+	n := c.N()
+	p0 := float64(c.C0) / float64(n)
+	c0 := src.Binomial(n, p0)
+	return Counts{C0: c0, C1: n - c0}
+}
+
+// MeanStep implements Dynamics.
+func (Voter) MeanStep(c Counts) (float64, float64, float64) {
+	n := float64(c.N())
+	return float64(c.C0), n - float64(c.C0), 0
+}
+
+// TwoChoices is synchronous two-choices voting: each agent samples two
+// agents and adopts their opinion iff they agree, keeping its own opinion
+// otherwise. The mean-field map p ↦ p² + p(1 − p² − q²) (q = 1 − p) has an
+// unstable fixed point at 1/2, giving an Θ(√(n log n)) gap threshold and
+// O(log n)-round convergence.
+type TwoChoices struct{}
+
+// Name implements Dynamics.
+func (TwoChoices) Name() string { return "two-choices" }
+
+// Undecided implements Dynamics.
+func (TwoChoices) Undecided() bool { return false }
+
+// Step implements Dynamics.
+func (TwoChoices) Step(c Counts, src *rng.Source) Counts {
+	n := c.N()
+	p0 := float64(c.C0) / float64(n)
+	p1 := float64(c.C1) / float64(n)
+	q0, q1 := p0*p0, p1*p1
+	// An opinion-0 agent switches to 1 iff both samples are 1; an
+	// opinion-1 agent switches to 0 iff both samples are 0.
+	defections := src.Binomial(c.C0, q1)
+	recruits := src.Binomial(c.C1, q0)
+	c0 := c.C0 - defections + recruits
+	return Counts{C0: c0, C1: n - c0}
+}
+
+// MeanStep implements Dynamics.
+func (TwoChoices) MeanStep(c Counts) (float64, float64, float64) {
+	n := float64(c.N())
+	p0 := float64(c.C0) / n
+	p1 := float64(c.C1) / n
+	e0 := float64(c.C0) - float64(c.C0)*p1*p1 + float64(c.C1)*p0*p0
+	return e0, n - e0, 0
+}
+
+// ThreeMajority is synchronous 3-majority: each agent samples three agents
+// and adopts the majority opinion among the three samples (with two
+// opinions a three-sample majority always exists). The mean-field map
+// p ↦ p³ + 3p²(1 − p) again has an unstable fixed point at 1/2 with the
+// same Θ(√(n log n)) threshold scale.
+type ThreeMajority struct{}
+
+// Name implements Dynamics.
+func (ThreeMajority) Name() string { return "3-majority" }
+
+// Undecided implements Dynamics.
+func (ThreeMajority) Undecided() bool { return false }
+
+// threeMajorityAdopt0 is the probability that the majority among three
+// independent samples is opinion 0 when the opinion-0 fraction is p.
+func threeMajorityAdopt0(p float64) float64 {
+	return p*p*p + 3*p*p*(1-p)
+}
+
+// Step implements Dynamics: every agent's next opinion is an independent
+// draw from the three-sample majority distribution, which depends only on
+// the current fractions.
+func (ThreeMajority) Step(c Counts, src *rng.Source) Counts {
+	n := c.N()
+	p := threeMajorityAdopt0(float64(c.C0) / float64(n))
+	c0 := src.Binomial(n, p)
+	return Counts{C0: c0, C1: n - c0}
+}
+
+// MeanStep implements Dynamics.
+func (ThreeMajority) MeanStep(c Counts) (float64, float64, float64) {
+	n := float64(c.N())
+	e0 := n * threeMajorityAdopt0(float64(c.C0)/n)
+	return e0, n - e0, 0
+}
+
+// Undecided is the undecided-state dynamics (USD): each agent samples one
+// agent; a decided agent that samples the opposite decided opinion becomes
+// undecided, and an undecided agent adopts the sampled opinion if the
+// sample is decided. The same cancellation idea drives the paper's
+// interference-competition protocols and the 3-state population protocol of
+// Angluin et al.; here it runs in the synchronous gossip model.
+type Undecided struct{}
+
+// Name implements Dynamics.
+func (Undecided) Name() string { return "undecided-state dynamics" }
+
+// Undecided implements Dynamics.
+func (Undecided) Undecided() bool { return true }
+
+// Step implements Dynamics.
+func (Undecided) Step(c Counts, src *rng.Source) Counts {
+	n := c.N()
+	p0 := float64(c.C0) / float64(n)
+	p1 := float64(c.C1) / float64(n)
+	// Decided agents: sampling the opposite decided opinion sends them
+	// to the undecided state.
+	loss0 := src.Binomial(c.C0, p1)
+	loss1 := src.Binomial(c.C1, p0)
+	// Undecided agents: multinomial over (adopt 0, adopt 1, stay
+	// undecided), sampled as a binomial followed by a conditional
+	// binomial.
+	gain0 := src.Binomial(c.U, p0)
+	rest := c.U - gain0
+	gain1 := 0
+	if rest > 0 && p0 < 1 {
+		gain1 = src.Binomial(rest, p1/(1-p0))
+	}
+	return Counts{
+		C0: c.C0 - loss0 + gain0,
+		C1: c.C1 - loss1 + gain1,
+		U:  c.U + loss0 + loss1 - gain0 - gain1,
+	}
+}
+
+// MeanStep implements Dynamics.
+func (Undecided) MeanStep(c Counts) (float64, float64, float64) {
+	n := float64(c.N())
+	p0 := float64(c.C0) / n
+	p1 := float64(c.C1) / n
+	e0 := float64(c.C0) - float64(c.C0)*p1 + float64(c.U)*p0
+	e1 := float64(c.C1) - float64(c.C1)*p0 + float64(c.U)*p1
+	return e0, e1, n - e0 - e1
+}
+
+// All returns every dynamics in this package, in presentation order.
+func All() []Dynamics {
+	return []Dynamics{Voter{}, TwoChoices{}, ThreeMajority{}, Undecided{}}
+}

@@ -1,0 +1,34 @@
+package gossip_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/rng"
+)
+
+// Run three-majority dynamics from a 60/40 split: the drift toward the
+// majority decides the execution in a handful of rounds.
+func ExampleRun() {
+	out, err := gossip.Run(gossip.ThreeMajority{}, gossip.Counts{C0: 600, C1: 400}, rng.New(1), gossip.RunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("winner: opinion %d\n", out.Winner)
+	fmt.Printf("rounds: fewer than 20: %v\n", out.Rounds < 20)
+	// Output:
+	// winner: opinion 0
+	// rounds: fewer than 20: true
+}
+
+// The mean-field map of the undecided-state dynamics: from a tie with no
+// undecided agents, half of each opinion's supporters expect to sample the
+// opposite opinion and become undecided.
+func ExampleDynamics() {
+	var usd gossip.Undecided
+	e0, e1, eu := usd.MeanStep(gossip.Counts{C0: 100, C1: 100})
+	fmt.Printf("expected next counts: %.0f / %.0f, %.0f undecided\n", e0, e1, eu)
+	// Output:
+	// expected next counts: 50 / 50, 100 undecided
+}

@@ -1,0 +1,159 @@
+// Package gossip implements synchronous gossip ("pull") opinion dynamics on
+// the complete graph: the voter model, two-choices voting, 3-majority, and
+// the undecided-state dynamics. These are the classic majority/plurality
+// consensus dynamics with a *static* population that the paper contrasts
+// with its ecological Lotka–Volterra protocols (§2.2, [9, 11, 23, 33, 39]).
+//
+// In each synchronous round every agent independently samples one or more
+// agents uniformly at random (with replacement, possibly itself) from the
+// current configuration and updates its opinion according to the dynamics;
+// all updates are applied simultaneously. On the complete graph the next
+// configuration depends on the current one only through the per-opinion
+// counts, so the engine represents a configuration by its counts and
+// advances a round with a constant number of binomial draws, which is exact
+// and runs in O(1) time per round independent of the population size.
+package gossip
+
+import (
+	"fmt"
+
+	"lvmajority/internal/rng"
+)
+
+// Counts is a configuration of a two-opinion gossip system: C0 agents hold
+// opinion 0 (the initial majority by convention), C1 hold opinion 1, and U
+// are undecided (always zero for dynamics without an undecided state).
+type Counts struct {
+	C0, C1, U int
+}
+
+// N returns the total number of agents.
+func (c Counts) N() int { return c.C0 + c.C1 + c.U }
+
+// Decided reports whether one decided opinion is extinct. Once a decided
+// opinion reaches count zero it can never reappear under any of the dynamics
+// in this package (every rule copies opinions from sampled agents), so this
+// is the natural consensus criterion; undecided agents subsequently drain
+// into the surviving opinion.
+func (c Counts) Decided() (done bool, winner int) {
+	switch {
+	case c.C1 == 0 && c.C0 > 0:
+		return true, 0
+	case c.C0 == 0 && c.C1 > 0:
+		return true, 1
+	case c.C0 == 0 && c.C1 == 0:
+		// All agents undecided: neither opinion can ever reappear.
+		return true, -1
+	default:
+		return false, -1
+	}
+}
+
+// String renders the configuration compactly.
+func (c Counts) String() string {
+	return fmt.Sprintf("(%d, %d, %d undecided)", c.C0, c.C1, c.U)
+}
+
+// Dynamics is one synchronous opinion dynamics on the complete graph.
+type Dynamics interface {
+	// Name identifies the dynamics in tables and logs.
+	Name() string
+	// Step advances one synchronous round, consuming randomness from src.
+	// It must preserve the total agent count.
+	Step(c Counts, src *rng.Source) Counts
+	// MeanStep returns the expected counts after one round from c. It is
+	// the mean-field map used by tests as an oracle for Step and by the
+	// drift analysis in the experiments.
+	MeanStep(c Counts) (e0, e1, eU float64)
+	// Undecided reports whether the dynamics uses the undecided state.
+	Undecided() bool
+}
+
+// Outcome describes one gossip execution.
+type Outcome struct {
+	// Winner is 0 if the initial majority's opinion won, 1 if the
+	// minority's won, and −1 if the execution ended undecided (both
+	// opinions extinct, or the round budget was exhausted).
+	Winner int
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Final is the final configuration.
+	Final Counts
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// MaxRounds bounds the execution; zero defaults to 200·n + 4096,
+	// generous for the drift-based dynamics (which converge in O(log n)
+	// rounds) and sufficient for the driftless voter model (which needs
+	// Θ(n) rounds on the complete graph).
+	MaxRounds int
+}
+
+// Run executes the dynamics from the given configuration until one decided
+// opinion goes extinct or the round budget is exhausted.
+func Run(d Dynamics, initial Counts, src *rng.Source, opts RunOptions) (Outcome, error) {
+	if initial.C0 < 0 || initial.C1 < 0 || initial.U < 0 {
+		return Outcome{}, fmt.Errorf("gossip: negative counts %v", initial)
+	}
+	if initial.N() == 0 {
+		return Outcome{}, fmt.Errorf("gossip: empty population")
+	}
+	if initial.U > 0 && !d.Undecided() {
+		return Outcome{}, fmt.Errorf("gossip: %s has no undecided state but initial %v has undecided agents", d.Name(), initial)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200*initial.N() + 4096
+	}
+	c := initial
+	for round := 0; round < maxRounds; round++ {
+		if done, winner := c.Decided(); done {
+			return Outcome{Winner: winner, Rounds: round, Final: c}, nil
+		}
+		next := d.Step(c, src)
+		if next.N() != c.N() {
+			return Outcome{}, fmt.Errorf("gossip: %s changed the population size %d -> %d", d.Name(), c.N(), next.N())
+		}
+		c = next
+	}
+	if done, winner := c.Decided(); done {
+		return Outcome{Winner: winner, Rounds: maxRounds, Final: c}, nil
+	}
+	return Outcome{Winner: -1, Rounds: maxRounds, Final: c}, nil
+}
+
+// Protocol adapts a Dynamics to the consensus.Protocol interface: a trial
+// starts with a = (n+Δ)/2 agents holding opinion 0 and b = (n−Δ)/2 holding
+// opinion 1 and succeeds iff opinion 0 wins.
+type Protocol struct {
+	// Dynamics is the opinion dynamics to run.
+	Dynamics Dynamics
+	// MaxRoundsFor bounds trials as a function of n; nil uses the Run
+	// default.
+	MaxRoundsFor func(n int) int
+}
+
+// Name implements consensus.Protocol.
+func (p *Protocol) Name() string { return p.Dynamics.Name() }
+
+// Trial implements consensus.Protocol.
+func (p *Protocol) Trial(n, delta int, src *rng.Source) (bool, error) {
+	if n < 2 {
+		return false, fmt.Errorf("gossip: population %d too small", n)
+	}
+	if delta < 0 || delta > n-2 || (n-delta)%2 != 0 {
+		return false, fmt.Errorf("gossip: infeasible gap %d for n=%d", delta, n)
+	}
+	b := (n - delta) / 2
+	initial := Counts{C0: n - b, C1: b}
+	opts := RunOptions{}
+	if p.MaxRoundsFor != nil {
+		opts.MaxRounds = p.MaxRoundsFor(n)
+	}
+	out, err := Run(p.Dynamics, initial, src, opts)
+	if err != nil {
+		return false, err
+	}
+	return out.Winner == 0, nil
+}

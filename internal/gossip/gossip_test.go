@@ -1,0 +1,341 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func TestCountsDecided(t *testing.T) {
+	cases := []struct {
+		c      Counts
+		done   bool
+		winner int
+	}{
+		{Counts{C0: 5, C1: 3}, false, -1},
+		{Counts{C0: 5, C1: 0}, true, 0},
+		{Counts{C0: 0, C1: 3}, true, 1},
+		{Counts{C0: 0, C1: 0, U: 7}, true, -1},
+		{Counts{C0: 5, C1: 0, U: 2}, true, 0},
+		{Counts{C0: 1, C1: 1, U: 100}, false, -1},
+	}
+	for _, tc := range cases {
+		done, winner := tc.c.Decided()
+		if done != tc.done || winner != tc.winner {
+			t.Errorf("Decided(%v) = (%v, %d), want (%v, %d)", tc.c, done, winner, tc.done, tc.winner)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Run(Voter{}, Counts{}, src, RunOptions{}); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := Run(Voter{}, Counts{C0: -1, C1: 2}, src, RunOptions{}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Run(Voter{}, Counts{C0: 2, C1: 2, U: 1}, src, RunOptions{}); err == nil {
+		t.Error("undecided agents accepted by a dynamics without an undecided state")
+	}
+	if _, err := Run(Undecided{}, Counts{C0: 2, C1: 2, U: 1}, src, RunOptions{}); err != nil {
+		t.Errorf("USD rejected undecided agents: %v", err)
+	}
+}
+
+// frozenDynamics never changes the configuration; Run must exhaust its
+// round budget and report an undecided outcome.
+type frozenDynamics struct{}
+
+func (frozenDynamics) Name() string                        { return "frozen" }
+func (frozenDynamics) Undecided() bool                     { return false }
+func (frozenDynamics) Step(c Counts, _ *rng.Source) Counts { return c }
+func (frozenDynamics) MeanStep(c Counts) (float64, float64, float64) {
+	return float64(c.C0), float64(c.C1), float64(c.U)
+}
+
+func TestRunExhaustsBudgetUndecided(t *testing.T) {
+	out, err := Run(frozenDynamics{}, Counts{C0: 3, C1: 3}, rng.New(7), RunOptions{MaxRounds: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != -1 || out.Rounds != 11 {
+		t.Errorf("got winner=%d rounds=%d, want undecided after 11 rounds", out.Winner, out.Rounds)
+	}
+}
+
+// leakyDynamics violates population conservation; Run must detect it.
+type leakyDynamics struct{ frozenDynamics }
+
+func (leakyDynamics) Step(c Counts, _ *rng.Source) Counts {
+	return Counts{C0: c.C0 + 1, C1: c.C1}
+}
+
+func TestRunDetectsPopulationChange(t *testing.T) {
+	if _, err := Run(leakyDynamics{}, Counts{C0: 3, C1: 3}, rng.New(7), RunOptions{}); err == nil {
+		t.Error("population change not detected")
+	}
+}
+
+func TestRunStopsImmediatelyAtConsensus(t *testing.T) {
+	for _, d := range All() {
+		out, err := Run(d, Counts{C0: 9, C1: 0}, rng.New(3), RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if out.Winner != 0 || out.Rounds != 0 {
+			t.Errorf("%s: got winner=%d rounds=%d from consensus start", d.Name(), out.Winner, out.Rounds)
+		}
+	}
+}
+
+// TestStepConservesPopulation is the core engine invariant: for every
+// dynamics and any configuration, one synchronous round preserves the
+// population size and keeps all counts non-negative.
+func TestStepConservesPopulation(t *testing.T) {
+	src := rng.New(42)
+	for _, d := range All() {
+		d := d
+		check := func(a, b, u uint16) bool {
+			c := Counts{C0: int(a % 512), C1: int(b % 512), U: 0}
+			if d.Undecided() {
+				c.U = int(u % 512)
+			}
+			if c.N() == 0 {
+				return true
+			}
+			next := d.Step(c, src)
+			return next.N() == c.N() && next.C0 >= 0 && next.C1 >= 0 && next.U >= 0
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+// TestStepMatchesMeanStep verifies the binomial sampling in Step against
+// the analytic mean-field map MeanStep: the empirical average of many
+// one-round updates must match the expected counts to within a few
+// standard errors.
+func TestStepMatchesMeanStep(t *testing.T) {
+	src := rng.New(1234)
+	const trials = 20000
+	for _, d := range All() {
+		start := Counts{C0: 300, C1: 180}
+		if d.Undecided() {
+			start.U = 120
+		}
+		var s0, s1, su stats.Running
+		for i := 0; i < trials; i++ {
+			next := d.Step(start, src)
+			s0.Add(float64(next.C0))
+			s1.Add(float64(next.C1))
+			su.Add(float64(next.U))
+		}
+		e0, e1, eu := d.MeanStep(start)
+		for _, ch := range []struct {
+			name string
+			got  *stats.Running
+			want float64
+		}{{"C0", &s0, e0}, {"C1", &s1, e1}, {"U", &su, eu}} {
+			tol := 5*ch.got.StdErr() + 1e-9
+			if math.Abs(ch.got.Mean()-ch.want) > tol {
+				t.Errorf("%s %s: empirical mean %.3f vs analytic %.3f (tol %.3f)",
+					d.Name(), ch.name, ch.got.Mean(), ch.want, tol)
+			}
+		}
+	}
+}
+
+// TestConsensusStatesAreFixedPoints checks that every dynamics' mean-field
+// map fixes the two consensus states.
+func TestConsensusStatesAreFixedPoints(t *testing.T) {
+	for _, d := range All() {
+		for _, c := range []Counts{{C0: 100}, {C1: 100}} {
+			e0, e1, eu := d.MeanStep(c)
+			if e0 != float64(c.C0) || e1 != float64(c.C1) || eu != 0 {
+				t.Errorf("%s: consensus %v not fixed: (%g, %g, %g)", d.Name(), c, e0, e1, eu)
+			}
+		}
+	}
+}
+
+// TestVoterMartingale verifies the classic voter-model result: the win
+// probability of opinion 0 equals its initial fraction a/n, mirroring the
+// paper's ρ = a/(a+b) regimes (Table 1 rows 2 and 5).
+func TestVoterMartingale(t *testing.T) {
+	const (
+		a, b   = 40, 20
+		trials = 3000
+	)
+	src := rng.New(99)
+	wins := 0
+	for i := 0; i < trials; i++ {
+		out, err := Run(Voter{}, Counts{C0: a, C1: b}, src, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Winner == 0 {
+			wins++
+		}
+	}
+	est, err := stats.WilsonInterval(wins, trials, stats.Z99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(a) / float64(a+b)
+	if want < est.Lo || want > est.Hi {
+		t.Errorf("voter win probability CI [%.4f, %.4f] misses a/n = %.4f", est.Lo, est.Hi, want)
+	}
+}
+
+// TestDriftDynamicsAmplifyMajority checks that the drift-based dynamics
+// (two-choices, 3-majority, USD) reach consensus on the initial majority
+// essentially always from a 60/40 split of a large population — the regime
+// in which the voter model would still fail 40% of the time.
+func TestDriftDynamicsAmplifyMajority(t *testing.T) {
+	const (
+		n      = 4096
+		trials = 200
+	)
+	src := rng.New(2024)
+	for _, d := range []Dynamics{TwoChoices{}, ThreeMajority{}, Undecided{}} {
+		wins := 0
+		var maxRounds int
+		for i := 0; i < trials; i++ {
+			out, err := Run(d, Counts{C0: 6 * n / 10, C1: n - 6*n/10}, src, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Winner == 0 {
+				wins++
+			}
+			if out.Rounds > maxRounds {
+				maxRounds = out.Rounds
+			}
+		}
+		if wins < trials-1 {
+			t.Errorf("%s: only %d/%d wins from a 60/40 split of n=%d", d.Name(), wins, trials, n)
+		}
+		// All three dynamics converge in O(log n) rounds; 40·log₂ n
+		// is a very generous ceiling (log₂ 4096 = 12).
+		if maxRounds > 40*12 {
+			t.Errorf("%s: slowest trial took %d rounds, want O(log n)", d.Name(), maxRounds)
+		}
+	}
+}
+
+// TestTieIsUnbiased verifies that from an exact tie the symmetric dynamics
+// pick either opinion with probability 1/2.
+func TestTieIsUnbiased(t *testing.T) {
+	const (
+		n      = 256
+		trials = 2000
+	)
+	src := rng.New(5)
+	for _, d := range []Dynamics{TwoChoices{}, ThreeMajority{}, Undecided{}} {
+		wins := 0
+		for i := 0; i < trials; i++ {
+			out, err := Run(d, Counts{C0: n / 2, C1: n / 2}, src, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Winner == 0 {
+				wins++
+			}
+		}
+		est, err := stats.WilsonInterval(wins, trials, stats.Z99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 0.5 < est.Lo || 0.5 > est.Hi {
+			t.Errorf("%s: tie win probability CI [%.4f, %.4f] misses 1/2", d.Name(), est.Lo, est.Hi)
+		}
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	p := &Protocol{Dynamics: ThreeMajority{}}
+	src := rng.New(1)
+	if _, err := p.Trial(1, 0, src); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := p.Trial(100, 3, src); err == nil {
+		t.Error("odd gap for even n accepted")
+	}
+	if _, err := p.Trial(100, 100, src); err == nil {
+		t.Error("gap beyond n-2 accepted")
+	}
+	if _, err := p.Trial(100, 20, src); err != nil {
+		t.Errorf("feasible trial rejected: %v", err)
+	}
+}
+
+// TestProtocolDeterministic checks that identical seeds reproduce identical
+// trial outcomes, the property the parallel estimator relies on.
+func TestProtocolDeterministic(t *testing.T) {
+	p := &Protocol{Dynamics: Undecided{}}
+	for seed := uint64(0); seed < 10; seed++ {
+		r1, err1 := p.Trial(512, 16, rng.New(seed))
+		r2, err2 := p.Trial(512, 16, rng.New(seed))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if r1 != r2 {
+			t.Fatalf("seed %d: non-deterministic trial", seed)
+		}
+	}
+}
+
+func TestThreeMajorityAdoptProbability(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {1, 1}, {0.5, 0.5},
+	}
+	for _, tc := range cases {
+		if got := threeMajorityAdopt0(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("threeMajorityAdopt0(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	// The map must amplify: strictly above the diagonal on (1/2, 1).
+	for _, p := range []float64{0.55, 0.7, 0.9} {
+		if got := threeMajorityAdopt0(p); got <= p {
+			t.Errorf("threeMajorityAdopt0(%g) = %g does not amplify", p, got)
+		}
+	}
+}
+
+// TestUSDDrainsUndecided checks that with one opinion extinct the engine
+// declares consensus immediately, and that an all-undecided configuration
+// is reported as permanently undecided.
+func TestUSDDrainsUndecided(t *testing.T) {
+	out, err := Run(Undecided{}, Counts{C0: 5, U: 20}, rng.New(8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != 0 {
+		t.Errorf("winner = %d, want 0 with the other opinion extinct", out.Winner)
+	}
+	out, err = Run(Undecided{}, Counts{U: 10}, rng.New(8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != -1 || out.Rounds != 0 {
+		t.Errorf("all-undecided start: got winner=%d rounds=%d, want immediate undecided", out.Winner, out.Rounds)
+	}
+}
+
+func TestAllListsEveryDynamicsOnce(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if seen[d.Name()] {
+			t.Errorf("duplicate dynamics %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("All() has %d dynamics, want 4", len(seen))
+	}
+}

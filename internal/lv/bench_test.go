@@ -1,0 +1,63 @@
+package lv
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// BenchmarkRunSD measures a full self-destructive consensus run at n = 1000
+// with the specialized direct sampler (the workhorse of every experiment).
+func BenchmarkRunSD(b *testing.B) {
+	params := Neutral(1, 1, 1, 0, SelfDestructive)
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(params, State{X0: 600, X1: 400}, src, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Consensus {
+			b.Fatal("no consensus")
+		}
+	}
+}
+
+// BenchmarkRunNSD is the non-self-destructive counterpart.
+func BenchmarkRunNSD(b *testing.B) {
+	params := Neutral(1, 1, 1, 0, NonSelfDestructive)
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(params, State{X0: 600, X1: 400}, src, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Consensus {
+			b.Fatal("no consensus")
+		}
+	}
+}
+
+// BenchmarkStep measures single-step cost without the Run bookkeeping.
+func BenchmarkStep(b *testing.B) {
+	params := Neutral(1, 1, 1, 0, SelfDestructive)
+	fresh := func(seed uint64) *Chain {
+		chain, err := NewChain(params, State{X0: 1 << 20, X1: 1 << 20}, rng.New(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return chain
+	}
+	chain := fresh(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := chain.Step(); !ok {
+			// Long benchmark runs exhaust the chain (double
+			// extinction); restart outside the timer.
+			b.StopTimer()
+			chain = fresh(uint64(i))
+			b.StartTimer()
+		}
+	}
+}

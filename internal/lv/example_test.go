@@ -1,0 +1,47 @@
+package lv_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+// ExampleRun simulates one self-destructive Lotka–Volterra chain to
+// consensus and prints the paper's event accounting.
+func ExampleRun() {
+	params := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	out, err := lv.Run(params, lv.State{X0: 60, X1: 40}, rng.New(42), lv.RunOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("consensus:", out.Consensus)
+	fmt.Println("identity T = I + K:", out.Steps == out.Individual+out.Competitive)
+	fmt.Println("noise identity F = gap0 - gapT:", out.FInd+out.FComp == 20-out.Final.Gap())
+	// Output:
+	// consensus: true
+	// identity T = I + K: true
+	// noise identity F = gap0 - gapT: true
+}
+
+// ExampleConsensusProbabilityExact evaluates the closed form of Theorems 20
+// and 23.
+func ExampleConsensusProbabilityExact() {
+	fmt.Printf("%.4f\n", lv.ConsensusProbabilityExact(lv.State{X0: 3, X1: 1}))
+	fmt.Printf("%.4f\n", lv.ConsensusProbabilityExact(lv.State{X0: 10, X1: 5}))
+	// Output:
+	// 0.7500
+	// 0.6667
+}
+
+// ExampleParams_Validate shows parameter validation.
+func ExampleParams_Validate() {
+	bad := lv.Params{Beta: -1, Competition: lv.SelfDestructive}
+	fmt.Println(bad.Validate() != nil)
+	good := lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive)
+	fmt.Println(good.Validate())
+	// Output:
+	// true
+	// <nil>
+}

@@ -1,0 +1,81 @@
+package lv
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// FuzzPropensities checks that for arbitrary non-negative rates and counts,
+// every channel propensity is non-negative and the total matches the
+// paper's φ formula.
+func FuzzPropensities(f *testing.F) {
+	f.Add(uint8(16), uint8(16), uint8(16), uint8(16), uint16(10), uint16(5), true)
+	f.Add(uint8(0), uint8(0), uint8(1), uint8(0), uint16(1), uint16(1), false)
+	f.Fuzz(func(t *testing.T, beta, delta, alpha, gamma uint8, x0, x1 uint16, sd bool) {
+		comp := NonSelfDestructive
+		if sd {
+			comp = SelfDestructive
+		}
+		p := Params{
+			Beta:        float64(beta) / 16,
+			Delta:       float64(delta) / 16,
+			Alpha:       [2]float64{float64(alpha) / 16, float64(alpha) / 8},
+			Gamma:       [2]float64{float64(gamma) / 16, float64(gamma) / 32},
+			Competition: comp,
+		}
+		s := State{X0: int(x0 % 2000), X1: int(x1 % 2000)}
+		props, total := PropensitiesFor(p, s)
+		var sum float64
+		for k, v := range props {
+			if v < 0 {
+				t.Fatalf("negative propensity %v for channel %v in %+v", v, EventKind(k), s)
+			}
+			sum += v
+		}
+		if diff := sum - total; diff > 1e-9*(1+sum) || diff < -1e-9*(1+sum) {
+			t.Fatalf("total %v != sum %v", total, sum)
+		}
+		fx0, fx1 := float64(s.X0), float64(s.X1)
+		phi := (p.Beta+p.Delta)*(fx0+fx1) +
+			(p.Alpha[0]+p.Alpha[1])*fx0*fx1 +
+			p.Gamma[0]*fx0*(fx0-1)/2 + p.Gamma[1]*fx1*(fx1-1)/2
+		if diff := total - phi; diff > 1e-6*(1+phi) || diff < -1e-6*(1+phi) {
+			t.Fatalf("total %v != phi %v", total, phi)
+		}
+	})
+}
+
+// FuzzRunInvariants runs short chains from fuzzed configurations and checks
+// the structural invariants of the outcome accounting.
+func FuzzRunInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(30), uint8(20), true)
+	f.Add(uint64(7), uint8(1), uint8(1), false)
+	f.Fuzz(func(t *testing.T, seed uint64, a, b uint8, sd bool) {
+		comp := NonSelfDestructive
+		if sd {
+			comp = SelfDestructive
+		}
+		p := Neutral(1, 1, 1, 0.25, comp)
+		initial := State{X0: int(a % 60), X1: int(b % 60)}
+		out, err := Run(p, initial, rng.New(seed), RunOptions{MaxSteps: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Steps != out.Individual+out.Competitive {
+			t.Fatalf("T != I + K: %+v", out)
+		}
+		if out.BadNonCompetitive > out.Individual {
+			t.Fatalf("J > I: %+v", out)
+		}
+		if out.Final.X0 < 0 || out.Final.X1 < 0 {
+			t.Fatalf("negative final state: %+v", out.Final)
+		}
+		if out.MaxPopulation < initial.Total() {
+			t.Fatalf("max population below initial: %+v", out)
+		}
+		if out.Consensus && !out.Final.Consensus() {
+			t.Fatalf("consensus flag with non-consensus state: %+v", out)
+		}
+	})
+}

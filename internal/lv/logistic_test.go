@@ -1,0 +1,103 @@
+package lv
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// TestLogisticRegimeCarryingCapacity validates the §1.7 claim that with
+// intraspecific competition (γ > 0) the stochastic LV model exhibits the
+// logistic growth regime: after competitive exclusion, the surviving
+// species fluctuates around the carrying capacity. For a single species
+// under NSD intraspecific competition (birth βx, death δx + γx(x−1)/2) the
+// deterministic balance gives x* ≈ 2(β−δ)/γ + 1.
+func TestLogisticRegimeCarryingCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		beta  = 2.0
+		delta = 1.0
+		gamma = 0.02
+	)
+	want := 2*(beta-delta)/gamma + 1 // = 101
+	params := Params{
+		Beta: beta, Delta: delta,
+		Gamma:       [2]float64{gamma, gamma},
+		Competition: NonSelfDestructive,
+	}
+	chain, err := NewChain(params, State{X0: 10, X1: 0}, rng.New(404))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up into the stationary regime, then time-average.
+	for i := 0; i < 20000; i++ {
+		if _, ok := chain.Step(); !ok {
+			t.Fatal("population went extinct during warm-up; rates too harsh for the test")
+		}
+	}
+	var acc stats.Running
+	for i := 0; i < 200000; i++ {
+		if _, ok := chain.Step(); !ok {
+			t.Fatal("population went extinct during sampling")
+		}
+		acc.Add(float64(chain.State().X0))
+	}
+	if math.Abs(acc.Mean()-want)/want > 0.15 {
+		t.Errorf("long-run population %v, want near carrying capacity %v", acc.Mean(), want)
+	}
+	// The population must be regulated: max far below what exponential
+	// growth would reach in this many events.
+	if acc.Max() > 4*want {
+		t.Errorf("population reached %v, not regulated around %v", acc.Max(), want)
+	}
+}
+
+// TestLogisticRegimeAfterExclusion runs the full two-species chain with
+// γ > 0 past consensus and checks the survivor stays regulated (the paper:
+// "the stochastic LV models exhibit the full logistic growth regime usually
+// observed for microbial populations even after competitive exclusion").
+func TestLogisticRegimeAfterExclusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	params := Params{
+		Beta: 2, Delta: 1,
+		Alpha:       [2]float64{0.01, 0.01},
+		Gamma:       [2]float64{0.02, 0.02},
+		Competition: NonSelfDestructive,
+	}
+	chain, err := NewChain(params, State{X0: 60, X1: 40}, rng.New(405))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run to consensus.
+	for !chain.State().Consensus() {
+		if _, ok := chain.Step(); !ok {
+			break
+		}
+		if chain.Steps() > 10_000_000 {
+			t.Fatal("no consensus reached")
+		}
+	}
+	if chain.State().Total() == 0 {
+		t.Skip("double extinction in this run; regulation unobservable")
+	}
+	// Continue: the survivor must stay within a regulated band.
+	maxSeen := 0
+	for i := 0; i < 100000; i++ {
+		if _, ok := chain.Step(); !ok {
+			t.Fatal("survivor went extinct unexpectedly fast")
+		}
+		if tot := chain.State().Total(); tot > maxSeen {
+			maxSeen = tot
+		}
+	}
+	capacity := 2*(params.Beta-params.Delta)/params.Gamma[0] + 1
+	if float64(maxSeen) > 4*capacity {
+		t.Errorf("post-exclusion population reached %d, want regulated near %v", maxSeen, capacity)
+	}
+}

@@ -1,0 +1,68 @@
+package lv
+
+import (
+	"fmt"
+
+	"lvmajority/internal/crn"
+)
+
+// ToNetwork expresses the LV chain as a general chemical reaction network on
+// species "X0" and "X1". The resulting network has identical propensities to
+// the direct implementation in this package; the test suite uses it to
+// cross-validate the fast sampler against the generic CRN engine.
+func ToNetwork(p Params) (*crn.Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := crn.NewNetwork("X0", "X1")
+	if err != nil {
+		return nil, err
+	}
+	for i := crn.Species(0); i < 2; i++ {
+		other := 1 - i
+		label := fmt.Sprintf("%d", i)
+
+		if err := net.AddReaction(crn.Reaction{
+			Name:      "birth" + label,
+			Reactants: []crn.Species{i},
+			Products:  []crn.Species{i, i},
+			Rate:      p.Beta,
+		}); err != nil {
+			return nil, err
+		}
+		if err := net.AddReaction(crn.Reaction{
+			Name:      "death" + label,
+			Reactants: []crn.Species{i},
+			Rate:      p.Delta,
+		}); err != nil {
+			return nil, err
+		}
+
+		// Interspecific competition initiated by species i.
+		inter := crn.Reaction{
+			Name:      "inter" + label,
+			Reactants: []crn.Species{i, other},
+			Rate:      p.Alpha[i],
+		}
+		if p.Competition == NonSelfDestructive {
+			inter.Products = []crn.Species{i}
+		}
+		if err := net.AddReaction(inter); err != nil {
+			return nil, err
+		}
+
+		// Intraspecific competition within species i.
+		intra := crn.Reaction{
+			Name:      "intra" + label,
+			Reactants: []crn.Species{i, i},
+			Rate:      p.Gamma[i],
+		}
+		if p.Competition == NonSelfDestructive {
+			intra.Products = []crn.Species{i}
+		}
+		if err := net.AddReaction(intra); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,31 @@
+package moran
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// BenchmarkRunNeutral measures one neutral Moran trajectory to absorption
+// at n = 1000 (expected a(n−a) ≈ 250k jump steps from a tie-ish start).
+func BenchmarkRunNeutral(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Params{Fitness: 1}, 1000, 500, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSelective measures an r = 1.5 trajectory, which absorbs much
+// faster thanks to drift.
+func BenchmarkRunSelective(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Params{Fitness: 1.5}, 1000, 500, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

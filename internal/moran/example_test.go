@@ -1,0 +1,33 @@
+package moran_test
+
+import (
+	"fmt"
+
+	"lvmajority/internal/moran"
+	"lvmajority/internal/rng"
+)
+
+// The exact fixation probability: neutral drift gives a/n, while even a 5%
+// fitness advantage nearly guarantees fixation from a minority of 10% in a
+// population of 500.
+func ExampleFixationProbability() {
+	fmt.Printf("neutral, a=300/500:      %.3f\n", moran.FixationProbability(1, 500, 300))
+	fmt.Printf("r=1.05, a=50/500:        %.3f\n", moran.FixationProbability(1.05, 500, 50))
+	// Output:
+	// neutral, a=300/500:      0.600
+	// r=1.05, a=50/500:        0.913
+}
+
+// Simulating one Moran trajectory to absorption.
+func ExampleRun() {
+	out, err := moran.Run(moran.Params{Fitness: 2}, 100, 30, rng.New(7))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("type 0 fixed: %v\n", out.Fixed0)
+	fmt.Printf("jumps <= total steps: %v\n", int64(out.JumpSteps) <= out.MoranSteps)
+	// Output:
+	// type 0 fixed: true
+	// jumps <= total steps: true
+}

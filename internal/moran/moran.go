@@ -1,0 +1,176 @@
+// Package moran implements the two-type Moran process, the classical
+// fixed-size birth–death model of population genetics, together with its
+// exact fixation-probability and absorption-time formulas.
+//
+// The Moran process is the natural static-population counterpart of the
+// paper's Lotka–Volterra chains: in every step one individual reproduces
+// (chosen proportionally to fitness) and one individual dies (chosen
+// uniformly), so the population size n never changes. Its embedded jump
+// chain is a gambler's-ruin random walk with constant up-probability
+// r/(1+r), which yields closed forms for the fixation probability and the
+// expected number of jumps. The neutral case (r = 1) fixes the initial
+// majority with probability exactly a/n — the same martingale behaviour the
+// paper proves for LV systems with no competition (Table 1 row 5) and with
+// balanced intra/interspecific competition (Theorems 20 and 23) — making
+// the package both a baseline protocol and an analytic test oracle.
+package moran
+
+import (
+	"fmt"
+	"math"
+
+	"lvmajority/internal/rng"
+)
+
+// Params configures a two-type Moran process.
+type Params struct {
+	// Fitness is the relative reproductive fitness r of type 0 against
+	// type 1 (whose fitness is 1). r = 1 is the neutral process.
+	Fitness float64
+}
+
+// Validate reports whether the parameters are well formed.
+func (p Params) Validate() error {
+	if !(p.Fitness > 0) || math.IsInf(p.Fitness, 0) {
+		return fmt.Errorf("moran: fitness must be positive and finite, got %v", p.Fitness)
+	}
+	return nil
+}
+
+// Outcome describes one Moran execution run to absorption.
+type Outcome struct {
+	// Fixed0 reports whether type 0 took over the whole population.
+	Fixed0 bool
+	// JumpSteps is the number of state-changing steps (one individual
+	// replaced by one of the other type).
+	JumpSteps int
+	// MoranSteps is the total number of Moran steps including holding
+	// steps, in which the sampled offspring replaces an individual of
+	// its own type and the state does not change.
+	MoranSteps int64
+}
+
+// maxJumpSteps caps executions as a safety net; the expected number of
+// jumps is at most a(n−a) ≤ n²/4, so the cap is never reached in practice.
+const maxJumpSteps = 1 << 40
+
+// Run simulates the Moran process with population size n starting from a
+// individuals of type 0 until one type is fixed.
+//
+// The simulation works on the embedded jump chain: from any mixed state the
+// next state-changing step increments the type-0 count with probability
+// r/(1+r) and decrements it otherwise, independent of the state. Holding
+// steps are accounted for in aggregate by sampling their geometric counts,
+// so Outcome.MoranSteps has the exact distribution of the full process.
+func Run(p Params, n, a int, src *rng.Source) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if n < 1 || a < 0 || a > n {
+		return Outcome{}, fmt.Errorf("moran: invalid initial state a=%d, n=%d", a, n)
+	}
+	r := p.Fitness
+	up := r / (1 + r)
+	out := Outcome{}
+	i := a
+	for i > 0 && i < n {
+		if out.JumpSteps >= maxJumpSteps {
+			return Outcome{}, fmt.Errorf("moran: exceeded %d jump steps at n=%d", maxJumpSteps, n)
+		}
+		// Probability that a single Moran step changes the state.
+		fi := float64(i)
+		fn := float64(n)
+		move := (r + 1) * fi * (fn - fi) / ((r*fi + fn - fi) * fn)
+		// Geometric(move) counts the holding steps before the state
+		// change; +1 for the changing step itself.
+		out.MoranSteps += int64(src.Geometric(move)) + 1
+		out.JumpSteps++
+		if src.Bernoulli(up) {
+			i++
+		} else {
+			i--
+		}
+	}
+	out.Fixed0 = i == n
+	return out, nil
+}
+
+// FixationProbability returns the exact probability that type 0, with
+// relative fitness r and initial count a in a population of size n, takes
+// over the population: (1 − r^−a) / (1 − r^−n), with the neutral limit a/n.
+func FixationProbability(r float64, n, a int) float64 {
+	switch {
+	case n < 1 || a < 0 || a > n:
+		return math.NaN()
+	case a == 0:
+		return 0
+	case a == n:
+		return 1
+	}
+	if r == 1 {
+		return float64(a) / float64(n)
+	}
+	// Compute with expm1/log for numerical stability at r near 1 and
+	// for large exponents.
+	lr := math.Log(r)
+	num := -math.Expm1(-float64(a) * lr)
+	den := -math.Expm1(-float64(n) * lr)
+	if den == 0 {
+		return float64(a) / float64(n)
+	}
+	return num / den
+}
+
+// ExpectedJumpSteps returns the exact expected number of state-changing
+// steps before absorption, i.e. the expected duration of the embedded
+// gambler's-ruin walk from a with boundaries 0 and n and up-probability
+// p = r/(1+r). For the neutral process this is a(n−a).
+func ExpectedJumpSteps(r float64, n, a int) float64 {
+	if n < 1 || a < 0 || a > n {
+		return math.NaN()
+	}
+	if a == 0 || a == n {
+		return 0
+	}
+	if r == 1 {
+		return float64(a) * float64(n-a)
+	}
+	p := r / (1 + r)
+	q := 1 - p
+	// Standard biased gambler's-ruin duration:
+	//   E[T] = a/(q−p) − n/(q−p) · (1−(q/p)^a)/(1−(q/p)^n).
+	ratio := q / p
+	fa, fn := float64(a), float64(n)
+	frac := -math.Expm1(fa*math.Log(ratio)) / -math.Expm1(fn*math.Log(ratio))
+	return fa/(q-p) - fn/(q-p)*frac
+}
+
+// Protocol adapts the Moran process to the consensus.Protocol interface:
+// a trial starts with a = (n+Δ)/2 individuals of type 0 (the initial
+// majority) and succeeds iff type 0 fixes.
+type Protocol struct {
+	// Fitness is the relative fitness of the initial majority; 1 is
+	// neutral.
+	Fitness float64
+}
+
+// Name implements consensus.Protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("Moran process (r=%g)", p.Fitness)
+}
+
+// Trial implements consensus.Protocol.
+func (p *Protocol) Trial(n, delta int, src *rng.Source) (bool, error) {
+	if n < 2 {
+		return false, fmt.Errorf("moran: population %d too small", n)
+	}
+	if delta < 0 || delta > n-2 || (n-delta)%2 != 0 {
+		return false, fmt.Errorf("moran: infeasible gap %d for n=%d", delta, n)
+	}
+	a := n - (n-delta)/2
+	out, err := Run(Params{Fitness: p.Fitness}, n, a, src)
+	if err != nil {
+		return false, err
+	}
+	return out.Fixed0, nil
+}

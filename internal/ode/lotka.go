@@ -1,0 +1,85 @@
+package ode
+
+import "fmt"
+
+// LotkaVolterra is the deterministic two-species competitive Lotka–Volterra
+// system of Eq. (4) of the paper (neutral case):
+//
+//	dx_i/dt = x_i · (r − α′·x_{1−i} − γ′·x_i)
+//
+// where r = β − δ is the intrinsic growth rate, α′ the interspecific and γ′
+// the intraspecific competition rate.
+type LotkaVolterra struct {
+	// R is the intrinsic growth rate r = β − δ.
+	R float64
+	// AlphaPrime is the interspecific competition rate α′.
+	AlphaPrime float64
+	// GammaPrime is the intraspecific competition rate γ′.
+	GammaPrime float64
+}
+
+// Validate checks that the competition rates are non-negative.
+func (l LotkaVolterra) Validate() error {
+	if l.AlphaPrime < 0 || l.GammaPrime < 0 {
+		return fmt.Errorf("ode: negative competition rate in %+v", l)
+	}
+	return nil
+}
+
+// Field returns the vector field over the densities (x₀, x₁).
+func (l LotkaVolterra) Field() Func {
+	return func(_ float64, y []float64, dydt []float64) {
+		x0, x1 := y[0], y[1]
+		dydt[0] = x0 * (l.R - l.AlphaPrime*x1 - l.GammaPrime*x0)
+		dydt[1] = x1 * (l.R - l.AlphaPrime*x0 - l.GammaPrime*x1)
+	}
+}
+
+// WinnerResult describes the outcome of a deterministic winner run.
+type WinnerResult struct {
+	// Winner is 0 or 1 for the species whose density dominated, or −1 if
+	// neither species fell below the extinction threshold within the time
+	// horizon (coexistence or too-short horizon).
+	Winner int
+	// T is the time at which the decision was made.
+	T float64
+	// Final holds the densities at time T.
+	Final [2]float64
+}
+
+// DeterministicWinner integrates the system from the given densities until
+// one species' density falls below extinctionThreshold times the other's, or
+// until maxTime. With α′ > γ′ the deterministic dynamics always drive the
+// initially smaller density to extinction, which is exactly the behaviour
+// §2.1 of the paper contrasts with the stochastic finite-population model.
+func (l LotkaVolterra) DeterministicWinner(x0, x1, extinctionThreshold, maxTime float64) (WinnerResult, error) {
+	if err := l.Validate(); err != nil {
+		return WinnerResult{}, err
+	}
+	if x0 < 0 || x1 < 0 {
+		return WinnerResult{}, fmt.Errorf("ode: negative initial densities (%v, %v)", x0, x1)
+	}
+	if extinctionThreshold <= 0 || extinctionThreshold >= 1 {
+		return WinnerResult{}, fmt.Errorf("ode: extinction threshold %v outside (0, 1)", extinctionThreshold)
+	}
+	if maxTime <= 0 {
+		return WinnerResult{}, fmt.Errorf("ode: non-positive time horizon %v", maxTime)
+	}
+	decided := func(_ float64, y []float64) bool {
+		return y[0] < extinctionThreshold*y[1] || y[1] < extinctionThreshold*y[0]
+	}
+	res, err := Adaptive(l.Field(), []float64{x0, x1}, 0, maxTime, AdaptiveOptions{
+		Stop: decided,
+	})
+	if err != nil {
+		return WinnerResult{}, err
+	}
+	out := WinnerResult{Winner: -1, T: res.T, Final: [2]float64{res.Y[0], res.Y[1]}}
+	switch {
+	case res.Y[1] < extinctionThreshold*res.Y[0]:
+		out.Winner = 0
+	case res.Y[0] < extinctionThreshold*res.Y[1]:
+		out.Winner = 1
+	}
+	return out, nil
+}

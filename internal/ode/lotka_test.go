@@ -1,0 +1,138 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLotkaVolterraValidate(t *testing.T) {
+	if err := (LotkaVolterra{R: 1, AlphaPrime: -1}).Validate(); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if err := (LotkaVolterra{R: -1, AlphaPrime: 1, GammaPrime: 1}).Validate(); err != nil {
+		t.Errorf("negative r rejected: %v", err)
+	}
+}
+
+func TestLotkaVolterraFieldValues(t *testing.T) {
+	l := LotkaVolterra{R: 2, AlphaPrime: 0.5, GammaPrime: 0.25}
+	dydt := make([]float64, 2)
+	l.Field()(0, []float64{4, 2}, dydt)
+	// dx0 = 4·(2 − 0.5·2 − 0.25·4) = 4·0 = 0
+	// dx1 = 2·(2 − 0.5·4 − 0.25·2) = 2·(−0.5) = −1
+	if math.Abs(dydt[0]) > 1e-12 || math.Abs(dydt[1]+1) > 1e-12 {
+		t.Errorf("field = %v, want [0 -1]", dydt)
+	}
+}
+
+func TestDeterministicWinnerMajorityAlwaysWins(t *testing.T) {
+	// With α′ > γ′ the species with higher initial density always wins
+	// under deterministic dynamics (§2.1), even for tiny initial gaps.
+	l := LotkaVolterra{R: 1, AlphaPrime: 1, GammaPrime: 0.1}
+	cases := [][2]float64{
+		{1.01, 1},
+		{1.001, 1},
+		{5, 4.999},
+	}
+	for _, c := range cases {
+		res, err := l.DeterministicWinner(c[0], c[1], 1e-6, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if c[1] > c[0] {
+			want = 1
+		}
+		if res.Winner != want {
+			t.Errorf("densities %v: winner = %d, want %d (final %v)", c, res.Winner, want, res.Final)
+		}
+	}
+}
+
+func TestDeterministicWinnerReversedOrientation(t *testing.T) {
+	l := LotkaVolterra{R: 1, AlphaPrime: 1, GammaPrime: 0.1}
+	res, err := l.DeterministicWinner(1, 1.01, 1e-6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != 1 {
+		t.Errorf("winner = %d, want 1", res.Winner)
+	}
+}
+
+func TestCoexistenceWhenIntraspecificDominates(t *testing.T) {
+	// γ′ > α′ gives a stable interior equilibrium: neither species dies
+	// out, so no winner emerges.
+	l := LotkaVolterra{R: 1, AlphaPrime: 0.1, GammaPrime: 1}
+	res, err := l.DeterministicWinner(1.2, 1, 1e-6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != -1 {
+		t.Errorf("winner = %d, want coexistence (-1)", res.Winner)
+	}
+	// Both densities should approach the symmetric equilibrium
+	// x* = r/(α′+γ′).
+	eq := 1.0 / 1.1
+	if math.Abs(res.Final[0]-eq) > 0.05 || math.Abs(res.Final[1]-eq) > 0.05 {
+		t.Errorf("final densities %v, want both near %v", res.Final, eq)
+	}
+}
+
+func TestDeterministicWinnerValidation(t *testing.T) {
+	l := LotkaVolterra{R: 1, AlphaPrime: 1, GammaPrime: 0.1}
+	if _, err := l.DeterministicWinner(-1, 1, 1e-6, 10); err == nil {
+		t.Error("negative density accepted")
+	}
+	if _, err := l.DeterministicWinner(1, 1, 2, 10); err == nil {
+		t.Error("threshold >= 1 accepted")
+	}
+	if _, err := l.DeterministicWinner(1, 1, 1e-6, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := LotkaVolterra{R: 1, AlphaPrime: -1}
+	if _, err := bad.DeterministicWinner(1, 1, 1e-6, 10); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestDeterministicWinnerStiffStartLongHorizon(t *testing.T) {
+	// Regression test: with large initial densities and a huge time
+	// horizon, the default initial step overflows the first trial step;
+	// the integrator must reject it (not accept a NaN state) and still
+	// decide the winner. r = 0 matches the neutral β = δ chains used in
+	// the experiments.
+	sys := LotkaVolterra{R: 0, AlphaPrime: 2, GammaPrime: 0}
+	res, err := sys.DeterministicWinner(528, 496, 1e-9, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != 0 {
+		t.Errorf("winner = %d (final %v), want 0", res.Winner, res.Final)
+	}
+	if math.IsNaN(res.Final[0]) || math.IsNaN(res.Final[1]) {
+		t.Errorf("NaN final state: %v", res.Final)
+	}
+	// The gap is conserved under symmetric SD decay, so species 0 ends
+	// near the initial gap of 32.
+	if math.Abs(res.Final[0]-32) > 1 {
+		t.Errorf("final majority density %v, want ~32", res.Final[0])
+	}
+}
+
+func TestLogisticGrowthSingleSpecies(t *testing.T) {
+	// With the other species extinct, each equation reduces to logistic
+	// growth with carrying capacity r/γ′.
+	l := LotkaVolterra{R: 2, AlphaPrime: 1, GammaPrime: 0.5}
+	res, err := Adaptive(l.Field(), []float64{0.01, 0}, 0, 50, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := l.R / l.GammaPrime
+	if math.Abs(res.Y[0]-capacity) > 1e-3 {
+		t.Errorf("x0(∞) = %v, want carrying capacity %v", res.Y[0], capacity)
+	}
+	if res.Y[1] != 0 {
+		t.Errorf("x1 = %v, want 0 (extinct stays extinct)", res.Y[1])
+	}
+}

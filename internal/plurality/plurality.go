@@ -1,0 +1,328 @@
+// Package plurality generalizes the paper's two-species majority-consensus
+// question to k competing species: starting from counts x₁ ≥ x₂ ≥ ... ≥ x_k
+// with species 0 the plurality, what is the probability that species 0 is
+// the sole survivor of the competitive Lotka–Volterra dynamics?
+//
+// The model extends Eq. (1)/(2) of the paper symmetrically: every species
+// reproduces at rate β and dies at rate δ; every ordered pair (i, j), i ≠ j,
+// competes at rate α with propensity α·xᵢ·xⱼ (self-destructive: both die;
+// non-self-destructive: the victim j dies); intraspecific competition at
+// rate γ. The paper studies k = 2; plurality consensus for k > 2 is the
+// natural next question its §2.2 relates to (plurality consensus in gossip
+// and population-protocol models). This package provides the simulator and
+// the measurement; no theorems from the paper apply directly, and the
+// experiment harness labels the results as exploration.
+package plurality
+
+import (
+	"fmt"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+// Params configures a k-species competitive LV chain. All species share the
+// same rates (the neutral case).
+type Params struct {
+	// Beta and Delta are the per-capita birth and death rates.
+	Beta, Delta float64
+	// Alpha is the pairwise interspecific competition rate: each ordered
+	// pair (i, j) with i ≠ j reacts with propensity Alpha·xᵢ·xⱼ.
+	Alpha float64
+	// Gamma is the intraspecific competition rate (propensity
+	// Gamma·xᵢ(xᵢ−1)/2).
+	Gamma float64
+	// Competition selects the interference model, reusing the two-species
+	// package's enum.
+	Competition lv.Competition
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	for _, r := range []float64{p.Beta, p.Delta, p.Alpha, p.Gamma} {
+		if r < 0 || r != r {
+			return fmt.Errorf("plurality: invalid rate in %+v", p)
+		}
+	}
+	if p.Competition != lv.SelfDestructive && p.Competition != lv.NonSelfDestructive {
+		return fmt.Errorf("plurality: unknown competition model %d", p.Competition)
+	}
+	return nil
+}
+
+// Outcome summarizes a run to plurality consensus (single survivor or total
+// extinction).
+type Outcome struct {
+	// Consensus reports whether at most one species remained within the
+	// step budget.
+	Consensus bool
+	// Winner is the surviving species index, or −1 for total extinction
+	// or no consensus.
+	Winner int
+	// PluralityWon reports whether the initial plurality species
+	// survived alone.
+	PluralityWon bool
+	// Steps is the number of reactions fired.
+	Steps int
+	// Survivors is the number of species alive at the end.
+	Survivors int
+}
+
+// Run simulates the k-species chain from the given counts until at most one
+// species survives (k is len(initial)). Species 0 is taken as the initial
+// plurality regardless of ordering; callers put the plurality first.
+func Run(p Params, initial []int, src *rng.Source, maxSteps int) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if len(initial) < 2 {
+		return Outcome{}, fmt.Errorf("plurality: need at least 2 species, got %d", len(initial))
+	}
+	if src == nil {
+		return Outcome{}, fmt.Errorf("plurality: nil random source")
+	}
+	x := make([]float64, len(initial))
+	counts := make([]int, len(initial))
+	for i, v := range initial {
+		if v < 0 {
+			return Outcome{}, fmt.Errorf("plurality: negative count %d for species %d", v, i)
+		}
+		counts[i] = v
+		x[i] = float64(v)
+	}
+	if maxSteps <= 0 {
+		maxSteps = lv.DefaultMaxSteps
+	}
+
+	alive := 0
+	var total float64
+	for _, v := range counts {
+		if v > 0 {
+			alive++
+		}
+		total += float64(v)
+	}
+
+	out := Outcome{Winner: -1}
+	for steps := 0; ; steps++ {
+		if alive <= 1 {
+			out.Consensus = true
+			out.Steps = steps
+			out.Survivors = alive
+			if alive == 1 {
+				for i, v := range counts {
+					if v > 0 {
+						out.Winner = i
+					}
+				}
+			}
+			out.PluralityWon = out.Winner == 0
+			return out, nil
+		}
+		if steps >= maxSteps {
+			out.Steps = steps
+			out.Survivors = alive
+			return out, nil
+		}
+
+		// Total propensity: individual events β+δ per capita, pairwise
+		// interspecific α·Σ_{i≠j} xᵢxⱼ = α·(T² − Σxᵢ²), intraspecific
+		// γ·Σ xᵢ(xᵢ−1)/2.
+		var sumSq float64
+		for i := range counts {
+			x[i] = float64(counts[i])
+			sumSq += x[i] * x[i]
+		}
+		indiv := (p.Beta + p.Delta) * total
+		inter := p.Alpha * (total*total - sumSq)
+		var intra float64
+		for _, xi := range x {
+			intra += p.Gamma * xi * (xi - 1) / 2
+		}
+		phi := indiv + inter + intra
+		if phi <= 0 {
+			out.Steps = steps
+			out.Survivors = alive
+			return out, nil
+		}
+
+		u := src.Float64() * phi
+		switch {
+		case u < indiv:
+			// Individual event: pick species ∝ count, then birth
+			// vs death ∝ β vs δ.
+			i := pickProportional(counts, total, src)
+			if src.Float64()*(p.Beta+p.Delta) < p.Beta {
+				counts[i]++
+				total++
+			} else {
+				counts[i]--
+				total--
+				if counts[i] == 0 {
+					alive--
+				}
+			}
+		case u < indiv+inter:
+			// Interspecific: pick ordered pair (i, j), i ≠ j, with
+			// probability xᵢxⱼ / (T² − Σx²).
+			i, j := pickPair(counts, total, src)
+			if p.Competition == lv.SelfDestructive {
+				counts[i]--
+				counts[j]--
+				total -= 2
+				if counts[i] == 0 {
+					alive--
+				}
+				if counts[j] == 0 {
+					alive--
+				}
+			} else {
+				// NSD: the initiator i survives, j dies.
+				counts[j]--
+				total--
+				if counts[j] == 0 {
+					alive--
+				}
+			}
+		default:
+			// Intraspecific: pick species ∝ xᵢ(xᵢ−1).
+			i := pickIntra(counts, src)
+			loss := 1
+			if p.Competition == lv.SelfDestructive {
+				loss = 2
+			}
+			counts[i] -= loss
+			total -= float64(loss)
+			if counts[i] == 0 {
+				alive--
+			}
+		}
+	}
+}
+
+// pickProportional samples an index with probability counts[i]/total.
+func pickProportional(counts []int, total float64, src *rng.Source) int {
+	u := src.Float64() * total
+	acc := 0.0
+	last := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		acc += float64(c)
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last
+}
+
+// pickPair samples an ordered pair (i, j), i ≠ j, with probability
+// proportional to counts[i]·counts[j].
+func pickPair(counts []int, total float64, src *rng.Source) (int, int) {
+	var sumSq float64
+	for _, c := range counts {
+		sumSq += float64(c) * float64(c)
+	}
+	weight := total*total - sumSq
+	u := src.Float64() * weight
+	acc := 0.0
+	lastI, lastJ := 0, 1
+	for i, ci := range counts {
+		if ci == 0 {
+			continue
+		}
+		row := float64(ci) * (total - float64(ci))
+		if row <= 0 {
+			continue
+		}
+		if u >= acc+row {
+			acc += row
+			continue
+		}
+		// Within row i: pick j ≠ i proportional to counts[j].
+		v := src.Float64() * (total - float64(ci))
+		accJ := 0.0
+		for j, cj := range counts {
+			if j == i || cj == 0 {
+				continue
+			}
+			accJ += float64(cj)
+			lastI, lastJ = i, j
+			if v < accJ {
+				return i, j
+			}
+		}
+		return lastI, lastJ
+	}
+	return lastI, lastJ
+}
+
+// pickIntra samples a species with probability proportional to x(x−1).
+func pickIntra(counts []int, src *rng.Source) int {
+	var weight float64
+	for _, c := range counts {
+		weight += float64(c) * float64(c-1)
+	}
+	u := src.Float64() * weight
+	acc := 0.0
+	last := 0
+	for i, c := range counts {
+		w := float64(c) * float64(c-1)
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last
+}
+
+// Protocol adapts the k-species chain to the consensus.Protocol interface:
+// the plurality species receives b + delta individuals and the remaining
+// k−1 species receive b each, where n = (b + delta) + (k−1)·b (rounded so
+// totals match n as closely as the integer constraints allow).
+type Protocol struct {
+	Params Params
+	// K is the number of species (>= 2).
+	K int
+	// MaxSteps bounds each trial.
+	MaxSteps int
+}
+
+// Name implements consensus.Protocol.
+func (p Protocol) Name() string {
+	return fmt.Sprintf("%d-species plurality LV (%s)", p.K, p.Params.Competition)
+}
+
+// Trial implements consensus.Protocol.
+func (p Protocol) Trial(n, delta int, src *rng.Source) (bool, error) {
+	if p.K < 2 {
+		return false, fmt.Errorf("plurality: K = %d too small", p.K)
+	}
+	if n < p.K || delta < 0 || delta > n-p.K {
+		return false, fmt.Errorf("plurality: infeasible (n=%d, delta=%d, k=%d)", n, delta, p.K)
+	}
+	// Distribute: minority species get b each, plurality gets b + delta
+	// plus any remainder (keeping it the strict plurality).
+	b := (n - delta) / p.K
+	if b < 1 {
+		return false, fmt.Errorf("plurality: gap %d leaves empty minorities (n=%d, k=%d)", delta, n, p.K)
+	}
+	counts := make([]int, p.K)
+	used := 0
+	for i := 1; i < p.K; i++ {
+		counts[i] = b
+		used += b
+	}
+	counts[0] = n - used
+	out, err := Run(p.Params, counts, src, p.MaxSteps)
+	if err != nil {
+		return false, err
+	}
+	return out.Consensus && out.PluralityWon, nil
+}

@@ -1,0 +1,236 @@
+package plurality
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+var _ consensus.Protocol = Protocol{}
+
+func sdParams() Params {
+	return Params{Beta: 1, Delta: 1, Alpha: 1, Competition: lv.SelfDestructive}
+}
+
+func nsdParams() Params {
+	return Params{Beta: 1, Delta: 1, Alpha: 1, Competition: lv.NonSelfDestructive}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Beta: -1, Competition: lv.SelfDestructive},
+		{Alpha: -0.5, Competition: lv.SelfDestructive},
+		{Beta: 1, Delta: 1, Alpha: 1}, // missing competition
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	if err := sdParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Run(sdParams(), []int{5}, src, 0); err == nil {
+		t.Error("single species accepted")
+	}
+	if _, err := Run(sdParams(), []int{5, -1}, src, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Run(sdParams(), []int{5, 5}, nil, 0); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestRunReachesConsensus(t *testing.T) {
+	src := rng.New(3)
+	for _, params := range []Params{sdParams(), nsdParams()} {
+		for trial := 0; trial < 50; trial++ {
+			out, err := Run(params, []int{20, 12, 8}, src, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Consensus {
+				t.Fatalf("%v: no consensus", params.Competition)
+			}
+			if out.Survivors > 1 {
+				t.Fatalf("consensus with %d survivors", out.Survivors)
+			}
+			if out.Winner >= 0 && out.Survivors != 1 {
+				t.Fatalf("winner %d with %d survivors", out.Winner, out.Survivors)
+			}
+		}
+	}
+}
+
+func TestTwoSpeciesMatchesLV(t *testing.T) {
+	// k = 2 must reproduce the two-species chain's win probability. The
+	// pairwise rate bookkeeping differs: plurality's Alpha covers each
+	// *ordered* pair, so Alpha = a matches lv.Neutral alpha = a.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const trials = 6000
+	initial := lv.State{X0: 18, X1: 12}
+
+	srcLV := rng.New(7)
+	lvWins := 0
+	params2 := lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive)
+	for i := 0; i < trials; i++ {
+		out, err := lv.Run(params2, initial, srcLV, lv.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.MajorityWon {
+			lvWins++
+		}
+	}
+	srcPl := rng.New(9)
+	plWins := 0
+	for i := 0; i < trials; i++ {
+		out, err := Run(nsdParams(), []int{initial.X0, initial.X1}, srcPl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.PluralityWon {
+			plWins++
+		}
+	}
+	a, err := stats.WilsonInterval(lvWins, trials, stats.Z999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stats.WilsonInterval(plWins, trials, stats.Z999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo > b.Hi || b.Lo > a.Hi {
+		t.Errorf("k=2 plurality %v differs from lv %v", b, a)
+	}
+}
+
+func TestSymmetryFromEqualCounts(t *testing.T) {
+	// Three species starting equal: each wins about 1/3 of decided runs.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	src := rng.New(11)
+	const trials = 3000
+	wins := make([]int, 3)
+	decided := 0
+	for i := 0; i < trials; i++ {
+		out, err := Run(nsdParams(), []int{15, 15, 15}, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Winner >= 0 {
+			wins[out.Winner]++
+			decided++
+		}
+	}
+	for s, w := range wins {
+		est, err := stats.WilsonInterval(w, decided, stats.Z999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Lo > 1.0/3 || est.Hi < 1.0/3 {
+			t.Errorf("species %d win rate %v, CI excludes 1/3", s, est)
+		}
+	}
+}
+
+func TestLargeGapPluralityWins(t *testing.T) {
+	src := rng.New(13)
+	wins := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		out, err := Run(sdParams(), []int{60, 10, 10}, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.PluralityWon {
+			wins++
+		}
+	}
+	if wins < trials*85/100 {
+		t.Errorf("overwhelming plurality won only %d/%d", wins, trials)
+	}
+}
+
+func TestCountsStayNonNegativeProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, kRaw, popRaw uint8, sd bool) bool {
+		k := int(kRaw%4) + 2
+		pop := int(popRaw%20) + k
+		params := nsdParams()
+		if sd {
+			params = sdParams()
+		}
+		counts := make([]int, k)
+		for i := 0; i < pop; i++ {
+			counts[i%k]++
+		}
+		out, err := Run(params, counts, rng.New(seed), 50000)
+		if err != nil {
+			return false
+		}
+		return out.Steps >= 0
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtocolTrial(t *testing.T) {
+	p := Protocol{Params: sdParams(), K: 3}
+	src := rng.New(17)
+	wins := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		won, err := p.Trial(90, 45, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			wins++
+		}
+	}
+	if wins < trials*3/4 {
+		t.Errorf("plurality protocol with huge gap won only %d/%d", wins, trials)
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := (Protocol{Params: sdParams(), K: 1}).Trial(10, 2, src); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := (Protocol{Params: sdParams(), K: 3}).Trial(2, 0, src); err == nil {
+		t.Error("n < K accepted")
+	}
+	if _, err := (Protocol{Params: sdParams(), K: 3}).Trial(9, 8, src); err == nil {
+		t.Error("gap leaving empty minorities accepted")
+	}
+	if (Protocol{Params: sdParams(), K: 3}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestTotalExtinctionPossible(t *testing.T) {
+	// Pure SD competition from (1,1): both die. Winner must be -1 and
+	// PluralityWon false.
+	p := Params{Alpha: 1, Competition: lv.SelfDestructive}
+	out, err := Run(p, []int{1, 1}, rng.New(19), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Consensus || out.Winner != -1 || out.PluralityWon || out.Survivors != 0 {
+		t.Errorf("outcome = %+v, want total extinction", out)
+	}
+}

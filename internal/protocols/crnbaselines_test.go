@@ -1,0 +1,124 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+func TestCRNVariantString(t *testing.T) {
+	cases := map[CRNVariant]string{
+		SingleB:       "single-B",
+		DoubleB:       "double-B",
+		HeavyB:        "heavy-B",
+		TriMajority:   "tri-majority",
+		CRNVariant(9): "CRNVariant(9)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestCondonNetworks(t *testing.T) {
+	cases := []struct {
+		variant   CRNVariant
+		species   int
+		reactions int
+	}{
+		{SingleB, 3, 4},
+		{DoubleB, 3, 3},
+		{HeavyB, 3, 3},
+		{TriMajority, 2, 2},
+	}
+	for _, tc := range cases {
+		net, err := CondonProtocol{Variant: tc.variant}.network()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.variant, err)
+		}
+		if net.NumSpecies() != tc.species {
+			t.Errorf("%v: %d species, want %d", tc.variant, net.NumSpecies(), tc.species)
+		}
+		if net.NumReactions() != tc.reactions {
+			t.Errorf("%v: %d reactions, want %d", tc.variant, net.NumReactions(), tc.reactions)
+		}
+	}
+	if _, err := (CondonProtocol{Variant: CRNVariant(0)}).network(); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestCondonMoleculeAccounting(t *testing.T) {
+	// single-B preserves molecule count; double-B preserves it; heavy-B
+	// increases it by one per cancellation; tri-majority preserves it.
+	net, err := CondonProtocol{Variant: HeavyB}.network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []int{3, 2, 0}
+	if err := net.Apply(0, state); err != nil { // X+Y -> B+B+B
+		t.Fatal(err)
+	}
+	if state[0] != 2 || state[1] != 1 || state[2] != 3 {
+		t.Errorf("heavy-B cancellation gave %v, want [2 1 3]", state)
+	}
+}
+
+func TestCondonTrialValidation(t *testing.T) {
+	p := CondonProtocol{Variant: SingleB}
+	if _, err := p.Trial(1, 0, rng.New(1)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := p.Trial(10, 3, rng.New(1)); err == nil {
+		t.Error("parity mismatch accepted")
+	}
+}
+
+func TestCondonLargeGapWins(t *testing.T) {
+	src := rng.New(23)
+	for _, variant := range []CRNVariant{SingleB, DoubleB, HeavyB, TriMajority} {
+		p := CondonProtocol{Variant: variant}
+		wins := 0
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			won, err := p.Trial(60, 40, src)
+			if err != nil {
+				t.Fatalf("%v: %v", variant, err)
+			}
+			if won {
+				wins++
+			}
+		}
+		if wins < trials*9/10 {
+			t.Errorf("%v with huge gap won only %d/%d", variant, wins, trials)
+		}
+	}
+}
+
+func TestCondonNames(t *testing.T) {
+	p := CondonProtocol{Variant: DoubleB}
+	if !strings.Contains(p.Name(), "double-B") {
+		t.Errorf("name %q does not mention the variant", p.Name())
+	}
+}
+
+func TestTriMajorityNeverCreatesBlanks(t *testing.T) {
+	// Tri-majority preserves total count and uses only two species.
+	p := CondonProtocol{Variant: TriMajority}
+	net, err := p.network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []int{5, 3}
+	if err := net.Apply(0, state); err != nil {
+		t.Fatal(err)
+	}
+	if state[0]+state[1] != 8 {
+		t.Errorf("tri-majority changed total count: %v", state)
+	}
+	if state[0] != 6 || state[1] != 2 {
+		t.Errorf("X+X+Y->3X gave %v, want [6 2]", state)
+	}
+}

@@ -1,0 +1,251 @@
+// Package protocols implements the baseline majority-consensus protocols the
+// paper compares against or cites as prior work (§2.2):
+//
+//   - a population-protocol engine (static population, uniformly random
+//     ordered pairwise interactions) with the classic 3-state approximate
+//     majority protocol of Angluin, Aspnes, and Eisenstat and the 4-state
+//     exact majority protocol of Draief–Vojnović / Mertzios et al.;
+//   - the chemical-reaction-network protocols of Condon et al. ("single-B",
+//     "double-B", "heavy-B", and the two-species trimolecular rule), built
+//     on the internal/crn engine; and
+//   - the resource-consumer model of Andaur et al. (bounded, non-mass-action
+//     growth, no individual deaths, non-self-destructive interference) and
+//     the Cho et al. special case (δ = 0, self-destructive) of the LV model.
+//
+// Every protocol satisfies the consensus.Protocol interface, so the same
+// estimator and threshold search drive all of them.
+package protocols
+
+import (
+	"fmt"
+
+	"lvmajority/internal/rng"
+)
+
+// PopulationProtocol is a population protocol over a small state space with
+// uniformly random ordered pairwise interactions: at each step an ordered
+// pair of distinct agents (initiator, responder) is chosen uniformly at
+// random and both agents update according to Rule.
+type PopulationProtocol struct {
+	// ProtocolName labels the protocol.
+	ProtocolName string
+	// NumStates is the number of agent states.
+	NumStates int
+	// Rule maps (initiator, responder) states to their successor states.
+	Rule func(initiator, responder int) (int, int)
+	// MajorityState and MinorityState are the initial states of
+	// majority- and minority-opinion agents.
+	MajorityState, MinorityState int
+	// Done inspects the per-state counts and reports whether the
+	// execution has stabilized, and if so which opinion won (0 for the
+	// initial majority's opinion, 1 for the minority's, −1 for neither).
+	Done func(counts []int) (done bool, winner int)
+	// MaxInteractionsFor bounds the trial length as a function of n;
+	// nil uses 400·n·(log₂ n + 1), generous for protocols converging in
+	// O(n log n) interactions.
+	MaxInteractionsFor func(n int) int
+}
+
+// Name implements consensus.Protocol.
+func (p *PopulationProtocol) Name() string { return p.ProtocolName }
+
+// validate checks the protocol wiring.
+func (p *PopulationProtocol) validate() error {
+	if p.NumStates < 2 {
+		return fmt.Errorf("protocols: %q needs at least 2 states", p.ProtocolName)
+	}
+	if p.Rule == nil || p.Done == nil {
+		return fmt.Errorf("protocols: %q missing rule or done predicate", p.ProtocolName)
+	}
+	if p.MajorityState < 0 || p.MajorityState >= p.NumStates ||
+		p.MinorityState < 0 || p.MinorityState >= p.NumStates {
+		return fmt.Errorf("protocols: %q has out-of-range initial states", p.ProtocolName)
+	}
+	return nil
+}
+
+// Trial implements consensus.Protocol: it runs one execution with a
+// majority of a = (n+delta)/2 agents and a minority of b = (n−delta)/2
+// agents and reports whether the initial majority's opinion won.
+func (p *PopulationProtocol) Trial(n, delta int, src *rng.Source) (bool, error) {
+	if err := p.validate(); err != nil {
+		return false, err
+	}
+	if n < 2 {
+		return false, fmt.Errorf("protocols: population %d too small", n)
+	}
+	if delta < 0 || (n-delta)%2 != 0 || delta > n-2 {
+		return false, fmt.Errorf("protocols: infeasible gap %d for n=%d", delta, n)
+	}
+	b := (n - delta) / 2
+	a := n - b
+
+	counts := make([]int, p.NumStates)
+	counts[p.MajorityState] += a
+	counts[p.MinorityState] += b
+
+	maxInteractions := 0
+	if p.MaxInteractionsFor != nil {
+		maxInteractions = p.MaxInteractionsFor(n)
+	}
+	if maxInteractions <= 0 {
+		logN := 1
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		maxInteractions = 400 * n * logN
+	}
+
+	for step := 0; step < maxInteractions; step++ {
+		if done, winner := p.Done(counts); done {
+			return winner == 0, nil
+		}
+		initiator := sampleState(counts, n, src)
+		// The responder is a distinct agent: discount the initiator.
+		counts[initiator]--
+		responder := sampleState(counts, n-1, src)
+		counts[initiator]++
+
+		ni, nr := p.Rule(initiator, responder)
+		if ni < 0 || ni >= p.NumStates || nr < 0 || nr >= p.NumStates {
+			return false, fmt.Errorf("protocols: %q rule produced out-of-range states (%d, %d)", p.ProtocolName, ni, nr)
+		}
+		counts[initiator]--
+		counts[responder]--
+		counts[ni]++
+		counts[nr]++
+	}
+	// Did not stabilize within the budget: count as failure.
+	return false, nil
+}
+
+// sampleState picks a state index with probability counts[s]/total.
+func sampleState(counts []int, total int, src *rng.Source) int {
+	u := src.Intn(total)
+	acc := 0
+	for s, c := range counts {
+		acc += c
+		if u < acc {
+			return s
+		}
+	}
+	// Unreachable when total == sum(counts); guard for safety.
+	return len(counts) - 1
+}
+
+// Three-state approximate majority protocol (Angluin, Aspnes, Eisenstat
+// 2008). States: amX and amY are the two opinions, amBlank is undecided.
+// Rules (one-way: only the responder changes):
+//
+//	(X, Y) → (X, blank)   (Y, X) → (Y, blank)
+//	(X, blank) → (X, X)   (Y, blank) → (Y, Y)
+//
+// It solves approximate majority in O(n log n) interactions w.h.p. when the
+// initial gap is Ω(√n · log n).
+const (
+	amX = iota
+	amY
+	amBlank
+)
+
+// NewThreeStateAM returns the 3-state approximate majority protocol, with
+// the majority holding opinion X.
+func NewThreeStateAM() *PopulationProtocol {
+	return &PopulationProtocol{
+		ProtocolName: "3-state approximate majority (Angluin et al.)",
+		NumStates:    3,
+		Rule: func(initiator, responder int) (int, int) {
+			switch {
+			case initiator == amX && responder == amY:
+				return amX, amBlank
+			case initiator == amY && responder == amX:
+				return amY, amBlank
+			case initiator == amX && responder == amBlank:
+				return amX, amX
+			case initiator == amY && responder == amBlank:
+				return amY, amY
+			default:
+				return initiator, responder
+			}
+		},
+		MajorityState: amX,
+		MinorityState: amY,
+		Done: func(counts []int) (bool, int) {
+			switch {
+			case counts[amY] == 0 && counts[amBlank] == 0:
+				return true, 0
+			case counts[amX] == 0 && counts[amBlank] == 0:
+				return true, 1
+			default:
+				return false, -1
+			}
+		},
+	}
+}
+
+// Four-state exact majority protocol (Draief–Vojnović 2012; Mertzios et al.
+// 2014), presented as binary interval consensus. States: strong opinions
+// exS0/exS1 and weak opinions exW0/exW1. Rules (both agents may change):
+//
+//	(S0, S1) → (W0, W1)  — strong opinions annihilate into weak ones
+//	(S0, W1) → (S0, W0)  — strong converts opposing weak
+//	(S1, W0) → (S1, W1)
+//
+// plus the mirrored initiator/responder cases. The protocol reaches the
+// correct majority opinion with probability 1 for any Δ > 0, in O(n²)
+// expected interactions in the worst case.
+const (
+	exS0 = iota
+	exS1
+	exW0
+	exW1
+)
+
+// NewFourStateExact returns the 4-state exact majority protocol, with the
+// majority holding opinion 0.
+func NewFourStateExact() *PopulationProtocol {
+	rule := func(a, b int) (int, int) {
+		switch {
+		case a == exS0 && b == exS1:
+			return exW0, exW1
+		case a == exS1 && b == exS0:
+			return exW1, exW0
+		case a == exS0 && b == exW1:
+			return exS0, exW0
+		case a == exW1 && b == exS0:
+			return exW0, exS0
+		case a == exS1 && b == exW0:
+			return exS1, exW1
+		case a == exW0 && b == exS1:
+			return exW1, exS1
+		default:
+			return a, b
+		}
+	}
+	return &PopulationProtocol{
+		ProtocolName:  "4-state exact majority (Draief-Vojnović)",
+		NumStates:     4,
+		Rule:          rule,
+		MajorityState: exS0,
+		MinorityState: exS1,
+		Done: func(counts []int) (bool, int) {
+			opinion0 := counts[exS0] + counts[exW0]
+			opinion1 := counts[exS1] + counts[exW1]
+			switch {
+			case opinion1 == 0:
+				return true, 0
+			case opinion0 == 0:
+				return true, 1
+			case counts[exS0]+counts[exS1] == 0:
+				// All strong tokens annihilated (possible only
+				// from a tie): weak opinions can never change
+				// again, so the execution is stuck undecided.
+				return true, -1
+			default:
+				return false, -1
+			}
+		},
+		// Exact majority needs Θ(n²) interactions for small gaps.
+		MaxInteractionsFor: func(n int) int { return 200 * n * n },
+	}
+}

@@ -1,0 +1,55 @@
+package protocols
+
+// NewTernarySignaling returns the 3-state binary consensus protocol of
+// Perron, Vasudevan, and Vojnović (INFOCOM 2009). Like the Angluin et al.
+// approximate-majority protocol it uses two decided opinions and one
+// undecided state and the same cancellation idea the paper's LV protocols
+// rely on, but the update direction is reversed: the *initiator* pulls the
+// responder's state and updates itself, while the responder never changes.
+//
+//	(0, 1) → (e, 1)    (1, 0) → (e, 0)
+//	(e, 0) → (0, 0)    (e, 1) → (1, 1)
+//
+// Perron et al. show that with a linear initial gap the protocol fails only
+// with exponentially small probability.
+func NewTernarySignaling() *PopulationProtocol {
+	const (
+		ts0 = iota
+		ts1
+		tsE
+	)
+	return &PopulationProtocol{
+		ProtocolName: "ternary signaling (Perron et al.)",
+		NumStates:    3,
+		Rule: func(initiator, responder int) (int, int) {
+			switch {
+			case initiator == ts0 && responder == ts1:
+				return tsE, responder
+			case initiator == ts1 && responder == ts0:
+				return tsE, responder
+			case initiator == tsE && responder == ts0:
+				return ts0, responder
+			case initiator == tsE && responder == ts1:
+				return ts1, responder
+			default:
+				return initiator, responder
+			}
+		},
+		MajorityState: ts0,
+		MinorityState: ts1,
+		Done: func(counts []int) (bool, int) {
+			switch {
+			case counts[ts1] == 0 && counts[tsE] == 0:
+				return true, 0
+			case counts[ts0] == 0 && counts[tsE] == 0:
+				return true, 1
+			case counts[ts0] == 0 && counts[ts1] == 0:
+				// All agents undecided: no decided opinion can
+				// ever reappear.
+				return true, -1
+			default:
+				return false, -1
+			}
+		},
+	}
+}

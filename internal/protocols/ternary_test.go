@@ -1,0 +1,106 @@
+package protocols
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+func TestTernaryRuleTable(t *testing.T) {
+	p := NewTernarySignaling()
+	const (
+		s0 = 0
+		s1 = 1
+		e  = 2
+	)
+	cases := []struct {
+		init, resp         int
+		wantInit, wantResp int
+	}{
+		// Decided initiator meets opposite opinion: initiator undecides.
+		{s0, s1, e, s1},
+		{s1, s0, e, s0},
+		// Undecided initiator pulls the responder's decided opinion.
+		{e, s0, s0, s0},
+		{e, s1, s1, s1},
+		// No-ops: agreement, and decided pulling undecided.
+		{s0, s0, s0, s0},
+		{s1, s1, s1, s1},
+		{s0, e, s0, e},
+		{s1, e, s1, e},
+		{e, e, e, e},
+	}
+	for _, tc := range cases {
+		gi, gr := p.Rule(tc.init, tc.resp)
+		if gi != tc.wantInit || gr != tc.wantResp {
+			t.Errorf("Rule(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.init, tc.resp, gi, gr, tc.wantInit, tc.wantResp)
+		}
+	}
+}
+
+// TestTernaryResponderNeverChanges is the property distinguishing the
+// Perron et al. protocol from the Angluin et al. one: all updates are pulls.
+func TestTernaryResponderNeverChanges(t *testing.T) {
+	p := NewTernarySignaling()
+	for init := 0; init < 3; init++ {
+		for resp := 0; resp < 3; resp++ {
+			if _, gr := p.Rule(init, resp); gr != resp {
+				t.Errorf("Rule(%d, %d) changed the responder to %d", init, resp, gr)
+			}
+		}
+	}
+}
+
+// TestTernaryLargeGapSucceeds checks that a linear gap yields near-certain
+// majority consensus, the regime analyzed by Perron et al.
+func TestTernaryLargeGapSucceeds(t *testing.T) {
+	p := NewTernarySignaling()
+	src := rng.New(3)
+	const (
+		n      = 400
+		delta  = 100 // a 5:3 split
+		trials = 150
+	)
+	wins := 0
+	for i := 0; i < trials; i++ {
+		ok, err := p.Trial(n, delta, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			wins++
+		}
+	}
+	if wins < trials-2 {
+		t.Errorf("only %d/%d wins with a linear gap", wins, trials)
+	}
+}
+
+// TestTernaryTieUnbiased checks the symmetric tie case.
+func TestTernaryTieUnbiased(t *testing.T) {
+	p := NewTernarySignaling()
+	src := rng.New(4)
+	const (
+		n      = 100
+		trials = 1500
+	)
+	wins := 0
+	for i := 0; i < trials; i++ {
+		ok, err := p.Trial(n, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			wins++
+		}
+	}
+	est, err := stats.WilsonInterval(wins, trials, stats.Z99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 0.5 < est.Lo || 0.5 > est.Hi {
+		t.Errorf("tie win CI [%.3f, %.3f] misses 1/2", est.Lo, est.Hi)
+	}
+}

@@ -1,0 +1,210 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpMean(t *testing.T) {
+	src := New(31)
+	for _, rate := range []float64{0.5, 1, 4, 100} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += src.Exp(rate)
+		}
+		got := sum / n
+		want := 1 / rate
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("Exp(%v) mean = %v, want ~%v", rate, got, want)
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	src := New(37)
+	for i := 0; i < 100000; i++ {
+		if v := src.Exp(2); v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	src := New(1)
+	for _, rate := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Exp(%v) did not panic", rate)
+				}
+			}()
+			src.Exp(rate)
+		}()
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	src := New(41)
+	const n = 400000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := src.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormTails(t *testing.T) {
+	src := New(43)
+	const n = 200000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(src.Norm()) > 2 {
+			beyond2++
+		}
+	}
+	// P(|Z| > 2) ~ 0.0455.
+	got := float64(beyond2) / n
+	if math.Abs(got-0.0455) > 0.005 {
+		t.Errorf("P(|Z|>2) = %v, want ~0.0455", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	src := New(47)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(src.Geometric(p))
+		}
+		got := sum / n
+		want := (1 - p) / p
+		if math.Abs(got-want) > 0.05*(want+1) {
+			t.Errorf("Geometric(%v) mean = %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	src := New(53)
+	for i := 0; i < 100; i++ {
+		if g := src.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	src := New(59)
+	if got := src.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, 0.5) = %d, want 0", got)
+	}
+	if got := src.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d, want 0", got)
+	}
+	if got := src.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d, want 10", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	src := New(61)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.5},
+		{100, 0.1},
+		{100, 0.9}, // exercises the symmetry path
+		{10000, 0.3},
+		{1000000, 0.5}, // exercises the normal-approximation path
+	}
+	for _, tc := range cases {
+		const trials = 50000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := float64(src.Binomial(tc.n, tc.p))
+			if v < 0 || v > float64(tc.n) {
+				t.Fatalf("Binomial(%d, %v) = %v out of range", tc.n, tc.p, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(tc.n) * tc.p
+		sd := math.Sqrt(wantMean * (1 - tc.p))
+		if math.Abs(mean-wantMean) > 6*sd/math.Sqrt(trials)+0.02*sd {
+			t.Errorf("Binomial(%d, %v) mean = %v, want ~%v", tc.n, tc.p, mean, wantMean)
+		}
+		variance := sumSq/trials - mean*mean
+		wantVar := wantMean * (1 - tc.p)
+		if math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d, %v) variance = %v, want ~%v", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	src := New(67)
+	for _, mean := range []float64{0.5, 3, 9.5, 10, 25, 200} {
+		const trials = 100000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := float64(src.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative %v", mean, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		got := sum / trials
+		if math.Abs(got-mean)/mean > 0.03 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+		variance := sumSq/trials - got*got
+		if math.Abs(variance-mean)/mean > 0.06 {
+			t.Errorf("Poisson(%v) variance = %v, want ~%v", mean, variance, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	src := New(71)
+	if got := src.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	src := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(-1) did not panic")
+		}
+	}()
+	src.Poisson(-1)
+}
+
+func BenchmarkExp(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Exp(1)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Poisson(100)
+	}
+}

@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// The concentration bounds below mirror Lemma 1 and Lemma 2 of the paper.
+// The test suite uses them as oracles: empirical tail frequencies of sums of
+// independent indicators must not exceed these bounds by more than sampling
+// error.
+
+// ChernoffUpper bounds Pr[X >= (1+eps)·mean] for a sum X of independent
+// Bernoulli variables with E[X] = mean, per Lemma 1(1):
+// exp(−mean·eps²/(2+eps)). It returns 1 for eps <= 0 or mean <= 0 (the bound
+// is vacuous there).
+func ChernoffUpper(mean, eps float64) float64 {
+	if eps <= 0 || mean <= 0 {
+		return 1
+	}
+	return math.Exp(-mean * eps * eps / (2 + eps))
+}
+
+// ChernoffLower bounds Pr[X <= (1−eps)·mean] per Lemma 1(2):
+// exp(−mean·eps²/2) for 0 < eps < 1. It returns 1 outside that range or for
+// mean <= 0.
+func ChernoffLower(mean, eps float64) float64 {
+	if eps <= 0 || eps >= 1 || mean <= 0 {
+		return 1
+	}
+	return math.Exp(-mean * eps * eps / 2)
+}
+
+// HoeffdingTwoSided bounds Pr[|X − E[X]| >= t] for a sum X of n independent
+// random variables each confined to [−1, 1]. We implement the standard
+// Hoeffding inequality for range width 2: 2·exp(−t²/(2n)). (The paper's
+// Lemma 2 prints the exponent −2t²/n, which is the range-[0,1] form; the
+// [−1,1] form used here is the valid one and is weaker, so using it as a
+// test oracle is safe.) It returns 1 for t <= 0 or n <= 0.
+func HoeffdingTwoSided(n int, t float64) float64 {
+	if t <= 0 || n <= 0 {
+		return 1
+	}
+	return 2 * math.Exp(-t*t/(2*float64(n)))
+}
+
+// NormalTailUpper bounds the standard normal upper tail:
+// Pr[Z > x] <= exp(−x²/2) for x >= 0 (a crude but sufficient bound).
+// It returns 1 for x < 0.
+func NormalTailUpper(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	return math.Exp(-x * x / 2)
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+func TestChernoffUpperVacuous(t *testing.T) {
+	if got := ChernoffUpper(10, 0); got != 1 {
+		t.Errorf("ChernoffUpper(10, 0) = %v, want 1", got)
+	}
+	if got := ChernoffUpper(0, 1); got != 1 {
+		t.Errorf("ChernoffUpper(0, 1) = %v, want 1", got)
+	}
+}
+
+func TestChernoffLowerVacuous(t *testing.T) {
+	for _, eps := range []float64{0, 1, 2} {
+		if got := ChernoffLower(10, eps); got != 1 {
+			t.Errorf("ChernoffLower(10, %v) = %v, want 1", eps, got)
+		}
+	}
+}
+
+func TestChernoffBoundsEmpirically(t *testing.T) {
+	// Sum of 200 Bernoulli(0.3): mean 60. The empirical tail frequency
+	// must not exceed the Chernoff bound noticeably.
+	src := rng.New(77)
+	const n = 200
+	const p = 0.3
+	const mean = n * p
+	const eps = 0.5
+	const trials = 20000
+	upperHits, lowerHits := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if src.Bernoulli(p) {
+				sum++
+			}
+		}
+		if float64(sum) >= (1+eps)*mean {
+			upperHits++
+		}
+		if float64(sum) <= (1-eps)*mean {
+			lowerHits++
+		}
+	}
+	slack := 3 * math.Sqrt(float64(trials)) / float64(trials)
+	if got := float64(upperHits) / trials; got > ChernoffUpper(mean, eps)+slack {
+		t.Errorf("upper tail frequency %v exceeds Chernoff bound %v", got, ChernoffUpper(mean, eps))
+	}
+	if got := float64(lowerHits) / trials; got > ChernoffLower(mean, eps)+slack {
+		t.Errorf("lower tail frequency %v exceeds Chernoff bound %v", got, ChernoffLower(mean, eps))
+	}
+}
+
+func TestHoeffdingVacuous(t *testing.T) {
+	if got := HoeffdingTwoSided(10, 0); got != 1 {
+		t.Errorf("HoeffdingTwoSided(10, 0) = %v, want 1", got)
+	}
+	if got := HoeffdingTwoSided(0, 1); got != 1 {
+		t.Errorf("HoeffdingTwoSided(0, 1) = %v, want 1", got)
+	}
+}
+
+func TestHoeffdingEmpirically(t *testing.T) {
+	// Sum of n Rademacher variables (in [-1, 1], mean 0).
+	src := rng.New(79)
+	const n = 100
+	const trials = 20000
+	for _, tval := range []float64{20, 30} {
+		hits := 0
+		for tr := 0; tr < trials; tr++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if src.Bernoulli(0.5) {
+					sum++
+				} else {
+					sum--
+				}
+			}
+			if math.Abs(sum) >= tval {
+				hits++
+			}
+		}
+		bound := HoeffdingTwoSided(n, tval)
+		got := float64(hits) / trials
+		if got > bound+0.01 {
+			t.Errorf("t=%v: tail frequency %v exceeds Hoeffding bound %v", tval, got, bound)
+		}
+	}
+}
+
+func TestHoeffdingMonotone(t *testing.T) {
+	prev := 2.0
+	for _, tval := range []float64{1, 5, 10, 20} {
+		b := HoeffdingTwoSided(50, tval)
+		if b > prev {
+			t.Errorf("bound not monotone in t: %v after %v", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestNormalTailUpper(t *testing.T) {
+	if got := NormalTailUpper(-1); got != 1 {
+		t.Errorf("NormalTailUpper(-1) = %v, want 1", got)
+	}
+	if got := NormalTailUpper(0); got != 1 {
+		t.Errorf("NormalTailUpper(0) = %v, want 1", got)
+	}
+	// The bound must actually bound the empirical normal tail.
+	src := rng.New(83)
+	const trials = 200000
+	for _, x := range []float64{1, 2, 3} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if src.Norm() > x {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if got > NormalTailUpper(x) {
+			t.Errorf("empirical tail %v at x=%v exceeds bound %v", got, x, NormalTailUpper(x))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied and may be
+// empty; evaluating an empty ECDF returns 0 everywhere.
+func NewECDF(xs []float64) *ECDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// At returns F̂(x) = (number of samples <= x) / n.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Quantile returns the q-quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) (float64, error) {
+	return Quantile(e.sorted, q)
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F̂(x) − Ĝ(x)| between two empirical CDFs. It returns an error if
+// either sample is empty.
+func KSDistance(f, g *ECDF) (float64, error) {
+	if f.N() == 0 || g.N() == 0 {
+		return 0, fmt.Errorf("stats: KSDistance of empty sample")
+	}
+	var d float64
+	for _, x := range f.sorted {
+		if diff := math.Abs(f.At(x) - g.At(x)); diff > d {
+			d = diff
+		}
+	}
+	for _, x := range g.sorted {
+		if diff := math.Abs(f.At(x) - g.At(x)); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// DominationViolation measures how far f is from being stochastically
+// dominated by g: it returns max_x (Ĝ(x) − F̂(x)) over the pooled sample
+// points, where domination F ⪯ G means Pr[X_G >= x] >= Pr[X_F >= x] for all
+// x, i.e. G's CDF should sit *below* F's everywhere. A value <= ~sampling
+// error is consistent with domination; a large positive value refutes it.
+// It returns an error if either sample is empty.
+func DominationViolation(f, g *ECDF) (float64, error) {
+	if f.N() == 0 || g.N() == 0 {
+		return 0, fmt.Errorf("stats: DominationViolation of empty sample")
+	}
+	violation := math.Inf(-1)
+	check := func(x float64) {
+		if diff := g.At(x) - f.At(x); diff > violation {
+			violation = diff
+		}
+	}
+	for _, x := range f.sorted {
+		check(x)
+	}
+	for _, x := range g.sorted {
+		check(x)
+	}
+	return violation, nil
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+func TestECDFAt(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{100, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.N() != 0 {
+		t.Errorf("N = %d, want 0", e.N())
+	}
+	if got := e.At(0); got != 0 {
+		t.Errorf("At(0) on empty = %v, want 0", got)
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDF(xs)
+	xs[0] = -100
+	if got := e.At(0); got != 0 {
+		t.Errorf("ECDF aliased its input: At(0) = %v", got)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KSDistance(NewECDF(xs), NewECDF(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("KS distance of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	f := NewECDF([]float64{1, 2, 3})
+	g := NewECDF([]float64{10, 11, 12})
+	d, err := KSDistance(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("KS distance of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceEmptyErrors(t *testing.T) {
+	if _, err := KSDistance(NewECDF(nil), NewECDF([]float64{1})); err == nil {
+		t.Error("KSDistance with empty sample did not error")
+	}
+}
+
+func TestKSDistanceSameDistribution(t *testing.T) {
+	src := rng.New(101)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = src.Float64()
+		b[i] = src.Float64()
+	}
+	d, err := KSDistance(NewECDF(a), NewECDF(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For equal distributions, KS statistic scales like c/sqrt(n); 0.05
+	// is a very generous ceiling at n = 5000.
+	if d > 0.05 {
+		t.Errorf("KS distance between identically distributed samples = %v", d)
+	}
+}
+
+func TestDominationViolation(t *testing.T) {
+	// g = f + 1 pointwise: g strictly dominates f, so violation should be
+	// strongly negative or at most 0.
+	f := NewECDF([]float64{1, 2, 3, 4})
+	g := NewECDF([]float64{2, 3, 4, 5})
+	v, err := DominationViolation(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0 {
+		t.Errorf("violation = %v for clear domination, want <= 0", v)
+	}
+	// Reversed: f dominates g, so the violation of "g dominates f" is
+	// large.
+	v, err = DominationViolation(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.2 {
+		t.Errorf("violation = %v for reversed domination, want large", v)
+	}
+}
+
+func TestDominationViolationEmptyErrors(t *testing.T) {
+	if _, err := DominationViolation(NewECDF(nil), NewECDF([]float64{1})); err == nil {
+		t.Error("DominationViolation with empty sample did not error")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{4, 1, 3, 2})
+	got, err := e.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Quantile(0.5) = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+	}
+	for _, tc := range cases {
+		if got := NormalCDF(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %.15f, want %.15f", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	check := func(x float64) bool {
+		x = math.Mod(x, 10)
+		return math.Abs(NormalCDF(x)+NormalCDF(-x)-1) < 1e-14
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.8413447460685429, 1},
+		{0.9986501019683699, 3},
+		{1e-10, -6.361340902404056},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %.12f, want %.12f", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileEndpoints(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) is not -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) is not +Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormalQuantile(p)) {
+			t.Errorf("NormalQuantile(%v) is not NaN", p)
+		}
+	}
+}
+
+// TestNormalQuantileRoundTrip checks Φ(Φ⁻¹(p)) = p across the full range,
+// including the tail branches of the approximation.
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	check := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-12 || p > 1-1e-12 {
+			return true
+		}
+		back := NormalCDF(NormalQuantile(p))
+		return math.Abs(back-p) < 1e-11
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic sweep over both tails.
+	for _, p := range []float64{1e-9, 1e-6, 0.001, 0.01, 0.02425, 0.3, 0.5, 0.7, 0.97575, 0.99, 0.999999} {
+		back := NormalCDF(NormalQuantile(p))
+		if math.Abs(back-p) > 1e-11 {
+			t.Errorf("round trip at p=%v drifted to %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		cur := NormalQuantile(p)
+		if cur <= prev {
+			t.Fatalf("not strictly increasing at p=%v", p)
+		}
+		prev = cur
+	}
+}

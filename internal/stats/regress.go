@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is an ordinary least-squares fit y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Linear fits y ≈ a·x + b by ordinary least squares. It returns an error if
+// fewer than two points are supplied, the lengths differ, or all x values
+// coincide.
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: Linear with %d xs and %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: Linear needs at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/n, sumY/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		dy := ys[i] - meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: Linear with constant x values")
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			resid := ys[i] - (slope*xs[i] + intercept)
+			ssRes += resid * resid
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// PowerLawFit is a fit y ≈ C·x^Exponent obtained by regressing log y on
+// log x.
+type PowerLawFit struct {
+	Exponent float64
+	Constant float64
+	R2       float64
+}
+
+// PowerLaw fits y ≈ C·x^k on strictly positive data by log–log least
+// squares. This is the tool used to classify empirical threshold growth
+// (exponent ~0 for polylog thresholds, ~0.5 for √n thresholds, ~1 for linear
+// thresholds). It returns an error on length mismatch, short input, or
+// non-positive values.
+func PowerLaw(xs, ys []float64) (PowerLawFit, error) {
+	if len(xs) != len(ys) {
+		return PowerLawFit{}, fmt.Errorf("stats: PowerLaw with %d xs and %d ys", len(xs), len(ys))
+	}
+	logX := make([]float64, len(xs))
+	logY := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerLawFit{}, fmt.Errorf("stats: PowerLaw needs positive data, got (%v, %v) at index %d", xs[i], ys[i], i)
+		}
+		logX[i] = math.Log(xs[i])
+		logY[i] = math.Log(ys[i])
+	}
+	fit, err := Linear(logX, logY)
+	if err != nil {
+		return PowerLawFit{}, err
+	}
+	return PowerLawFit{
+		Exponent: fit.Slope,
+		Constant: math.Exp(fit.Intercept),
+		R2:       fit.R2,
+	}, nil
+}
+
+// String renders the power-law fit.
+func (f PowerLawFit) String() string {
+	return fmt.Sprintf("y ~ %.3g * x^%.3f (R2=%.3f)", f.Constant, f.Exponent, f.R2)
+}

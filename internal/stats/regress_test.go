@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 1e-12 {
+		t.Errorf("Slope = %v, want 3", fit.Slope)
+	}
+	if math.Abs(fit.Intercept+7) > 1e-12 {
+		t.Errorf("Intercept = %v, want -7", fit.Intercept)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	src := rng.New(13)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*xs[i] + 5 + 0.5*src.Norm()
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 0.02 {
+		t.Errorf("Slope = %v, want ~2", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{2}); err == nil {
+		t.Error("Linear with one point did not error")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{3}); err == nil {
+		t.Error("Linear with mismatched lengths did not error")
+	}
+	if _, err := Linear([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Error("Linear with constant x did not error")
+	}
+}
+
+func TestLinearConstantY(t *testing.T) {
+	fit, err := Linear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 {
+		t.Errorf("Slope = %v, want 0", fit.Slope)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R2 = %v, want 1 for perfectly explained constant data", fit.R2)
+	}
+}
+
+func TestPowerLawExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.5)
+	}
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-0.5) > 1e-10 {
+		t.Errorf("Exponent = %v, want 0.5", fit.Exponent)
+	}
+	if math.Abs(fit.Constant-3) > 1e-10 {
+		t.Errorf("Constant = %v, want 3", fit.Constant)
+	}
+}
+
+func TestPowerLawDetectsPolylog(t *testing.T) {
+	// A polylog curve fitted as a power law over a wide range should give
+	// a small exponent — this is exactly how the harness classifies the
+	// self-destructive threshold growth.
+	var xs, ys []float64
+	for n := 256.0; n <= 1<<20; n *= 4 {
+		xs = append(xs, n)
+		l := math.Log2(n)
+		ys = append(ys, l*l)
+	}
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Exponent > 0.3 {
+		t.Errorf("Exponent = %v for log^2 data, want well below linear-in-sqrt", fit.Exponent)
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLaw([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("PowerLaw with mismatched lengths did not error")
+	}
+	if _, err := PowerLaw([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("PowerLaw with negative x did not error")
+	}
+	if _, err := PowerLaw([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("PowerLaw with zero y did not error")
+	}
+}
