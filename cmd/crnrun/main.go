@@ -26,7 +26,9 @@ import (
 	"strings"
 
 	"lvmajority/internal/crn"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
+	"lvmajority/internal/sim"
 	"lvmajority/internal/stats"
 )
 
@@ -44,6 +46,7 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		initText    = fs.String("init", "", `initial counts, e.g. "X0=60,X1=40" (unlisted species start at 0)`)
 		runs        = fs.Int("runs", 1, "number of independent runs")
 		seed        = fs.Uint64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "parallel workers for batch runs (0 = GOMAXPROCS); never changes the results")
 		maxSteps    = fs.Int("max-steps", 10_000_000, "reaction budget per run")
 		maxTime     = fs.Float64("max-time", 0, "simulated-time budget per run (0 = unlimited)")
 		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
@@ -73,16 +76,15 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 
-	src := rng.New(*seed)
 	if *traceRun {
-		if err := printTrace(w, net, initial, src, *maxSteps, *maxTime); err != nil {
+		if err := printTrace(w, net, initial, rng.New(*seed), *maxSteps, *maxTime); err != nil {
 			return err
 		}
 		if *runs == 1 {
 			return nil
 		}
 	}
-	return batchRuns(w, net, initial, src, *runs, *maxSteps, *maxTime)
+	return batchRuns(w, net, initial, *seed, *workers, *runs, *maxSteps, *maxTime)
 }
 
 // readNetworkText loads the network description from a file or stdin.
@@ -155,30 +157,46 @@ func printTrace(w io.Writer, net *crn.Network, initial []int, src *rng.Source, m
 	return nil
 }
 
-// batchRuns aggregates final-state statistics over many runs.
-func batchRuns(w io.Writer, net *crn.Network, initial []int, src *rng.Source, runs, maxSteps int, maxTime float64) error {
+// batchRuns aggregates final-state statistics over many runs. The runs are
+// replicated through the shared sim engine and mc worker pool: each worker
+// reuses one engine via Reset, and per-run streams are keyed by the run
+// index, so the output is identical for every worker count.
+func batchRuns(w io.Writer, net *crn.Network, initial []int, seed uint64, workers, runs, maxSteps int, maxTime float64) error {
+	clock := sim.JumpChain
+	if maxTime > 0 {
+		clock = sim.Gillespie
+	}
+	type final struct {
+		steps    int
+		absorbed bool
+		state    []int
+	}
+	outs, err := mc.RunEngine(mc.Options{Replicates: runs, Workers: workers, Seed: seed},
+		func() (sim.Engine, error) { return sim.NewCRN(net, initial, clock, rng.New(0)) },
+		func(_ int, e sim.Engine) (final, error) {
+			res, err := sim.Run(e, nil, sim.Limits{MaxSteps: maxSteps, MaxTime: maxTime})
+			if err != nil {
+				return final{}, err
+			}
+			return final{
+				steps:    res.Steps,
+				absorbed: res.Absorbed,
+				state:    append([]int(nil), e.State()...),
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
 	finals := make([]stats.Running, net.NumSpecies())
 	var steps stats.Running
 	absorbed := 0
-	for i := 0; i < runs; i++ {
-		sim, err := crn.NewSimulator(net, initial, src)
-		if err != nil {
-			return err
-		}
-		var res crn.RunResult
-		if maxTime > 0 {
-			res, err = sim.RunTime(nil, maxTime, maxSteps, nil)
-		} else {
-			res, err = sim.Run(nil, maxSteps, nil)
-		}
-		if err != nil {
-			return err
-		}
-		if res.Absorbed {
+	for _, out := range outs {
+		if out.absorbed {
 			absorbed++
 		}
-		steps.Add(float64(sim.Steps()))
-		for s, c := range sim.State() {
+		steps.Add(float64(out.steps))
+		for s, c := range out.state {
 			finals[s].Add(float64(c))
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 	"lvmajority/internal/trace"
@@ -42,6 +43,7 @@ func run(args []string, w io.Writer) error {
 		competition = fs.String("competition", "sd", `competition model: "sd" (self-destructive) or "nsd"`)
 		runs        = fs.Int("runs", 1, "number of independent runs")
 		seed        = fs.Uint64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "parallel workers for batch runs (0 = GOMAXPROCS); never changes the results")
 		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
 		plot        = fs.Bool("plot", false, "draw an ASCII chart of the first run's trajectory")
 		maxSteps    = fs.Int("max-steps", 0, "step budget per run (0 = default)")
@@ -93,7 +95,7 @@ func run(args []string, w io.Writer) error {
 			return nil
 		}
 	}
-	return batchRuns(w, params, initial, src, *runs, *maxSteps)
+	return batchRuns(w, params, initial, *seed, *workers, *runs, *maxSteps)
 }
 
 // plotRun simulates one run while recording the trajectory and draws it.
@@ -149,17 +151,21 @@ func printTrace(w io.Writer, params lv.Params, initial lv.State, src *rng.Source
 	return nil
 }
 
-// batchRuns aggregates outcome statistics over many runs.
-func batchRuns(w io.Writer, params lv.Params, initial lv.State, src *rng.Source, runs, maxSteps int) error {
+// batchRuns aggregates outcome statistics over many runs, replicated on
+// the shared mc worker pool with deterministic per-run streams.
+func batchRuns(w io.Writer, params lv.Params, initial lv.State, seed uint64, workers, runs, maxSteps int) error {
+	outs, err := mc.Run(mc.Options{Replicates: runs, Workers: workers, Seed: seed},
+		func(_ int, src *rng.Source) (lv.Outcome, error) {
+			return lv.Run(params, initial, src, lv.RunOptions{MaxSteps: maxSteps})
+		})
+	if err != nil {
+		return err
+	}
 	var (
 		wins, doubleExtinctions, unresolved int
 		steps, individual, competitive, bad stats.Running
 	)
-	for i := 0; i < runs; i++ {
-		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: maxSteps})
-		if err != nil {
-			return err
-		}
+	for _, out := range outs {
 		if !out.Consensus {
 			unresolved++
 			continue

@@ -1,0 +1,3 @@
+module lvmajority
+
+go 1.24

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -77,11 +78,18 @@ type CalibrateOptions struct {
 	Pilots int
 	// MaxSteps bounds each pilot run (0 means the lv default).
 	MaxSteps int
+	// Workers is the parallel worker count passed to the mc pool
+	// (default GOMAXPROCS). It never affects the calibrated model.
+	Workers int
 }
 
 // Calibrate estimates σ = sd(F) from pilot runs of the given system started
 // at an even split of n individuals (or the closest feasible split for odd
 // n). The returned model predicts ρ(Δ) for gaps small compared to n.
+//
+// The pilots run on the shared mc pool: a root seed is drawn from src and
+// each pilot uses its own index-keyed stream, so the model is deterministic
+// in (params, n, state of src) regardless of the worker count.
 func Calibrate(params lv.Params, n int, src *rng.Source, opts CalibrateOptions) (Model, error) {
 	if err := params.Validate(); err != nil {
 		return Model{}, err
@@ -89,22 +97,35 @@ func Calibrate(params lv.Params, n int, src *rng.Source, opts CalibrateOptions) 
 	if n < 2 {
 		return Model{}, fmt.Errorf("approx: population %d too small", n)
 	}
+	if src == nil {
+		return Model{}, fmt.Errorf("approx: nil random source")
+	}
 	pilots := opts.Pilots
 	if pilots <= 0 {
 		pilots = 400
 	}
 	b := n / 2
 	initial := lv.State{X0: n - b, X1: b}
-	var acc stats.Running
-	for i := 0; i < pilots; i++ {
+	noise, err := mc.Run(mc.Options{
+		Replicates: pilots,
+		Workers:    opts.Workers,
+		Seed:       src.Uint64(),
+	}, func(i int, src *rng.Source) (float64, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: opts.MaxSteps})
 		if err != nil {
-			return Model{}, err
+			return 0, err
 		}
 		if !out.Consensus {
-			return Model{}, fmt.Errorf("approx: pilot %d did not reach consensus; raise MaxSteps", i)
+			return 0, fmt.Errorf("approx: pilot %d did not reach consensus; raise MaxSteps", i)
 		}
-		acc.Add(float64(out.FInd + out.FComp))
+		return float64(out.FInd + out.FComp), nil
+	})
+	if err != nil {
+		return Model{}, err
+	}
+	var acc stats.Running
+	for _, f := range noise {
+		acc.Add(f)
 	}
 	return Model{
 		Params: params,

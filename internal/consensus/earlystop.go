@@ -3,6 +3,8 @@ package consensus
 import (
 	"fmt"
 
+	"lvmajority/internal/mc"
+	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
 
@@ -13,8 +15,9 @@ import (
 // settle the comparison. The final estimate uses however many trials were
 // actually run (at most opts.Trials).
 //
-// The procedure is deterministic for fixed options: batch seeds derive from
-// opts.Seed and the batch index. Because the interval is inspected
+// The procedure is deterministic for fixed options: batch boundaries are
+// fixed and per-trial streams are keyed by the global trial index, so the
+// worker count cannot change the outcome. Because the interval is inspected
 // repeatedly, its coverage is nominally optimistic (sequential testing);
 // callers that need calibrated intervals should use the fixed-size
 // estimator. Threshold searches only need the accept/reject side, for which
@@ -27,38 +30,19 @@ func EstimateWithEarlyStop(p Protocol, n, delta int, target float64, opts Estima
 		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: early-stop target %v outside (0, 1)", target)
 	}
 	opts.normalize()
-
-	batch := opts.Trials / 10
-	if batch < 200 {
-		batch = 200
+	if _, _, err := SplitInitial(n, delta); err != nil {
+		return stats.BernoulliEstimate{}, err
 	}
-	if batch > opts.Trials {
-		batch = opts.Trials
+	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed},
+		Z:         opts.Z,
+		EarlyStop: true,
+		Target:    target,
+	}, func(_ int, src *rng.Source) (bool, error) {
+		return p.Trial(n, delta, src)
+	})
+	if err != nil {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", err)
 	}
-
-	successes, trials := 0, 0
-	for batchIdx := 0; trials < opts.Trials; batchIdx++ {
-		size := batch
-		if trials+size > opts.Trials {
-			size = opts.Trials - trials
-		}
-		batchOpts := opts
-		batchOpts.Trials = size
-		batchOpts.Seed = opts.Seed + 0x9e3779b97f4a7c15*uint64(batchIdx+1)
-		est, err := EstimateWinProbability(p, n, delta, batchOpts)
-		if err != nil {
-			return stats.BernoulliEstimate{}, err
-		}
-		successes += est.Successes
-		trials += est.Trials
-
-		combined, err := stats.WilsonInterval(successes, trials, opts.Z)
-		if err != nil {
-			return stats.BernoulliEstimate{}, err
-		}
-		if combined.Lo > target || combined.Hi < target {
-			return combined, nil
-		}
-	}
-	return stats.WilsonInterval(successes, trials, opts.Z)
+	return est, nil
 }

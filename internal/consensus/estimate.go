@@ -2,9 +2,8 @@ package consensus
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -13,10 +12,13 @@ import (
 type EstimateOptions struct {
 	// Trials is the number of Monte-Carlo trials (default 1000).
 	Trials int
+	// Workers is the number of parallel workers (default GOMAXPROCS). It
+	// affects scheduling only: every trial draws from its own stream keyed
+	// by the trial index, so the estimate is bit-identical for every
+	// worker count.
+	Workers int
 	// Z is the normal quantile of the Wilson interval (default stats.Z99).
 	Z float64
-	// Workers is the number of parallel workers (default GOMAXPROCS).
-	Workers int
 	// Seed determines every random stream; the same options always
 	// reproduce the same estimate bit-for-bit.
 	Seed uint64
@@ -29,19 +31,14 @@ func (o *EstimateOptions) normalize() {
 	if o.Z <= 0 {
 		o.Z = stats.Z99
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Workers > o.Trials {
-		o.Workers = o.Trials
-	}
 }
 
 // EstimateWinProbability estimates ρ — the probability that the protocol
 // reaches majority consensus — for total population n and initial gap delta,
-// running trials in parallel. The result is deterministic in (protocol
-// behaviour, options): worker streams are pre-split from the seed, so
-// scheduling cannot change the outcome.
+// running trials on the shared mc worker pool. The result is deterministic
+// in (protocol behaviour, Trials, Seed): per-trial streams are keyed by the
+// trial index, so neither scheduling nor the worker count can change the
+// outcome.
 func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (stats.BernoulliEstimate, error) {
 	if p == nil {
 		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: nil protocol")
@@ -52,52 +49,14 @@ func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (sta
 	if _, _, err := SplitInitial(n, delta); err != nil {
 		return stats.BernoulliEstimate{}, err
 	}
-
-	root := rng.New(opts.Seed)
-	sources := make([]*rng.Source, opts.Workers)
-	for i := range sources {
-		sources[i] = root.Split()
+	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed},
+		Z:       opts.Z,
+	}, func(_ int, src *rng.Source) (bool, error) {
+		return p.Trial(n, delta, src)
+	})
+	if err != nil {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", err)
 	}
-
-	// Distribute trials across workers as evenly as possible.
-	per := opts.Trials / opts.Workers
-	extra := opts.Trials % opts.Workers
-
-	type result struct {
-		wins int
-		err  error
-	}
-	results := make([]result, opts.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		wg.Add(1)
-		go func(w, trials int) {
-			defer wg.Done()
-			src := sources[w]
-			for i := 0; i < trials; i++ {
-				won, err := p.Trial(n, delta, src)
-				if err != nil {
-					results[w].err = err
-					return
-				}
-				if won {
-					results[w].wins++
-				}
-			}
-		}(w, trials)
-	}
-	wg.Wait()
-
-	wins := 0
-	for _, r := range results {
-		if r.err != nil {
-			return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", r.err)
-		}
-		wins += r.wins
-	}
-	return stats.WilsonInterval(wins, opts.Trials, opts.Z)
+	return est, nil
 }

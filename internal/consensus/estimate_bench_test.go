@@ -1,0 +1,24 @@
+package consensus
+
+import (
+	"testing"
+
+	"lvmajority/internal/lv"
+)
+
+// BenchmarkEstimateWinProbability measures the full estimator path — trial
+// fan-out, per-trial chain simulation, and aggregation — for a small LV-SD
+// instance. Run with -benchmem to track per-replicate allocation.
+func BenchmarkEstimateWinProbability(b *testing.B) {
+	p := LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)}
+	for i := 0; i < b.N; i++ {
+		_, err := EstimateWinProbability(p, 128, 16, EstimateOptions{
+			Trials:  1000,
+			Workers: 4,
+			Seed:    42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -89,9 +89,22 @@ func TestEstimateDeterministic(t *testing.T) {
 }
 
 func TestEstimateWorkerCountIndependence(t *testing.T) {
-	// Different worker counts change the stream layout (allowed) but not
-	// the statistical validity; both should be near truth.
-	for _, workers := range []int{1, 3, 16} {
+	// Per-trial streams are keyed by the trial index, so the estimate must
+	// be bit-identical for every worker count — not merely statistically
+	// equivalent. This pins down the old bug where trials were partitioned
+	// per worker and the output depended on the worker count.
+	baseline, err := EstimateWinProbability(fixedProtocol{0.7}, 100, 10, EstimateOptions{
+		Trials:  10000,
+		Workers: 1,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(baseline.P()-0.7) > 0.02 {
+		t.Errorf("workers=1: estimate %v far from 0.7", baseline)
+	}
+	for _, workers := range []int{3, 8, 16} {
 		est, err := EstimateWinProbability(fixedProtocol{0.7}, 100, 10, EstimateOptions{
 			Trials:  10000,
 			Workers: workers,
@@ -100,9 +113,26 @@ func TestEstimateWorkerCountIndependence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(est.P()-0.7) > 0.02 {
-			t.Errorf("workers=%d: estimate %v far from 0.7", workers, est)
+		if est.Successes != baseline.Successes || est.Trials != baseline.Trials {
+			t.Errorf("workers=%d: %d/%d successes, workers=1: %d/%d — estimate depends on worker count",
+				workers, est.Successes, est.Trials, baseline.Successes, baseline.Trials)
 		}
+	}
+}
+
+func TestEstimateWorkerCountIndependenceLV(t *testing.T) {
+	// The same contract end-to-end through a real simulation protocol.
+	p := LVProtocol{Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)}
+	one, err := EstimateWinProbability(p, 64, 8, EstimateOptions{Trials: 400, Workers: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := EstimateWinProbability(p, 64, 8, EstimateOptions{Trials: 400, Workers: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Successes != eight.Successes {
+		t.Errorf("Workers=1 gives %d successes, Workers=8 gives %d", one.Successes, eight.Successes)
 	}
 }
 

@@ -52,6 +52,11 @@ type LeapSimulator struct {
 	// hor[s] is the highest order of any reaction in which species s
 	// appears as a reactant, used by the step selector's g_i factor.
 	hor []int
+
+	// delta is scratch space for per-leap species changes.
+	delta []int
+	// inner is the reusable exact simulator for the SSA fallback.
+	inner *Simulator
 }
 
 // NewLeapSimulator creates a tau-leaping simulator.
@@ -87,6 +92,7 @@ func NewLeapSimulator(net *Network, initial []int, src *rng.Source, opts LeapOpt
 		opts:  opts,
 		props: make([]float64, net.NumReactions()),
 		hor:   hor,
+		delta: make([]int, len(state)),
 	}, nil
 }
 
@@ -95,6 +101,33 @@ func (sim *LeapSimulator) State() []int {
 	out := make([]int, len(sim.state))
 	copy(out, sim.state)
 	return out
+}
+
+// StateView returns the live state slice without copying. Callers must not
+// modify or retain it past the next Leap or Reset call.
+func (sim *LeapSimulator) StateView() []int { return sim.state }
+
+// Reset returns the simulator to the given initial state with a fresh
+// random stream, reusing its buffers: the clock and leap/fallback counters
+// restart at zero.
+func (sim *LeapSimulator) Reset(initial []int, src *rng.Source) error {
+	if len(initial) != len(sim.state) {
+		return fmt.Errorf("crn: initial state has %d species, network has %d", len(initial), len(sim.state))
+	}
+	for i, x := range initial {
+		if x < 0 {
+			return fmt.Errorf("crn: negative initial count %d for species %s", x, sim.net.SpeciesName(Species(i)))
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("crn: nil random source")
+	}
+	copy(sim.state, initial)
+	sim.src = src
+	sim.time = 0
+	sim.leaps = 0
+	sim.exact = 0
+	return nil
 }
 
 // Count returns the current count of species s.
@@ -175,14 +208,21 @@ func (sim *LeapSimulator) Leap() error {
 	tau := sim.selectTau(total)
 	if tau*total < sim.opts.ExactThreshold {
 		// Leaping would fire only a handful of reactions: take that
-		// many exact steps instead (the standard fallback rule).
-		inner, err := NewSimulator(sim.net, sim.state, sim.src)
-		if err != nil {
+		// many exact steps instead (the standard fallback rule). The
+		// inner exact simulator is reused across fallbacks so the hot
+		// path stays allocation-free.
+		if sim.inner == nil {
+			inner, err := NewSimulator(sim.net, sim.state, sim.src)
+			if err != nil {
+				return err
+			}
+			sim.inner = inner
+		} else if err := sim.inner.Reset(sim.state, sim.src); err != nil {
 			return err
 		}
 		steps := int(sim.opts.ExactThreshold)
 		for i := 0; i < steps; i++ {
-			_, hold, err := inner.StepTime()
+			_, hold, err := sim.inner.StepTime()
 			if err == ErrExhausted {
 				break
 			}
@@ -192,7 +232,7 @@ func (sim *LeapSimulator) Leap() error {
 			sim.time += hold
 			sim.exact++
 		}
-		copy(sim.state, inner.state)
+		copy(sim.state, sim.inner.state)
 		return nil
 	}
 
@@ -211,7 +251,10 @@ func (sim *LeapSimulator) Leap() error {
 // tryLeap samples Poisson firing counts for every channel at step tau and
 // applies them if no species goes negative. It reports success.
 func (sim *LeapSimulator) tryLeap(tau float64) bool {
-	delta := make([]int, len(sim.state))
+	delta := sim.delta
+	for s := range delta {
+		delta[s] = 0
+	}
 	for r := range sim.props {
 		if sim.props[r] <= 0 {
 			continue

@@ -149,6 +149,41 @@ func (sim *NRMSimulator) State() []int {
 	return out
 }
 
+// StateView returns the live state slice without copying. Callers must not
+// modify or retain it past the next Step or Reset call.
+func (sim *NRMSimulator) StateView() []int { return sim.state }
+
+// Reset returns the simulator to the given initial state with a fresh
+// random stream, reusing its buffers: the clock restarts at zero and every
+// channel draws a fresh firing time.
+func (sim *NRMSimulator) Reset(initial []int, src *rng.Source) error {
+	if len(initial) != len(sim.state) {
+		return fmt.Errorf("crn: initial state has %d species, network has %d", len(initial), len(sim.state))
+	}
+	for i, x := range initial {
+		if x < 0 {
+			return fmt.Errorf("crn: negative initial count %d for species %s", x, sim.net.SpeciesName(Species(i)))
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("crn: nil random source")
+	}
+	copy(sim.state, initial)
+	sim.src = src
+	sim.time = 0
+	sim.steps = 0
+	for r := range sim.props {
+		sim.props[r] = sim.net.Propensity(r, sim.state)
+		sim.queue.entries[r] = nrmEntry{
+			time:     firingTime(0, sim.props[r], src),
+			reaction: r,
+		}
+		sim.queue.pos[r] = r
+	}
+	heap.Init(&sim.queue)
+	return nil
+}
+
 // Count returns the current count of species s.
 func (sim *NRMSimulator) Count(s Species) int { return sim.state[s] }
 

@@ -59,6 +59,32 @@ func (sim *Simulator) State() []int {
 	return out
 }
 
+// StateView returns the live state slice without copying. Callers must not
+// modify or retain it past the next Step, StepTime, or Reset call.
+func (sim *Simulator) StateView() []int { return sim.state }
+
+// Reset returns the simulator to the given initial state with a fresh
+// random stream, reusing its buffers: the time and step counters restart at
+// zero. It returns an error on length mismatch or negative counts.
+func (sim *Simulator) Reset(initial []int, src *rng.Source) error {
+	if len(initial) != len(sim.state) {
+		return fmt.Errorf("crn: initial state has %d species, network has %d", len(initial), len(sim.state))
+	}
+	for i, x := range initial {
+		if x < 0 {
+			return fmt.Errorf("crn: negative initial count %d for species %s", x, sim.net.SpeciesName(Species(i)))
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("crn: nil random source")
+	}
+	copy(sim.state, initial)
+	sim.src = src
+	sim.time = 0
+	sim.steps = 0
+	return nil
+}
+
 // Count returns the current count of species s.
 func (sim *Simulator) Count(s Species) int { return sim.state[s] }
 

@@ -7,6 +7,7 @@ import (
 	"lvmajority/internal/consensus"
 	"lvmajority/internal/exact"
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -72,18 +73,20 @@ func runExactSolver(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			src := rng.New(cfg.Seed ^ uint64(st.X0*131+st.X1) ^ uint64(tc.params.Competition))
-			wins := 0
-			for i := 0; i < trials; i++ {
+			est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+				Options: mc.Options{
+					Replicates: trials,
+					Workers:    cfg.workers(),
+					Seed:       cfg.Seed ^ uint64(st.X0*131+st.X1) ^ uint64(tc.params.Competition),
+				},
+				Z: stats.Z999,
+			}, func(_ int, src *rng.Source) (bool, error) {
 				out, err := lv.Run(tc.params, st, src, lv.RunOptions{})
 				if err != nil {
-					return nil, err
+					return false, err
 				}
-				if out.Consensus && out.MajorityWon {
-					wins++
-				}
-			}
-			est, err := stats.WilsonInterval(wins, trials, stats.Z999)
+				return out.Consensus && out.MajorityWon, nil
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -115,16 +118,25 @@ func runNoiseDecomposition(cfg Config) ([]*Table, error) {
 	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
 		params := lv.Neutral(1, 1, 1, 0, comp)
 		for _, n := range nGrid(cfg) {
-			src := rng.New(cfg.Seed ^ 0xabcdef ^ uint64(n) ^ uint64(comp)<<48)
-			var ind, compn stats.Running
 			initial := lv.State{X0: n / 2, X1: n - n/2}
-			for i := 0; i < trials; i++ {
+			noise, err := mc.Run(mc.Options{
+				Replicates: trials,
+				Workers:    cfg.workers(),
+				Seed:       cfg.Seed ^ 0xabcdef ^ uint64(n) ^ uint64(comp)<<48,
+			}, func(_ int, src *rng.Source) ([2]float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
 				if err != nil {
-					return nil, err
+					return [2]float64{}, err
 				}
-				ind.Add(float64(out.FInd))
-				compn.Add(float64(out.FComp))
+				return [2]float64{float64(out.FInd), float64(out.FComp)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var ind, compn stats.Running
+			for _, f := range noise {
+				ind.Add(f[0])
+				compn.Add(f[1])
 			}
 			fn := float64(n)
 			tbl.AddRow(comp.String(), n,

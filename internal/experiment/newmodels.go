@@ -186,7 +186,7 @@ func runDiffusion(cfg Config) ([]*Table, error) {
 		params := lv.Neutral(1, 1, 1, 0, comp)
 		for _, n := range ns {
 			src := rng.New(cfg.Seed + uint64(n) + uint64(comp)<<40)
-			model, err := approx.Calibrate(params, n, src, approx.CalibrateOptions{Pilots: pilots})
+			model, err := approx.Calibrate(params, n, src, approx.CalibrateOptions{Pilots: pilots, Workers: cfg.workers()})
 			if err != nil {
 				return nil, err
 			}

@@ -9,12 +9,37 @@ import (
 // fmtSscan wraps fmt.Sscan for the fit-exponent extraction.
 func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
 
+// TestExperimentSmokeShort keeps a thin end-to-end path through the
+// harness alive under -short: one cheap experiment, run to completion with
+// rendered tables. The heavy grids stay behind the non-short tests below
+// and the Full config flag.
+func TestExperimentSmokeShort(t *testing.T) {
+	e, err := ByID("T1-INTRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Config{Seed: 20240506, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("smoke experiment produced no rows")
+	}
+	var b strings.Builder
+	if err := tables[0].Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunAllExperimentsQuick executes every registered experiment at the
 // quick effort level and sanity-checks the resulting tables. This is the
-// end-to-end smoke test of the reproduction harness.
+// end-to-end smoke test of the reproduction harness; the heavy quick grids
+// are gated behind -short (use go test -run TestRunAllExperimentsQuick
+// ./internal/experiment to run them alone, or cmd/experiments -full for
+// the recorded grids).
 func TestRunAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full harness run")
+		t.Skip("heavy quick grids; smoke coverage lives in TestExperimentSmokeShort")
 	}
 	for _, e := range All() {
 		e := e

@@ -6,6 +6,7 @@ import (
 
 	"lvmajority/internal/consensus"
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/ode"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
@@ -104,18 +105,20 @@ func runODEComparison(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		src := rng.New(cfg.Seed + uint64(n)*17)
-		wins := 0
-		for i := 0; i < trials; i++ {
+		est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+			Options: mc.Options{
+				Replicates: trials,
+				Workers:    cfg.workers(),
+				Seed:       cfg.Seed + uint64(n)*17,
+			},
+			Z: stats.Z999,
+		}, func(_ int, src *rng.Source) (bool, error) {
 			out, err := lv.Run(params, lv.State{X0: a, X1: b}, src, lv.RunOptions{})
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if out.Consensus && out.MajorityWon {
-				wins++
-			}
-		}
-		est, err := stats.WilsonInterval(wins, trials, stats.Z999)
+			return out.Consensus && out.MajorityWon, nil
+		})
 		if err != nil {
 			return nil, err
 		}

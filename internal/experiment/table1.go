@@ -6,6 +6,7 @@ import (
 
 	"lvmajority/internal/consensus"
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -210,24 +211,37 @@ func runTable1Both(cfg Config) ([]*Table, error) {
 }
 
 // estimateBothScorings estimates the majority-win probability under both
-// tie scorings using common per-trial streams.
+// tie scorings using common per-trial streams, replicated on the mc pool.
 func estimateBothScorings(cfg Config, params lv.Params, initial lv.State, trials int) (adjusted, strict stats.BernoulliEstimate, err error) {
-	src := rng.New(cfg.Seed ^ uint64(initial.X0*1000003+initial.X1))
-	winHalves := 0
-	strictWins := 0
-	for i := 0; i < trials; i++ {
+	type scoring struct {
+		majorityWon bool
+		tie         bool
+	}
+	outs, err := mc.Run(mc.Options{
+		Replicates: trials,
+		Workers:    cfg.workers(),
+		Seed:       cfg.Seed ^ uint64(initial.X0*1000003+initial.X1),
+	}, func(_ int, src *rng.Source) (scoring, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{})
 		if err != nil {
-			return adjusted, strict, err
+			return scoring{}, err
 		}
 		if !out.Consensus {
-			return adjusted, strict, fmt.Errorf("no consensus from %+v", initial)
+			return scoring{}, fmt.Errorf("no consensus from %+v", initial)
 		}
+		return scoring{majorityWon: out.MajorityWon, tie: out.Winner == -1}, nil
+	})
+	if err != nil {
+		return adjusted, strict, err
+	}
+	winHalves := 0
+	strictWins := 0
+	for _, s := range outs {
 		switch {
-		case out.MajorityWon:
+		case s.majorityWon:
 			winHalves += 2
 			strictWins++
-		case out.Winner == -1:
+		case s.tie:
 			winHalves++
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"lvmajority/internal/bd"
 	"lvmajority/internal/coupling"
 	"lvmajority/internal/lv"
+	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -26,20 +27,27 @@ func runConsensusTime(cfg Config) ([]*Table, error) {
 	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
 		params := lv.Neutral(1, 1, 1, 0, comp)
 		for _, n := range nGrid(cfg) {
-			src := rng.New(cfg.Seed + uint64(n) + uint64(comp)<<32)
-			var acc stats.Running
-			samples := make([]float64, 0, trials)
 			initial := lv.State{X0: n / 2, X1: n - n/2}
-			for i := 0; i < trials; i++ {
+			samples, err := mc.Run(mc.Options{
+				Replicates: trials,
+				Workers:    cfg.workers(),
+				Seed:       cfg.Seed + uint64(n) + uint64(comp)<<32,
+			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				if !out.Consensus {
-					return nil, fmt.Errorf("no consensus at n=%d", n)
+					return 0, fmt.Errorf("no consensus at n=%d", n)
 				}
-				acc.Add(float64(out.Steps))
-				samples = append(samples, float64(out.Steps))
+				return float64(out.Steps), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var acc stats.Running
+			for _, s := range samples {
+				acc.Add(s)
 			}
 			q99, err := stats.Quantile(samples, 0.99)
 			if err != nil {
@@ -68,17 +76,24 @@ func runBadEvents(cfg Config) ([]*Table, error) {
 	for _, comp := range []lv.Competition{lv.SelfDestructive, lv.NonSelfDestructive} {
 		params := lv.Neutral(1, 1, 1, 0, comp)
 		for _, n := range nGrid(cfg) {
-			src := rng.New(cfg.Seed ^ (uint64(n) * 31) ^ uint64(comp)<<40)
-			var acc stats.Running
-			samples := make([]float64, 0, trials)
 			initial := lv.State{X0: n / 2, X1: n - n/2}
-			for i := 0; i < trials; i++ {
+			samples, err := mc.Run(mc.Options{
+				Replicates: trials,
+				Workers:    cfg.workers(),
+				Seed:       cfg.Seed ^ (uint64(n) * 31) ^ uint64(comp)<<40,
+			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				acc.Add(float64(out.BadNonCompetitive))
-				samples = append(samples, float64(out.BadNonCompetitive))
+				return float64(out.BadNonCompetitive), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var acc stats.Running
+			for _, s := range samples {
+				acc.Add(s)
 			}
 			q999, err := stats.Quantile(samples, 0.999)
 			if err != nil {
@@ -130,17 +145,26 @@ func runNiceChain(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		src := rng.New(cfg.Seed + 7*uint64(n))
-		var tAcc, bAcc stats.Running
-		births := make([]float64, 0, trials)
-		for i := 0; i < trials; i++ {
+		outs, err := mc.Run(mc.Options{
+			Replicates: trials,
+			Workers:    cfg.workers(),
+			Seed:       cfg.Seed + 7*uint64(n),
+		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			res, err := chain.RunToExtinction(n, src, 0)
 			if err != nil {
-				return nil, err
+				return [2]float64{}, err
 			}
-			tAcc.Add(float64(res.Steps))
-			bAcc.Add(float64(res.Births))
-			births = append(births, float64(res.Births))
+			return [2]float64{float64(res.Steps), float64(res.Births)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var tAcc, bAcc stats.Running
+		births := make([]float64, 0, trials)
+		for _, o := range outs {
+			tAcc.Add(o[0])
+			bAcc.Add(o[1])
+			births = append(births, o[1])
 		}
 		q999, err := stats.Quantile(births, 0.999)
 		if err != nil {
@@ -189,53 +213,84 @@ func runDomination(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 
-		// Pathwise invariants.
-		src := rng.New(cfg.Seed ^ 0xd0d0 ^ uint64(comp))
-		violations := 0
-		checked := 0
+		// Pathwise invariants: each replicated joint execution draws its
+		// own random initial configuration from its stream.
 		const runs = 40
-		for r := 0; r < runs; r++ {
+		couplingOuts, err := mc.Run(mc.Options{
+			Replicates: runs,
+			Workers:    cfg.workers(),
+			Seed:       cfg.Seed ^ 0xd0d0 ^ uint64(comp),
+		}, func(_ int, src *rng.Source) ([2]int, error) {
 			b := 5 + src.Intn(25)
 			initial := lv.State{X0: b + src.Intn(20), X1: b}
 			c, err := coupling.New(params, initial, dom, b, src)
 			if err != nil {
-				return nil, err
+				return [2]int{}, err
 			}
+			checked, violations := 0, 0
 			for s := 0; s < couplingSteps; s++ {
 				if err := c.Step(); err != nil {
-					return nil, err
+					return [2]int{}, err
 				}
 				checked++
 				if c.InvariantError() != nil {
 					violations++
 				}
 			}
+			return [2]int{checked, violations}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		violations := 0
+		checked := 0
+		for _, o := range couplingOuts {
+			checked += o[0]
+			violations += o[1]
 		}
 		invTbl.AddRow(comp.String(), runs, checked, violations)
 
 		// Distributional domination.
 		initial := lv.State{X0: 30, X1: 20}
+		lvOuts, err := mc.Run(mc.Options{
+			Replicates: trials,
+			Workers:    cfg.workers(),
+			Seed:       cfg.Seed + 11 + uint64(comp),
+		}, func(_ int, src *rng.Source) ([2]float64, error) {
+			out, err := lv.Run(params, initial, src, lv.RunOptions{})
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{float64(out.Steps), float64(out.BadNonCompetitive)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		domOuts, err := mc.Run(mc.Options{
+			Replicates: trials,
+			Workers:    cfg.workers(),
+			Seed:       cfg.Seed + 13 + uint64(comp),
+		}, func(_ int, src *rng.Source) ([2]float64, error) {
+			res, err := dom.RunToExtinction(initial.Min(), src, 0)
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{float64(res.Steps), float64(res.Births)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		tS := make([]float64, 0, trials)
 		jS := make([]float64, 0, trials)
-		srcS := rng.New(cfg.Seed + 11 + uint64(comp))
-		for i := 0; i < trials; i++ {
-			out, err := lv.Run(params, initial, srcS, lv.RunOptions{})
-			if err != nil {
-				return nil, err
-			}
-			tS = append(tS, float64(out.Steps))
-			jS = append(jS, float64(out.BadNonCompetitive))
+		for _, o := range lvOuts {
+			tS = append(tS, o[0])
+			jS = append(jS, o[1])
 		}
 		eN := make([]float64, 0, trials)
 		bN := make([]float64, 0, trials)
-		srcN := rng.New(cfg.Seed + 13 + uint64(comp))
-		for i := 0; i < trials; i++ {
-			res, err := dom.RunToExtinction(initial.Min(), srcN, 0)
-			if err != nil {
-				return nil, err
-			}
-			eN = append(eN, float64(res.Steps))
-			bN = append(bN, float64(res.Births))
+		for _, o := range domOuts {
+			eN = append(eN, o[0])
+			bN = append(bN, o[1])
 		}
 		vT, err := stats.DominationViolation(stats.NewECDF(tS), stats.NewECDF(eN))
 		if err != nil {

@@ -95,6 +95,24 @@ func NewChain(params Params, initial State, src *rng.Source) (*Chain, error) {
 // steps.
 func (c *Chain) SetTrackTime(on bool) { c.trackTime = on }
 
+// Reset returns the chain to the given configuration with a fresh random
+// stream: the time and step counters restart at zero while the parameters
+// and time-tracking mode are kept. Replicated runs reuse one chain through
+// Reset instead of constructing a new one per replicate.
+func (c *Chain) Reset(initial State, src *rng.Source) error {
+	if err := initial.Validate(); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("lv: nil random source")
+	}
+	c.state = initial
+	c.src = src
+	c.time = 0
+	c.steps = 0
+	return nil
+}
+
 // State returns the current configuration.
 func (c *Chain) State() State { return c.state }
 

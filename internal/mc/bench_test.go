@@ -1,0 +1,63 @@
+package mc
+
+import (
+	"testing"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/sim"
+)
+
+// The benchmark pair below isolates the allocation effect of engine reuse:
+// both run the same 1000-replicate LV-SD workload (n=128, gap 16) on the
+// same pool; the "fresh" variant constructs one engine per replicate — the
+// historical per-trial pattern of consensus.EstimateWinProbability — while
+// the "reused" variant resets one engine per worker.
+
+func benchOptions() Options {
+	return Options{Replicates: 1000, Workers: 4, Seed: 42}
+}
+
+func lvWorkload() (lv.Params, lv.State) {
+	return lv.Neutral(1, 1, 1, 0, lv.SelfDestructive), lv.State{X0: 72, X1: 56}
+}
+
+func BenchmarkReplicateFreshEngine(b *testing.B) {
+	params, initial := lvWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(benchOptions(), func(_ int, src *rng.Source) (bool, error) {
+			e, err := sim.NewLV(params, initial, false, src)
+			if err != nil {
+				return false, err
+			}
+			if _, err := sim.Run(e, sim.LVConsensus, sim.Limits{}); err != nil {
+				return false, err
+			}
+			st := e.State()
+			return st[0] > 0 && st[1] == 0, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplicateReusedEngine(b *testing.B) {
+	params, initial := lvWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := RunEngine(benchOptions(),
+			func() (sim.Engine, error) { return sim.NewLV(params, initial, false, rng.New(0)) },
+			func(_ int, e sim.Engine) (bool, error) {
+				if _, err := sim.Run(e, sim.LVConsensus, sim.Limits{}); err != nil {
+					return false, err
+				}
+				st := e.State()
+				return st[0] > 0 && st[1] == 0, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package mc
+
+import (
+	"fmt"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// BernoulliOptions configure EstimateBernoulli.
+type BernoulliOptions struct {
+	Options
+	// Z is the normal quantile of the Wilson interval (default stats.Z99).
+	Z float64
+	// EarlyStop enables sequential estimation: trials run in batches and
+	// the estimator returns as soon as the Wilson interval excludes Target
+	// on either side — often an order of magnitude fewer trials when the
+	// true probability is far from Target. Because the interval is
+	// inspected repeatedly, its coverage is nominally optimistic
+	// (sequential testing); callers that need calibrated intervals should
+	// leave EarlyStop off.
+	EarlyStop bool
+	// Target is the probability the early-stop comparison tests against.
+	// Required when EarlyStop is set.
+	Target float64
+	// BatchSize is the early-stop batch size (default Replicates/10,
+	// at least 200).
+	BatchSize int
+}
+
+// EstimateBernoulli estimates the success probability of trial over
+// opts.Replicates replicated trials with a Wilson confidence interval.
+// Trial i draws only from its own stream rng.NewStream(Seed, i), so the
+// estimate is bit-identical for every worker count, and with EarlyStop the
+// batch boundaries are fixed, keeping the sequential path deterministic
+// too.
+func EstimateBernoulli(opts BernoulliOptions, trial func(rep int, src *rng.Source) (bool, error)) (stats.BernoulliEstimate, error) {
+	opts.Options = opts.Options.normalized()
+	if opts.Z <= 0 {
+		opts.Z = stats.Z99
+	}
+	if !opts.EarlyStop {
+		wins, err := countWins(0, opts.Replicates, opts.Options, trial)
+		if err != nil {
+			return stats.BernoulliEstimate{}, err
+		}
+		return stats.WilsonInterval(wins, opts.Replicates, opts.Z)
+	}
+
+	if opts.Target <= 0 || opts.Target >= 1 {
+		return stats.BernoulliEstimate{}, fmt.Errorf("mc: early-stop target %v outside (0, 1)", opts.Target)
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = opts.Replicates / 10
+		if batch < 200 {
+			batch = 200
+		}
+	}
+	if batch > opts.Replicates {
+		batch = opts.Replicates
+	}
+	successes, trials := 0, 0
+	for trials < opts.Replicates {
+		size := batch
+		if trials+size > opts.Replicates {
+			size = opts.Replicates - trials
+		}
+		wins, err := countWins(trials, trials+size, opts.Options, trial)
+		if err != nil {
+			return stats.BernoulliEstimate{}, err
+		}
+		successes += wins
+		trials += size
+
+		combined, err := stats.WilsonInterval(successes, trials, opts.Z)
+		if err != nil {
+			return stats.BernoulliEstimate{}, err
+		}
+		if combined.Lo > opts.Target || combined.Hi < opts.Target {
+			return combined, nil
+		}
+	}
+	return stats.WilsonInterval(successes, trials, opts.Z)
+}
+
+// countWins runs trials [lo, hi) on the pool and counts successes.
+func countWins(lo, hi int, opts Options, trial func(rep int, src *rng.Source) (bool, error)) (int, error) {
+	wins := make([]bool, hi-lo)
+	err := runPool(lo, hi, opts, func() (replicateFunc, error) {
+		return func(rep int, src *rng.Source) error {
+			won, err := trial(rep, src)
+			if err != nil {
+				return err
+			}
+			wins[rep-lo] = won
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, w := range wins {
+		if w {
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,173 @@
+// Package mc is the shared parallel Monte-Carlo replication harness: it
+// runs many independent replicates of a stochastic simulation on a worker
+// pool with deterministic per-replicate random streams.
+//
+// Every replicate draws randomness only from its own stream, keyed by the
+// replicate index via rng.NewStream — never from a per-worker stream — so
+// the results are byte-identical for every worker count, including 1.
+// RunEngine additionally reuses one sim.Engine per worker through Reset,
+// which keeps the per-replicate hot path free of allocation.
+package mc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lvmajority/internal/rng"
+	"lvmajority/internal/sim"
+)
+
+// Options configure a replicated run.
+type Options struct {
+	// Replicates is the number of independent replicates (default 1000).
+	Replicates int
+	// Workers is the parallel worker count (default GOMAXPROCS, capped at
+	// Replicates). The choice affects scheduling only, never results.
+	Workers int
+	// Seed is the root seed; replicate i draws from rng.NewStream(Seed, i).
+	Seed uint64
+}
+
+func (o Options) normalized() Options {
+	if o.Replicates <= 0 {
+		o.Replicates = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Replicates {
+		o.Workers = o.Replicates
+	}
+	return o
+}
+
+// Run executes fn for every replicate index in [0, Replicates) on a worker
+// pool and returns the results in replicate order. Each invocation receives
+// the replicate's own deterministic stream, so the returned slice is
+// identical for every Workers setting. The first error aborts the run.
+//
+// The Source passed to fn is only valid for that invocation: workers reuse
+// one Source across replicates by reseeding it in place, so fn must not
+// retain it.
+func Run[T any](opts Options, fn func(rep int, src *rng.Source) (T, error)) ([]T, error) {
+	opts = opts.normalized()
+	out := make([]T, opts.Replicates)
+	err := runPool(0, opts.Replicates, opts, func() (replicateFunc, error) {
+		return func(rep int, src *rng.Source) error {
+			v, err := fn(rep, src)
+			if err != nil {
+				return err
+			}
+			out[rep] = v
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunEngine is Run for replicated sim.Engine executions: each worker
+// constructs one engine via newEngine and reuses it across its replicates,
+// calling Reset with the replicate's stream before each invocation of fn.
+// The per-replicate cost is therefore simulation only — engine construction
+// and its allocations happen once per worker.
+func RunEngine[T any](opts Options, newEngine func() (sim.Engine, error), fn func(rep int, e sim.Engine) (T, error)) ([]T, error) {
+	opts = opts.normalized()
+	out := make([]T, opts.Replicates)
+	err := runPool(0, opts.Replicates, opts, func() (replicateFunc, error) {
+		e, err := newEngine()
+		if err != nil {
+			return nil, err
+		}
+		return func(rep int, src *rng.Source) error {
+			e.Reset(src)
+			if err := e.Err(); err != nil {
+				return err
+			}
+			v, err := fn(rep, e)
+			if err != nil {
+				return err
+			}
+			out[rep] = v
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// replicateFunc runs one replicate with its deterministic stream.
+type replicateFunc func(rep int, src *rng.Source) error
+
+// runPool distributes replicate indices [lo, hi) over opts.Workers workers.
+// newWorker is called once per worker to build its (possibly stateful)
+// replicate function; index order within a worker is increasing but the
+// assignment of indices to workers is scheduling-dependent — which is why
+// replicate functions may only draw randomness from the provided stream.
+func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) error {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn, err := newWorker()
+		if err != nil {
+			return err
+		}
+		var src rng.Source
+		for rep := lo; rep < hi; rep++ {
+			src.ReseedStream(opts.Seed, uint64(rep))
+			if err := fn(rep, &src); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn, err := newWorker()
+			if err != nil {
+				errs[w] = err
+				failed.Store(true)
+				return
+			}
+			var src rng.Source
+			for !failed.Load() {
+				rep := int(next.Add(1)) - 1
+				if rep >= hi {
+					return
+				}
+				src.ReseedStream(opts.Seed, uint64(rep))
+				if err := fn(rep, &src); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

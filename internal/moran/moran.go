@@ -54,45 +54,106 @@ type Outcome struct {
 // jumps is at most a(n−a) ≤ n²/4, so the cap is never reached in practice.
 const maxJumpSteps = 1 << 40
 
-// Run simulates the Moran process with population size n starting from a
-// individuals of type 0 until one type is fixed.
-//
-// The simulation works on the embedded jump chain: from any mixed state the
-// next state-changing step increments the type-0 count with probability
-// r/(1+r) and decrements it otherwise, independent of the state. Holding
-// steps are accounted for in aggregate by sampling their geometric counts,
-// so Outcome.MoranSteps has the exact distribution of the full process.
-func Run(p Params, n, a int, src *rng.Source) (Outcome, error) {
+// Chain is a running Moran process, advanced one state-changing (jump)
+// step at a time on the embedded jump chain: from any mixed state the next
+// state-changing step increments the type-0 count with probability r/(1+r)
+// and decrements it otherwise, independent of the state. Holding steps are
+// accounted for in aggregate by sampling their geometric counts, so
+// MoranSteps has the exact distribution of the full process. A Chain is not
+// safe for concurrent use.
+type Chain struct {
+	params   Params
+	n        int
+	initialA int
+
+	i          int
+	jumpSteps  int
+	moranSteps int64
+	src        *rng.Source
+}
+
+// NewChain creates a Moran chain with population size n and a initial
+// individuals of type 0.
+func NewChain(p Params, n, a int, src *rng.Source) (*Chain, error) {
 	if err := p.Validate(); err != nil {
-		return Outcome{}, err
+		return nil, err
 	}
 	if n < 1 || a < 0 || a > n {
-		return Outcome{}, fmt.Errorf("moran: invalid initial state a=%d, n=%d", a, n)
+		return nil, fmt.Errorf("moran: invalid initial state a=%d, n=%d", a, n)
 	}
-	r := p.Fitness
-	up := r / (1 + r)
-	out := Outcome{}
-	i := a
-	for i > 0 && i < n {
-		if out.JumpSteps >= maxJumpSteps {
+	if src == nil {
+		return nil, fmt.Errorf("moran: nil random source")
+	}
+	return &Chain{params: p, n: n, initialA: a, i: a, src: src}, nil
+}
+
+// Reset returns the chain to its initial state with a fresh random stream.
+func (c *Chain) Reset(src *rng.Source) {
+	c.i = c.initialA
+	c.jumpSteps = 0
+	c.moranSteps = 0
+	c.src = src
+}
+
+// Count returns the current number of type-0 individuals.
+func (c *Chain) Count() int { return c.i }
+
+// N returns the population size.
+func (c *Chain) N() int { return c.n }
+
+// JumpSteps returns the number of state-changing steps taken so far.
+func (c *Chain) JumpSteps() int { return c.jumpSteps }
+
+// MoranSteps returns the total number of Moran steps so far, including the
+// holding steps accounted in aggregate.
+func (c *Chain) MoranSteps() int64 { return c.moranSteps }
+
+// Absorbed reports whether one type has fixed, and if so whether it was
+// type 0.
+func (c *Chain) Absorbed() (done, fixed0 bool) {
+	return c.i == 0 || c.i == c.n, c.i == c.n
+}
+
+// Step advances the chain by one jump step. It reports whether the type-0
+// count went up, and ok = false without changing the state when the chain
+// is already absorbed or the jump-step safety cap is exceeded.
+func (c *Chain) Step() (up, ok bool) {
+	if c.i <= 0 || c.i >= c.n || c.jumpSteps >= maxJumpSteps {
+		return false, false
+	}
+	r := c.params.Fitness
+	// Probability that a single Moran step changes the state.
+	fi := float64(c.i)
+	fn := float64(c.n)
+	move := (r + 1) * fi * (fn - fi) / ((r*fi + fn - fi) * fn)
+	// Geometric(move) counts the holding steps before the state change;
+	// +1 for the changing step itself.
+	c.moranSteps += int64(c.src.Geometric(move)) + 1
+	c.jumpSteps++
+	if c.src.Bernoulli(r / (1 + r)) {
+		c.i++
+		return true, true
+	}
+	c.i--
+	return false, true
+}
+
+// Run simulates the Moran process with population size n starting from a
+// individuals of type 0 until one type is fixed.
+func Run(p Params, n, a int, src *rng.Source) (Outcome, error) {
+	c, err := NewChain(p, n, a, src)
+	if err != nil {
+		return Outcome{}, err
+	}
+	for {
+		done, fixed0 := c.Absorbed()
+		if done {
+			return Outcome{Fixed0: fixed0, JumpSteps: c.jumpSteps, MoranSteps: c.moranSteps}, nil
+		}
+		if _, ok := c.Step(); !ok {
 			return Outcome{}, fmt.Errorf("moran: exceeded %d jump steps at n=%d", maxJumpSteps, n)
 		}
-		// Probability that a single Moran step changes the state.
-		fi := float64(i)
-		fn := float64(n)
-		move := (r + 1) * fi * (fn - fi) / ((r*fi + fn - fi) * fn)
-		// Geometric(move) counts the holding steps before the state
-		// change; +1 for the changing step itself.
-		out.MoranSteps += int64(src.Geometric(move)) + 1
-		out.JumpSteps++
-		if src.Bernoulli(up) {
-			i++
-		} else {
-			i--
-		}
 	}
-	out.Fixed0 = i == n
-	return out, nil
 }
 
 // FixationProbability returns the exact probability that type 0, with

@@ -42,6 +42,14 @@ func splitmix64(state *uint64) uint64 {
 // statistically independent.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes src in place to the exact state of New(seed),
+// discarding any cached normal variate. It lets long-lived consumers (e.g.
+// Monte-Carlo workers) switch streams without allocating a new Source.
+func (src *Source) Reseed(seed uint64) {
 	state := seed
 	for i := range src.s {
 		src.s[i] = splitmix64(&state)
@@ -52,7 +60,8 @@ func New(seed uint64) *Source {
 	if src.s == [4]uint64{} {
 		src.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
+	src.spare = 0
+	src.hasSpare = false
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
@@ -69,6 +78,28 @@ func (src *Source) Uint64() uint64 {
 	s[3] = bits.RotateLeft64(s[3], 45)
 
 	return result
+}
+
+// NewStream returns the Source for substream stream of the root seed.
+// Distinct (seed, stream) pairs yield streams that are, for all simulation
+// purposes, statistically independent, and the construction is pure: it
+// always returns the same generator for the same pair, no matter which
+// goroutine calls it or in what order. Parallel Monte-Carlo replication
+// keys each replicate's stream by its replicate index, which makes results
+// independent of the worker count and of scheduling.
+func NewStream(seed, stream uint64) *Source {
+	var src Source
+	src.ReseedStream(seed, stream)
+	return &src
+}
+
+// ReseedStream re-initializes src in place to the exact state of
+// NewStream(seed, stream), without allocating.
+func (src *Source) ReseedStream(seed, stream uint64) {
+	s1, s2 := seed, stream
+	a := splitmix64(&s1)
+	b := splitmix64(&s2)
+	src.Reseed(a ^ bits.RotateLeft64(b, 31))
 }
 
 // Split derives a new Source whose stream is independent of the parent's

@@ -1,0 +1,323 @@
+package sim_test
+
+import (
+	"testing"
+
+	"lvmajority/internal/crn"
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/lv"
+	"lvmajority/internal/moran"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/sim"
+	"lvmajority/internal/spatial"
+)
+
+// lvSDNetwork is the self-destructive LV chain in the crn text format,
+// used to drive all three CRN simulators through the same model.
+const lvSDNetwork = `
+species: X0 X1
+X0 -> 2 X0 @ 1
+X1 -> 2 X1 @ 1
+X0 -> 0 @ 1
+X1 -> 0 @ 1
+X0 + X1 -> 0 @ 0.5
+X1 + X0 -> 0 @ 0.5
+`
+
+// backend is one Engine implementation under conformance test.
+type backend struct {
+	name string
+	make func(src *rng.Source) (sim.Engine, error)
+	// stop ends a run at the backend's consensus condition; backends that
+	// absorb at consensus leave it nil.
+	stop sim.StopCondition
+	// budget bounds the manual stepping loop (Step calls).
+	budget int
+}
+
+func backends(t *testing.T) []backend {
+	t.Helper()
+	net, err := crn.Parse(lvSDNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crnInit := []int{24, 16}
+	return []backend{
+		{
+			name:   "crn-direct",
+			make:   func(src *rng.Source) (sim.Engine, error) { return sim.NewCRN(net, crnInit, sim.Gillespie, src) },
+			stop:   sim.LVConsensus,
+			budget: 500_000,
+		},
+		{
+			name:   "crn-jump",
+			make:   func(src *rng.Source) (sim.Engine, error) { return sim.NewCRN(net, crnInit, sim.JumpChain, src) },
+			stop:   sim.LVConsensus,
+			budget: 500_000,
+		},
+		{
+			name:   "crn-nrm",
+			make:   func(src *rng.Source) (sim.Engine, error) { return sim.NewCRNNextReaction(net, crnInit, src) },
+			stop:   sim.LVConsensus,
+			budget: 500_000,
+		},
+		{
+			name: "crn-leap",
+			make: func(src *rng.Source) (sim.Engine, error) {
+				return sim.NewCRNLeap(net, []int{360, 240}, crn.LeapOptions{}, src)
+			},
+			stop:   sim.LVConsensus,
+			budget: 500_000,
+		},
+		{
+			name: "lv",
+			make: func(src *rng.Source) (sim.Engine, error) {
+				return sim.NewLV(lv.Neutral(1, 1, 1, 0, lv.SelfDestructive), lv.State{X0: 24, X1: 16}, true, src)
+			},
+			stop:   sim.LVConsensus,
+			budget: 500_000,
+		},
+		{
+			name:   "moran",
+			make:   func(src *rng.Source) (sim.Engine, error) { return sim.NewMoran(moran.Params{Fitness: 1}, 30, 18, src) },
+			budget: 500_000,
+		},
+		{
+			name: "gossip",
+			make: func(src *rng.Source) (sim.Engine, error) {
+				return sim.NewGossip(gossip.TwoChoices{}, gossip.Counts{C0: 40, C1: 24}, src)
+			},
+			budget: 100_000,
+		},
+		{
+			name: "spatial",
+			make: func(src *rng.Source) (sim.Engine, error) {
+				params := spatial.Params{
+					Local:     lv.Neutral(1, 1, 1, 0, lv.SelfDestructive),
+					Sites:     4,
+					Migration: 1,
+				}
+				initial := []lv.State{{X0: 6, X1: 3}, {X0: 6, X1: 3}, {X0: 6, X1: 3}, {X0: 6, X1: 3}}
+				return sim.NewSpatial(params, initial, true, src)
+			},
+			stop:   sim.SpatialConsensus,
+			budget: 500_000,
+		},
+	}
+}
+
+// trace records the observable behaviour of one manual run.
+type trace struct {
+	events []int
+	states [][]int
+	times  []float64
+
+	finalSteps int
+	finalTime  float64
+	finalState []int
+	absorbed   bool
+	stopped    bool
+}
+
+// tracePrefix caps the per-step recording; the final summary still covers
+// the whole run.
+const tracePrefix = 2000
+
+// runTrace drives the engine by hand, checking the step-local invariants,
+// and records the observable sequence for reproducibility comparison.
+func runTrace(t *testing.T, e sim.Engine, stop sim.StopCondition, budget int) trace {
+	t.Helper()
+	var tr trace
+	if e.Steps() != 0 {
+		t.Fatalf("fresh engine reports %d steps", e.Steps())
+	}
+	if e.Time() != 0 {
+		t.Fatalf("fresh engine reports time %v", e.Time())
+	}
+	stateLen := len(e.State())
+	if stateLen == 0 {
+		t.Fatal("empty state vector")
+	}
+
+	for call := 0; call < budget; call++ {
+		if stop != nil && stop(e.State()) {
+			tr.stopped = true
+			break
+		}
+		prevSteps := e.Steps()
+		prevTime := e.Time()
+		ev, ok := e.Step()
+		if !ok {
+			if err := e.Err(); err != nil {
+				t.Fatalf("engine failed after %d steps: %v", e.Steps(), err)
+			}
+			tr.absorbed = true
+			// Absorption must be sticky and must not change the state.
+			state := append([]int(nil), e.State()...)
+			steps := e.Steps()
+			for i := 0; i < 3; i++ {
+				if _, again := e.Step(); again {
+					t.Fatal("Step succeeded after absorption")
+				}
+			}
+			if e.Steps() != steps {
+				t.Fatal("Steps changed after absorption")
+			}
+			for i, v := range e.State() {
+				if v != state[i] {
+					t.Fatal("state changed after absorption")
+				}
+			}
+			break
+		}
+		if e.Steps() <= prevSteps {
+			t.Fatalf("Steps not increasing: %d -> %d", prevSteps, e.Steps())
+		}
+		if e.Time() < prevTime {
+			t.Fatalf("time decreased: %v -> %v", prevTime, e.Time())
+		}
+		state := e.State()
+		if len(state) != stateLen {
+			t.Fatalf("state length changed: %d -> %d", stateLen, len(state))
+		}
+		for i, v := range state {
+			if v < 0 {
+				t.Fatalf("negative count %d at state[%d] after %d steps", v, i, e.Steps())
+			}
+		}
+		if len(tr.events) < tracePrefix {
+			tr.events = append(tr.events, ev)
+			tr.states = append(tr.states, append([]int(nil), state...))
+			tr.times = append(tr.times, e.Time())
+		}
+	}
+	if !tr.absorbed && !tr.stopped {
+		t.Fatalf("run neither absorbed nor stopped within %d step calls", budget)
+	}
+	tr.finalSteps = e.Steps()
+	tr.finalTime = e.Time()
+	tr.finalState = append([]int(nil), e.State()...)
+	return tr
+}
+
+func equalTraces(t *testing.T, name string, a, b trace) {
+	t.Helper()
+	if a.absorbed != b.absorbed || a.stopped != b.stopped {
+		t.Fatalf("%s: termination differs: absorbed %v/%v stopped %v/%v",
+			name, a.absorbed, b.absorbed, a.stopped, b.stopped)
+	}
+	if a.finalSteps != b.finalSteps || a.finalTime != b.finalTime {
+		t.Fatalf("%s: final (steps, time) differ: (%d, %v) vs (%d, %v)",
+			name, a.finalSteps, a.finalTime, b.finalSteps, b.finalTime)
+	}
+	if len(a.events) != len(b.events) {
+		t.Fatalf("%s: recorded %d vs %d events", name, len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] || a.times[i] != b.times[i] {
+			t.Fatalf("%s: step %d differs: event %d@%v vs %d@%v",
+				name, i, a.events[i], a.times[i], b.events[i], b.times[i])
+		}
+		for j := range a.states[i] {
+			if a.states[i][j] != b.states[i][j] {
+				t.Fatalf("%s: step %d state differs: %v vs %v", name, i, a.states[i], b.states[i])
+			}
+		}
+	}
+	for j := range a.finalState {
+		if a.finalState[j] != b.finalState[j] {
+			t.Fatalf("%s: final state differs: %v vs %v", name, a.finalState, b.finalState)
+		}
+	}
+}
+
+// TestEngineConformance checks the shared Engine invariants — monotone
+// time, step counting, sticky absorption, state sanity, and Reset
+// reproducibility under a fixed seed — against every backend.
+func TestEngineConformance(t *testing.T) {
+	const seed = 7
+	for _, bk := range backends(t) {
+		bk := bk
+		t.Run(bk.name, func(t *testing.T) {
+			t.Parallel()
+			e, err := bk.make(rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := runTrace(t, e, bk.stop, bk.budget)
+
+			// Reset with the same stream must reproduce the run exactly.
+			e.Reset(rng.New(seed))
+			if e.Steps() != 0 || e.Time() != 0 {
+				t.Fatalf("Reset engine reports steps=%d time=%v", e.Steps(), e.Time())
+			}
+			replay := runTrace(t, e, bk.stop, bk.budget)
+			equalTraces(t, "reset replay", first, replay)
+
+			// A freshly constructed engine with the same stream must
+			// behave identically to the Reset one.
+			fresh, err := bk.make(rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			construction := runTrace(t, fresh, bk.stop, bk.budget)
+			equalTraces(t, "fresh construction", first, construction)
+
+			// A different stream must (overwhelmingly likely) diverge.
+			e.Reset(rng.New(seed + 1))
+			other := runTrace(t, e, bk.stop, bk.budget)
+			if other.finalSteps == first.finalSteps && other.finalTime == first.finalTime &&
+				len(other.events) == len(first.events) {
+				same := true
+				for i := range other.events {
+					if other.events[i] != first.events[i] || other.times[i] != first.times[i] {
+						same = false
+						break
+					}
+				}
+				if same && len(first.events) > 4 {
+					t.Error("different seeds produced identical runs")
+				}
+			}
+		})
+	}
+}
+
+// TestEngineConformanceViaRun exercises every backend through the shared
+// Run loop instead of manual stepping: the run must terminate with the
+// same classification and respect the step limit.
+func TestEngineConformanceViaRun(t *testing.T) {
+	for _, bk := range backends(t) {
+		bk := bk
+		t.Run(bk.name, func(t *testing.T) {
+			t.Parallel()
+			e, err := bk.make(rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(e, bk.stop, sim.Limits{MaxSteps: 10 * bk.budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Absorbed && !res.Stopped {
+				t.Fatalf("run hit the step limit: %+v", res)
+			}
+			if res.Steps != e.Steps() {
+				t.Errorf("result steps %d != engine steps %d", res.Steps, e.Steps())
+			}
+
+			// A tiny step limit must stop the run early.
+			e.Reset(rng.New(11))
+			res, err = sim.Run(e, nil, sim.Limits{MaxSteps: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps < 1 || (res.Steps > 3 && bk.name != "crn-leap") {
+				// Tau-leaping may overshoot a step budget within one
+				// batched call; every other backend must respect it
+				// exactly.
+				t.Errorf("MaxSteps=3 run took %d steps", res.Steps)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+
+	"lvmajority/internal/crn"
+	"lvmajority/internal/rng"
+)
+
+// CRNClock selects the clock of a direct-method CRN engine.
+type CRNClock int
+
+const (
+	// JumpChain advances the embedded discrete-time jump chain; Time
+	// stays zero.
+	JumpChain CRNClock = iota
+	// Gillespie additionally draws an exponential holding time per event,
+	// so Time is the continuous (physical) time of the chain.
+	Gillespie
+)
+
+// crnDirect adapts crn.Simulator (the direct method) to Engine.
+type crnDirect struct {
+	sim     *crn.Simulator
+	initial []int
+	clock   CRNClock
+	done    bool
+	err     error
+}
+
+// NewCRN returns a direct-method (Gillespie SSA) engine over net. The
+// event code of Step is the fired reaction index.
+func NewCRN(net *crn.Network, initial []int, clock CRNClock, src *rng.Source) (Engine, error) {
+	s, err := crn.NewSimulator(net, initial, src)
+	if err != nil {
+		return nil, err
+	}
+	init := make([]int, len(initial))
+	copy(init, initial)
+	return &crnDirect{sim: s, initial: init, clock: clock}, nil
+}
+
+func (e *crnDirect) Step() (int, bool) {
+	if e.done {
+		return 0, false
+	}
+	var r int
+	var err error
+	if e.clock == Gillespie {
+		r, _, err = e.sim.StepTime()
+	} else {
+		r, err = e.sim.Step()
+	}
+	if err != nil {
+		e.done = true
+		if !errors.Is(err, crn.ErrExhausted) {
+			e.err = err
+		}
+		return 0, false
+	}
+	return r, true
+}
+
+func (e *crnDirect) Time() float64 { return e.sim.Time() }
+func (e *crnDirect) Steps() int    { return e.sim.Steps() }
+func (e *crnDirect) State() []int  { return e.sim.StateView() }
+func (e *crnDirect) Err() error    { return e.err }
+
+func (e *crnDirect) Reset(src *rng.Source) {
+	e.done, e.err = false, nil
+	if err := e.sim.Reset(e.initial, src); err != nil {
+		e.done, e.err = true, err
+	}
+}
+
+// crnNRM adapts crn.NRMSimulator (Gibson–Bruck next-reaction method) to
+// Engine.
+type crnNRM struct {
+	sim     *crn.NRMSimulator
+	initial []int
+	done    bool
+	err     error
+}
+
+// NewCRNNextReaction returns a next-reaction-method engine over net. It
+// samples the same continuous-time chain as NewCRN with the Gillespie
+// clock, in O(D·log R) work per event. The event code is the fired
+// reaction index.
+func NewCRNNextReaction(net *crn.Network, initial []int, src *rng.Source) (Engine, error) {
+	s, err := crn.NewNRMSimulator(net, initial, src)
+	if err != nil {
+		return nil, err
+	}
+	init := make([]int, len(initial))
+	copy(init, initial)
+	return &crnNRM{sim: s, initial: init}, nil
+}
+
+func (e *crnNRM) Step() (int, bool) {
+	if e.done {
+		return 0, false
+	}
+	r, err := e.sim.Step()
+	if err != nil {
+		e.done = true
+		if !errors.Is(err, crn.ErrExhausted) {
+			e.err = err
+		}
+		return 0, false
+	}
+	return r, true
+}
+
+func (e *crnNRM) Time() float64 { return e.sim.Time() }
+func (e *crnNRM) Steps() int    { return e.sim.Steps() }
+func (e *crnNRM) State() []int  { return e.sim.StateView() }
+func (e *crnNRM) Err() error    { return e.err }
+
+func (e *crnNRM) Reset(src *rng.Source) {
+	e.done, e.err = false, nil
+	if err := e.sim.Reset(e.initial, src); err != nil {
+		e.done, e.err = true, err
+	}
+}
+
+// crnLeap adapts crn.LeapSimulator (explicit tau-leaping) to Engine.
+type crnLeap struct {
+	sim     *crn.LeapSimulator
+	initial []int
+	done    bool
+	err     error
+}
+
+// NewCRNLeap returns a tau-leaping engine over net. One Step call advances
+// the chain by one leap (or one batch of exact fallback steps); Steps
+// counts the leaps and fallback reactions taken, so it can grow by more
+// than one per call. The event code is always zero — leaps fire many
+// channels at once.
+func NewCRNLeap(net *crn.Network, initial []int, opts crn.LeapOptions, src *rng.Source) (Engine, error) {
+	s, err := crn.NewLeapSimulator(net, initial, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	init := make([]int, len(initial))
+	copy(init, initial)
+	return &crnLeap{sim: s, initial: init}, nil
+}
+
+func (e *crnLeap) Step() (int, bool) {
+	if e.done {
+		return 0, false
+	}
+	if err := e.sim.Leap(); err != nil {
+		e.done = true
+		if !errors.Is(err, crn.ErrExhausted) {
+			e.err = err
+		}
+		return 0, false
+	}
+	return 0, true
+}
+
+func (e *crnLeap) Time() float64 { return e.sim.Time() }
+func (e *crnLeap) Steps() int    { return e.sim.Leaps() + e.sim.ExactSteps() }
+func (e *crnLeap) State() []int  { return e.sim.StateView() }
+func (e *crnLeap) Err() error    { return e.err }
+
+func (e *crnLeap) Reset(src *rng.Source) {
+	e.done, e.err = false, nil
+	if err := e.sim.Reset(e.initial, src); err != nil {
+		e.done, e.err = true, err
+	}
+}

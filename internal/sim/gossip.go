@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"lvmajority/internal/gossip"
+	"lvmajority/internal/rng"
+)
+
+// gossipEngine adapts a synchronous gossip.Dynamics to Engine.
+type gossipEngine struct {
+	dyn     gossip.Dynamics
+	initial gossip.Counts
+	cur     gossip.Counts
+	src     *rng.Source
+	rounds  int
+	buf     [3]int
+	err     error
+}
+
+// NewGossip returns an engine over one synchronous opinion dynamics on the
+// complete graph. The state vector is [c0, c1, undecided]; one Step is one
+// synchronous round (event code 0), and both Time and Steps count rounds.
+// The engine is absorbed once a decided opinion is extinct — the natural
+// consensus criterion, since no dynamics in the gossip package can revive
+// an extinct opinion.
+func NewGossip(d gossip.Dynamics, initial gossip.Counts, src *rng.Source) (Engine, error) {
+	if d == nil {
+		return nil, fmt.Errorf("sim: nil gossip dynamics")
+	}
+	if initial.C0 < 0 || initial.C1 < 0 || initial.U < 0 {
+		return nil, fmt.Errorf("sim: negative gossip counts %v", initial)
+	}
+	if initial.N() == 0 {
+		return nil, fmt.Errorf("sim: empty gossip population")
+	}
+	if initial.U > 0 && !d.Undecided() {
+		return nil, fmt.Errorf("sim: %s has no undecided state but initial %v has undecided agents", d.Name(), initial)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sim: nil random source")
+	}
+	return &gossipEngine{dyn: d, initial: initial, cur: initial, src: src}, nil
+}
+
+func (e *gossipEngine) Step() (int, bool) {
+	if e.err != nil {
+		return 0, false
+	}
+	if done, _ := e.cur.Decided(); done {
+		return 0, false
+	}
+	next := e.dyn.Step(e.cur, e.src)
+	if next.N() != e.cur.N() {
+		e.err = fmt.Errorf("sim: %s changed the population size %d -> %d", e.dyn.Name(), e.cur.N(), next.N())
+		return 0, false
+	}
+	e.cur = next
+	e.rounds++
+	return 0, true
+}
+
+func (e *gossipEngine) Time() float64 { return float64(e.rounds) }
+func (e *gossipEngine) Steps() int    { return e.rounds }
+func (e *gossipEngine) Err() error    { return e.err }
+
+func (e *gossipEngine) State() []int {
+	e.buf[0], e.buf[1], e.buf[2] = e.cur.C0, e.cur.C1, e.cur.U
+	return e.buf[:]
+}
+
+func (e *gossipEngine) Reset(src *rng.Source) {
+	e.cur = e.initial
+	e.src = src
+	e.rounds = 0
+	e.err = nil
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+)
+
+// lvEngine adapts lv.Chain to Engine.
+type lvEngine struct {
+	chain   *lv.Chain
+	initial lv.State
+	buf     [2]int
+	done    bool
+}
+
+// NewLV returns an engine over the two-species Lotka–Volterra jump chain.
+// The state vector is [x0, x1] and the event code is the lv.EventKind of
+// the fired channel. With trackTime the engine also accumulates Gillespie
+// continuous time.
+func NewLV(params lv.Params, initial lv.State, trackTime bool, src *rng.Source) (Engine, error) {
+	c, err := lv.NewChain(params, initial, src)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTrackTime(trackTime)
+	return &lvEngine{chain: c, initial: initial}, nil
+}
+
+func (e *lvEngine) Step() (int, bool) {
+	if e.done {
+		return 0, false
+	}
+	kind, ok := e.chain.Step()
+	if !ok {
+		e.done = true
+		return 0, false
+	}
+	return int(kind), true
+}
+
+func (e *lvEngine) Time() float64 { return e.chain.Time() }
+func (e *lvEngine) Steps() int    { return e.chain.Steps() }
+func (e *lvEngine) Err() error    { return nil }
+
+func (e *lvEngine) State() []int {
+	s := e.chain.State()
+	e.buf[0], e.buf[1] = s.X0, s.X1
+	return e.buf[:]
+}
+
+func (e *lvEngine) Reset(src *rng.Source) {
+	e.done = false
+	// The initial state and source were validated at construction; Reset
+	// cannot fail.
+	_ = e.chain.Reset(e.initial, src)
+}
+
+// LVConsensus is the stop condition for two-species consensus: at least one
+// species extinct. It applies to any engine whose first two state entries
+// are the species counts.
+func LVConsensus(state []int) bool { return state[0] == 0 || state[1] == 0 }

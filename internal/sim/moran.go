@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"lvmajority/internal/moran"
+	"lvmajority/internal/rng"
+)
+
+// moranEngine adapts the Moran jump chain to Engine.
+type moranEngine struct {
+	chain *moran.Chain
+	buf   [2]int
+	err   error
+}
+
+// NewMoran returns an engine over the two-type Moran process with
+// population size n and a initial individuals of type 0. The state vector
+// is [type0, type1]; one Step is one state-changing (jump) step, with
+// event code 1 when the type-0 count went up and 0 when it went down.
+// Time counts the underlying Moran steps, including the holding steps the
+// jump chain accounts for in aggregate.
+func NewMoran(p moran.Params, n, a int, src *rng.Source) (Engine, error) {
+	c, err := moran.NewChain(p, n, a, src)
+	if err != nil {
+		return nil, err
+	}
+	return &moranEngine{chain: c}, nil
+}
+
+func (e *moranEngine) Step() (int, bool) {
+	if e.err != nil {
+		return 0, false
+	}
+	up, ok := e.chain.Step()
+	if !ok {
+		// Distinguish genuine fixation from the jump-step safety cap,
+		// which the Engine contract must report as a failure, not as
+		// absorption.
+		if done, _ := e.chain.Absorbed(); !done {
+			e.err = fmt.Errorf("sim: moran chain exceeded %d jump steps", e.chain.JumpSteps())
+		}
+		return 0, false
+	}
+	if up {
+		return 1, true
+	}
+	return 0, true
+}
+
+func (e *moranEngine) Time() float64 { return float64(e.chain.MoranSteps()) }
+func (e *moranEngine) Steps() int    { return e.chain.JumpSteps() }
+func (e *moranEngine) Err() error    { return e.err }
+
+func (e *moranEngine) State() []int {
+	e.buf[0] = e.chain.Count()
+	e.buf[1] = e.chain.N() - e.chain.Count()
+	return e.buf[:]
+}
+
+func (e *moranEngine) Reset(src *rng.Source) {
+	e.err = nil
+	e.chain.Reset(src)
+}

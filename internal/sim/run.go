@@ -1,0 +1,67 @@
+package sim
+
+// StopCondition inspects the live state vector after each event and reports
+// whether the run should stop. The callback must not modify or retain the
+// slice.
+type StopCondition func(state []int) bool
+
+// Limits bounds a Run. The zero value means unlimited.
+type Limits struct {
+	// MaxSteps caps the number of events fired during this Run call
+	// (0 = no limit).
+	MaxSteps int
+	// MaxTime stops the run once the engine's Time reaches this value
+	// (0 = no limit).
+	MaxTime float64
+}
+
+// Result summarizes a Run invocation.
+type Result struct {
+	// Steps is the number of events fired during this Run call.
+	Steps int
+	// Time is the engine's time when the run ended.
+	Time float64
+	// Absorbed reports whether the engine reached a state from which no
+	// further event can occur.
+	Absorbed bool
+	// Stopped reports whether the stop condition ended the run.
+	Stopped bool
+}
+
+// Run advances the engine until the stop condition holds, the chain is
+// absorbed, the limits are exhausted, or the engine fails. It subsumes the
+// historical per-package Run/RunTime loops: the same code drives every
+// backend, and the stop condition sees the live state after each event.
+func Run(e Engine, stop StopCondition, lim Limits) (Result, error) {
+	var res Result
+	start := e.Steps()
+	if stop != nil && stop(e.State()) {
+		res.Stopped = true
+		res.Time = e.Time()
+		return res, nil
+	}
+	for {
+		if lim.MaxSteps > 0 && e.Steps()-start >= lim.MaxSteps {
+			break
+		}
+		if lim.MaxTime > 0 && e.Time() >= lim.MaxTime {
+			break
+		}
+		if _, ok := e.Step(); !ok {
+			if err := e.Err(); err != nil {
+				res.Steps = e.Steps() - start
+				res.Time = e.Time()
+				return res, err
+			}
+			res.Absorbed = true
+			break
+		}
+		if stop != nil && stop(e.State()) {
+			res.Stopped = true
+			break
+		}
+	}
+	res.Steps = e.Steps() - start
+	res.Time = e.Time()
+	return res, nil
+}

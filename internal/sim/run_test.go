@@ -1,0 +1,88 @@
+package sim_test
+
+import (
+	"testing"
+
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/sim"
+)
+
+func newLVEngine(t *testing.T, seed uint64) sim.Engine {
+	t.Helper()
+	e, err := sim.NewLV(lv.Neutral(1, 1, 1, 0, lv.SelfDestructive), lv.State{X0: 30, X1: 20}, true, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunStopsAtConsensus(t *testing.T) {
+	e := newLVEngine(t, 1)
+	res, err := sim.Run(e, sim.LVConsensus, sim.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("run did not stop at consensus: %+v", res)
+	}
+	if !sim.LVConsensus(e.State()) {
+		t.Errorf("stopped in a non-consensus state %v", e.State())
+	}
+	if res.Steps == 0 || res.Time <= 0 {
+		t.Errorf("implausible result %+v", res)
+	}
+}
+
+func TestRunHonorsMaxSteps(t *testing.T) {
+	e := newLVEngine(t, 2)
+	res, err := sim.Run(e, nil, sim.Limits{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 10 || res.Stopped || res.Absorbed {
+		t.Errorf("MaxSteps run = %+v, want exactly 10 plain steps", res)
+	}
+}
+
+func TestRunHonorsMaxTime(t *testing.T) {
+	e := newLVEngine(t, 3)
+	res, err := sim.Run(e, nil, sim.Limits{MaxTime: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped || res.Absorbed {
+		t.Errorf("time-limited run misclassified: %+v", res)
+	}
+	if res.Time < 0.25 {
+		t.Errorf("run ended at time %v before the limit", res.Time)
+	}
+}
+
+func TestRunImmediateStop(t *testing.T) {
+	e := newLVEngine(t, 4)
+	res, err := sim.Run(e, func([]int) bool { return true }, sim.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Steps != 0 {
+		t.Errorf("immediate stop produced %+v", res)
+	}
+}
+
+func TestSpatialConsensusHelper(t *testing.T) {
+	cases := []struct {
+		state []int
+		want  bool
+	}{
+		{[]int{1, 1, 2, 3}, false},
+		{[]int{0, 1, 0, 3}, true},
+		{[]int{1, 0, 2, 0}, true},
+		{[]int{0, 0}, true},
+	}
+	for _, tc := range cases {
+		if got := sim.SpatialConsensus(tc.state); got != tc.want {
+			t.Errorf("SpatialConsensus(%v) = %v, want %v", tc.state, got, tc.want)
+		}
+	}
+}

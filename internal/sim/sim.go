@@ -1,0 +1,48 @@
+// Package sim defines the unified simulation-engine abstraction shared by
+// every stochastic model in this repository: the exact and approximate CRN
+// simulators, the two-species Lotka–Volterra jump chain, the Moran process,
+// synchronous gossip dynamics, and the deme-structured spatial LV system.
+//
+// An Engine is one replicable execution advanced one event at a time; the
+// shared Run loop subsumes the per-package Run/RunTime variants, and the
+// mc package replicates engines across a worker pool with deterministic
+// per-replicate streams. New backends only implement Engine (typically a
+// ~50-line adapter) and inherit the replication harness, the stop/limit
+// machinery, and the conformance test suite for free.
+package sim
+
+import "lvmajority/internal/rng"
+
+// Engine is one replicable stochastic simulation: a discrete- or
+// continuous-time Markov chain advanced one event at a time. Engines are
+// not safe for concurrent use; replicated runs give each worker its own
+// engine.
+//
+// Step fires one event and returns an engine-specific event code with
+// ok = true. It returns ok = false without changing the state when the
+// chain cannot continue: either it is absorbed (Err() == nil) or the
+// engine failed (Err() != nil, e.g. a tau-leap step-size failure). After
+// ok = false, every further Step call returns ok = false until Reset.
+//
+// Time returns the accumulated continuous time for engines that track one,
+// and otherwise a monotone non-decreasing progress measure (e.g. rounds);
+// it is zero on a fresh or freshly Reset engine. Steps counts the events
+// fired since construction or Reset; a single Step call may account for
+// more than one event on batching engines such as tau-leaping.
+//
+// State returns the current state vector. The slice is owned by the engine
+// and only valid until the next Step or Reset call; callers must copy it to
+// retain. Its length and meaning are fixed per engine.
+//
+// Reset returns the engine to its initial configuration with a fresh
+// random stream, reusing internal buffers so that replicated runs do not
+// allocate on the hot path. A Reset engine behaves identically to a newly
+// constructed one seeded with the same stream.
+type Engine interface {
+	Step() (event int, ok bool)
+	Time() float64
+	Steps() int
+	State() []int
+	Reset(src *rng.Source)
+	Err() error
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"lvmajority/internal/lv"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/spatial"
+)
+
+// spatialEngine adapts spatial.System to Engine.
+type spatialEngine struct {
+	sys     *spatial.System
+	initial []lv.State
+	buf     []int
+	done    bool
+}
+
+// NewSpatial returns an engine over the deme-structured spatial LV system.
+// The state vector flattens the per-deme configurations as
+// [x0(deme0), x1(deme0), x0(deme1), ...]; the event code is always zero.
+// The engine is absorbed when the total propensity is zero; global
+// consensus is a StopCondition concern (see SpatialConsensus).
+func NewSpatial(params spatial.Params, initial []lv.State, trackTime bool, src *rng.Source) (Engine, error) {
+	sys, err := spatial.NewSystem(params, initial, src)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetTrackTime(trackTime)
+	init := make([]lv.State, len(initial))
+	copy(init, initial)
+	return &spatialEngine{
+		sys:     sys,
+		initial: init,
+		buf:     make([]int, 2*len(initial)),
+	}, nil
+}
+
+func (e *spatialEngine) Step() (int, bool) {
+	if e.done {
+		return 0, false
+	}
+	if !e.sys.Step() {
+		e.done = true
+		return 0, false
+	}
+	return 0, true
+}
+
+func (e *spatialEngine) Time() float64 { return e.sys.Time() }
+func (e *spatialEngine) Steps() int    { return e.sys.Steps() }
+func (e *spatialEngine) Err() error    { return nil }
+
+func (e *spatialEngine) State() []int {
+	for d := 0; d < e.sys.NumDemes(); d++ {
+		s := e.sys.Deme(d)
+		e.buf[2*d] = s.X0
+		e.buf[2*d+1] = s.X1
+	}
+	return e.buf
+}
+
+func (e *spatialEngine) Reset(src *rng.Source) {
+	e.done = false
+	// Validated at construction; Reset cannot fail.
+	_ = e.sys.Reset(e.initial, src)
+}
+
+// SpatialConsensus is the stop condition for global consensus of a spatial
+// engine: summed over demes, at least one species is extinct.
+func SpatialConsensus(state []int) bool {
+	var x0, x1 int
+	for i := 0; i+1 < len(state); i += 2 {
+		x0 += state[i]
+		x1 += state[i+1]
+	}
+	return x0 == 0 || x1 == 0
+}

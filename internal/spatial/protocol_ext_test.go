@@ -1,0 +1,11 @@
+package spatial_test
+
+import (
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/spatial"
+)
+
+// The Protocol adapter must satisfy consensus.Protocol. The check lives in
+// an external test package: consensus now depends on the sim engine layer,
+// which adapts spatial, so an in-package import would cycle.
+var _ consensus.Protocol = spatial.Protocol{}

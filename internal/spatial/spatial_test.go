@@ -4,13 +4,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"lvmajority/internal/consensus"
 	"lvmajority/internal/lv"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
-
-var _ consensus.Protocol = Protocol{}
 
 func neutralSD() lv.Params { return lv.Neutral(1, 1, 1, 0, lv.SelfDestructive) }
 
