@@ -9,6 +9,7 @@
 //	experiments -full T1-SD T1-NSD    # heavier grids, two experiments
 //	experiments -list
 //	experiments -csv out/ E-SEP       # also write CSV files
+//	experiments -cache probes.json T1-SD   # replay settled threshold probes
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/sweep"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func run(args []string, w io.Writer) error {
 		seed    = fs.Uint64("seed", 20240506, "random seed")
 		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
+		cache   = fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
 		quiet   = fs.Bool("q", false, "suppress progress logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +71,13 @@ func run(args []string, w io.Writer) error {
 		Seed:    *seed,
 		Workers: *workers,
 		Full:    *full,
+	}
+	if *cache != "" {
+		c, err := sweep.OpenCache(*cache)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = c
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr

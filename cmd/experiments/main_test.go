@@ -63,6 +63,27 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 }
 
+func TestRunCacheFlag(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "probes.json")
+	var b strings.Builder
+	// E-DOM issues no threshold probes, so this only exercises the
+	// cache plumbing cheaply.
+	if err := run([]string{"-q", "-cache", cache, "E-DOM"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCorruptCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "probes.json")
+	if err := os.WriteFile(cache, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-q", "-cache", cache, "E-DOM"}, &b); err == nil {
+		t.Error("corrupt cache accepted")
+	}
+}
+
 func TestSanitize(t *testing.T) {
 	if got := sanitize("T1-SD"); got != "T1-SD" {
 		t.Errorf("sanitize(T1-SD) = %q", got)

@@ -4,11 +4,17 @@
 // scaling exponent. This regenerates the rows of Table 1 of the paper for
 // a single protocol.
 //
+// The curve is computed on the internal/sweep engine: each search is
+// warm-started from the previous population size's threshold, gaps are
+// probed with the early-stopping sequential estimator, and -cache persists
+// settled probes so a re-run replays them without spending trials.
+//
 // Examples:
 //
 //	threshold -protocol lv-sd -n 256,1024,4096
 //	threshold -protocol lv-nsd -n 1024 -trials 8000
 //	threshold -protocol 3-state-am -n 512
+//	threshold -protocol lv-sd -n 256,512,1024 -cache psi.cache.json
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"lvmajority/internal/lv"
 	"lvmajority/internal/moran"
 	"lvmajority/internal/protocols"
+	"lvmajority/internal/sweep"
 )
 
 func main() {
@@ -103,14 +110,17 @@ func parseNs(spec string) ([]int, error) {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("threshold", flag.ContinueOnError)
 	var (
-		protoName = fs.String("protocol", "lv-sd", "protocol to measure")
-		nSpec     = fs.String("n", "256,512,1024,2048", "comma-separated population sizes")
-		trials    = fs.Int("trials", 0, "Monte-Carlo trials per probed gap (0 = 2n capped at 8000)")
-		target    = fs.Float64("target", 0, "success probability target (0 = 1-1/n)")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		verbose   = fs.Bool("v", false, "print every probed gap")
-		fast      = fs.Bool("fast", false, "probe gaps with the early-stopping sequential estimator")
+		protoName   = fs.String("protocol", "lv-sd", "protocol to measure")
+		nSpec       = fs.String("n", "256,512,1024,2048", "comma-separated population sizes")
+		trials      = fs.Int("trials", 0, "Monte-Carlo trials per probed gap (0 = 2n capped at 8000)")
+		target      = fs.Float64("target", 0, "success probability target (0 = 1-1/n)")
+		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		lanes       = fs.Int("lanes", 1, "concurrent per-n searches sharing the worker budget")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		verbose     = fs.Bool("v", false, "print every probed gap")
+		cold        = fs.Bool("cold", false, "disable warm-started brackets (every n searched from scratch)")
+		noEarlyStop = fs.Bool("no-earlystop", false, "disable the early-stopping sequential estimator")
+		cachePath   = fs.String("cache", "", "probe cache file; settled probes are replayed across runs (empty = no cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,50 +134,59 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cache, err := sweep.OpenCache(*cachePath)
+	if err != nil {
+		return err
+	}
 
-	fmt.Fprintf(w, "protocol: %s\n", proto.Name())
-	fmt.Fprintf(w, "%8s  %10s  %10s  %14s  %14s\n", "n", "target", "threshold", "thr/log2(n)^2", "thr/sqrt(n)")
-
-	var points []consensus.CurvePoint
-	for _, n := range ns {
-		tr := *trials
-		if tr <= 0 {
-			tr = 2 * n
+	res, err := sweep.Run(proto, sweep.Options{
+		Grid:   ns,
+		Target: *target,
+		TrialsFor: func(n int) int {
+			if *trials > 0 {
+				return *trials
+			}
+			tr := 2 * n
 			if tr > 8000 {
 				tr = 8000
 			}
 			if tr < 1000 {
 				tr = 1000
 			}
-		}
-		res, err := consensus.FindThreshold(proto, n, consensus.ThresholdOptions{
-			Target:    *target,
-			Trials:    tr,
-			Workers:   *workers,
-			Seed:      *seed + uint64(n),
-			EarlyStop: *fast,
-		})
-		if err != nil {
-			return err
-		}
-		if *verbose {
-			for _, ev := range res.Evaluations {
-				fmt.Fprintf(w, "  probe n=%d delta=%d rho=%s\n", n, ev.Delta, ev.Estimate)
-			}
-		}
-		points = append(points, consensus.CurvePoint{N: n, Threshold: res.Threshold, Found: res.Found})
-		if !res.Found {
-			fmt.Fprintf(w, "%8d  %10.6f  %10s  %14s  %14s\n", n, res.Target, "not found", "-", "-")
-			continue
-		}
-		fn := float64(n)
-		fmt.Fprintf(w, "%8d  %10.6f  %10d  %14.4f  %14.4f\n",
-			n, res.Target, res.Threshold,
-			float64(res.Threshold)/consensus.ShapeLog2(fn),
-			float64(res.Threshold)/consensus.ShapeSqrt(fn))
+			return tr
+		},
+		Workers:     *workers,
+		Lanes:       *lanes,
+		Seed:        *seed, // per-n seed defaults to Seed + n
+		Cold:        *cold,
+		NoEarlyStop: *noEarlyStop,
+		Cache:       cache,
+	})
+	if err != nil {
+		return err
 	}
 
-	if fit, err := consensus.FitCurve(points); err == nil {
+	fmt.Fprintf(w, "protocol: %s\n", res.Protocol)
+	fmt.Fprintf(w, "%8s  %10s  %10s  %14s  %14s\n", "n", "target", "threshold", "thr/log2(n)^2", "thr/sqrt(n)")
+	for _, pt := range res.Points {
+		if *verbose {
+			for _, ev := range pt.Evaluations {
+				fmt.Fprintf(w, "  probe n=%d delta=%d rho=%s\n", pt.N, ev.Delta, ev.Estimate)
+			}
+		}
+		if !pt.Found {
+			fmt.Fprintf(w, "%8d  %10.6f  %10s  %14s  %14s\n", pt.N, pt.Target, "not found", "-", "-")
+			continue
+		}
+		fn := float64(pt.N)
+		fmt.Fprintf(w, "%8d  %10.6f  %10d  %14.4f  %14.4f\n",
+			pt.N, pt.Target, pt.Threshold,
+			float64(pt.Threshold)/consensus.ShapeLog2(fn),
+			float64(pt.Threshold)/consensus.ShapeSqrt(fn))
+	}
+	fmt.Fprintf(w, "probes: %d (%d fresh, %d cached)\n", res.Probes, res.EstimatorCalls, res.CacheHits)
+
+	if fit, err := consensus.FitCurve(res.Curve()); err == nil {
 		fmt.Fprintf(w, "scaling fit: %s\n", fit)
 	}
 	return nil

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,6 +54,57 @@ func TestRunEndToEnd(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "protocol:") || !strings.Contains(out, "probe n=64") {
 		t.Errorf("output malformed:\n%s", out)
+	}
+}
+
+func TestRunCacheReplay(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "probes.json")
+	args := []string{"-protocol", "lv-sd", "-n", "64,96", "-trials", "200", "-cache", cache}
+
+	var first strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(first.String(), "(0 fresh") {
+		t.Fatalf("first run reported no fresh probes:\n%s", first.String())
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	var second strings.Builder
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "(0 fresh") {
+		t.Errorf("second run against a warm cache ran fresh probes:\n%s", second.String())
+	}
+	// The replayed run must print the identical curve (only the probe
+	// accounting line differs).
+	if got, want := stripProbeLine(second.String()), stripProbeLine(first.String()); got != want {
+		t.Errorf("cached run output differs:\n--- first\n%s--- second\n%s", want, got)
+	}
+}
+
+func stripProbeLine(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "probes:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func TestRunCorruptCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "probes.json")
+	if err := os.WriteFile(cache, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-n", "64", "-trials", "50", "-cache", cache}, &b); err == nil {
+		t.Error("corrupt cache accepted")
 	}
 }
 

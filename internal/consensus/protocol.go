@@ -94,6 +94,14 @@ func (p LVProtocol) Name() string {
 	return p.Params.String()
 }
 
+// CacheKey identifies the protocol's dynamics for persistent probe caches
+// (see internal/sweep): unlike Name, it ignores the cosmetic Label and
+// encodes every field that changes trial outcomes, so redefining a labelled
+// protocol invalidates its cached probes.
+func (p LVProtocol) CacheKey() string {
+	return fmt.Sprintf("%s|ties=%d|maxsteps=%d", p.Params.String(), p.Ties, p.MaxSteps)
+}
+
 // Trial implements Protocol.
 func (p LVProtocol) Trial(n, delta int, src *rng.Source) (bool, error) {
 	a, b, err := SplitInitial(n, delta)

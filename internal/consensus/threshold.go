@@ -29,6 +29,39 @@ type ThresholdOptions struct {
 	// gaps far from the threshold. See EstimateWithEarlyStop for the
 	// sequential-testing caveat.
 	EarlyStop bool
+	// Hint warm-starts the search with a guess for the threshold —
+	// typically the threshold found at the previous, smaller n of a
+	// sweep, since Ψ(n) is monotone in n. The search probes the hint
+	// first and brackets outward from it, so an accurate hint replaces
+	// the exponential bracketing phase with one or two confirmation
+	// probes. Zero (or an infeasible value) falls back to the cold
+	// exponential search. When the probe outcomes are monotone in the
+	// gap — which the whole search already assumes — the returned
+	// threshold is identical to the cold search's.
+	Hint int
+	// Estimator overrides the per-gap estimator. internal/sweep uses it
+	// to layer memoized and persistent caching over the default
+	// estimators; nil selects EstimateWinProbability, or
+	// EstimateWithEarlyStop when EarlyStop is set. The override must be
+	// deterministic in its arguments.
+	Estimator ProbeEstimator
+}
+
+// ProbeEstimator evaluates one gap during a threshold search. The options
+// carry the resolved trial count and the derived per-gap seed, so equal
+// arguments must always produce the same estimate.
+type ProbeEstimator func(delta int, opts EstimateOptions) (stats.BernoulliEstimate, error)
+
+// DefaultEstimator returns the estimator FindThreshold uses when
+// ThresholdOptions.Estimator is nil: the fixed-size estimator, or the
+// sequential early-stopping estimator when earlyStop is set.
+func DefaultEstimator(p Protocol, n int, target float64, earlyStop bool) ProbeEstimator {
+	return func(delta int, opts EstimateOptions) (stats.BernoulliEstimate, error) {
+		if earlyStop {
+			return EstimateWithEarlyStop(p, n, delta, target, opts)
+		}
+		return EstimateWinProbability(p, n, delta, opts)
+	}
 }
 
 // Evaluation records one probed gap during a threshold search.
@@ -90,59 +123,125 @@ func FindThreshold(p Protocol, n int, opts ThresholdOptions) (ThresholdResult, e
 
 	res := ThresholdResult{N: n, Target: target, Threshold: -1}
 
+	estimator := opts.Estimator
+	if estimator == nil {
+		estimator = DefaultEstimator(p, n, target, opts.EarlyStop)
+	}
+
 	// Deterministic per-gap seeds: mix the root seed with the gap so the
 	// same gap is always evaluated with the same stream, which keeps the
-	// bisection self-consistent.
+	// bisection self-consistent. Results are memoized so no gap is ever
+	// estimated twice in one search (warm-started bracketing and the
+	// parity clamp in the binary search can both revisit a gap) and
+	// Evaluations never holds duplicates.
+	memo := make(map[int]bool)
 	probe := func(delta int) (bool, error) {
-		eopts := EstimateOptions{
+		if ok, seen := memo[delta]; seen {
+			return ok, nil
+		}
+		est, err := estimator(delta, EstimateOptions{
 			Trials:  trials,
 			Workers: opts.Workers,
 			Seed:    opts.Seed ^ (uint64(delta)*0x9e3779b97f4a7c15 + 0x1234567),
-		}
-		var est stats.BernoulliEstimate
-		var err error
-		if opts.EarlyStop {
-			est, err = EstimateWithEarlyStop(p, n, delta, target, eopts)
-		} else {
-			est, err = EstimateWinProbability(p, n, delta, eopts)
-		}
+		})
 		if err != nil {
 			return false, err
 		}
 		res.Evaluations = append(res.Evaluations, Evaluation{Delta: delta, Estimate: est})
-		return est.P() >= target, nil
+		ok := est.P() >= target
+		memo[delta] = ok
+		return ok, nil
 	}
 
-	// Exponential search for an upper bracket.
-	lo := MatchParity(n, 0) // smallest feasible gap (0 or 1)
-	if lo == 0 {
-		lo = 2 // a gap of zero cannot define a majority; start at 2 for even n
+	minFeasible := MatchParity(n, 0) // smallest feasible gap (2 or 1)
+	if minFeasible == 0 {
+		minFeasible = 2 // a gap of zero cannot define a majority
 	}
-	delta := lo
+	lo := minFeasible
 	var hi int
 	found := false
-	for {
-		if delta > maxDelta {
-			delta = maxDelta
+
+	// expand runs the exponential bracketing phase from start, with grow
+	// picking each successive gap, until a probe passes (hi found) or
+	// maxDelta fails (no threshold). It maintains the invariant that
+	// every feasible gap below lo failed or is assumed to fail by
+	// monotonicity.
+	expand := func(start int, grow func(delta int) int) error {
+		delta := start
+		for {
+			if delta > maxDelta {
+				delta = maxDelta
+			}
+			ok, err := probe(delta)
+			if err != nil {
+				return err
+			}
+			if ok {
+				hi = delta
+				found = true
+				return nil
+			}
+			if delta == maxDelta {
+				return nil
+			}
+			lo = delta + 2 // threshold is strictly above delta on the parity grid
+			next := grow(delta)
+			if next <= delta {
+				next = delta + 2
+			}
+			delta = MatchParity(n, next)
 		}
-		ok, err := probe(delta)
+	}
+	doubling := func(delta int) int { return delta * 2 }
+
+	if hint := MatchParity(n, opts.Hint); opts.Hint > 0 {
+		// Warm start: confirm the hinted threshold with one or two
+		// probes, falling into bisection or exponential expansion only
+		// when the hint is off.
+		if hint > maxDelta {
+			hint = maxDelta
+		}
+		if hint < minFeasible {
+			hint = minFeasible
+		}
+		ok, err := probe(hint)
 		if err != nil {
 			return res, err
 		}
 		if ok {
-			hi = delta
+			hi = hint
 			found = true
-			break
+			if hint > minFeasible {
+				below, err := probe(hint - 2)
+				if err != nil {
+					return res, err
+				}
+				if below {
+					// Hint overshot: the threshold is lower;
+					// bisect down to the smallest feasible gap.
+					hi = hint - 2
+				} else {
+					lo = hint // bracket collapsed: threshold is exactly the hint
+				}
+			}
+		} else {
+			// The hint failed, so the threshold is strictly above
+			// it — usually only slightly, since the hint tracks a
+			// slowly growing monotone curve. Expand the offset from
+			// the hint geometrically (hint+2, hint+6, hint+14, …)
+			// rather than doubling the gap itself, which would
+			// overshoot and inflate the bisection range.
+			lo = hint + 2
+			inc := 2
+			if err := expand(MatchParity(n, hint+2), func(delta int) int {
+				inc *= 2
+				return delta + inc
+			}); err != nil {
+				return res, err
+			}
 		}
-		if delta == maxDelta {
-			break
-		}
-		lo = delta + 2 // threshold is strictly above delta on the parity grid
-		next := delta * 2
-		if next <= delta {
-			next = delta + 2
-		}
-		delta = MatchParity(n, next)
+	} else if err := expand(lo, doubling); err != nil {
+		return res, err
 	}
 	if !found {
 		return res, nil

@@ -7,6 +7,7 @@ import (
 
 	"lvmajority/internal/lv"
 	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
 )
 
 // stepProtocol succeeds deterministically once delta reaches its cutoff.
@@ -176,6 +177,163 @@ func TestFindThresholdLVEndToEnd(t *testing.T) {
 	// The SD threshold is polylogarithmic: it must sit far below √n·log n.
 	if float64(res.Threshold) > ShapeSqrtLog(256) {
 		t.Errorf("SD threshold %d at n=256 unexpectedly above √(n log n) = %v", res.Threshold, ShapeSqrtLog(256))
+	}
+}
+
+// countingEstimator wraps the default estimator and records how many times
+// each gap was estimated.
+func countingEstimator(p Protocol, n int, target float64, earlyStop bool, calls map[int]int) ProbeEstimator {
+	inner := DefaultEstimator(p, n, target, earlyStop)
+	return func(delta int, opts EstimateOptions) (stats.BernoulliEstimate, error) {
+		calls[delta]++
+		return inner(delta, opts)
+	}
+}
+
+func TestFindThresholdHint(t *testing.T) {
+	const cutoff = 20
+	want := MatchParity(100, cutoff)
+	cold, err := FindThreshold(stepProtocol{cutoff}, 100, ThresholdOptions{Trials: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Threshold != want {
+		t.Fatalf("cold threshold = %d, want %d", cold.Threshold, want)
+	}
+	for _, hint := range []int{1, 2, 10, want - 2, want, want + 2, 40, 97, 1 << 20} {
+		res, err := FindThreshold(stepProtocol{cutoff}, 100, ThresholdOptions{
+			Trials: 20, Seed: 1, Hint: hint,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Threshold != want {
+			t.Errorf("hint %d: threshold = %d (found=%v), want %d", hint, res.Threshold, res.Found, want)
+		}
+		if hint == want && len(res.Evaluations) != 2 {
+			t.Errorf("exact hint settled in %d probes, want 2 (confirm + adjacent)", len(res.Evaluations))
+		}
+		if len(res.Evaluations) > len(cold.Evaluations)+1 {
+			t.Errorf("hint %d used %d probes, cold used %d", hint, len(res.Evaluations), len(cold.Evaluations))
+		}
+	}
+}
+
+func TestFindThresholdHintOddPopulation(t *testing.T) {
+	// Odd n: the parity grid is odd; an even hint must be clamped onto it.
+	for _, hint := range []int{1, 8, 11, 50} {
+		res, err := FindThreshold(stepProtocol{10}, 101, ThresholdOptions{Trials: 20, Seed: 2, Hint: hint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Threshold != 11 {
+			t.Errorf("hint %d: threshold = %d, want 11", hint, res.Threshold)
+		}
+	}
+}
+
+func TestFindThresholdHintNotFound(t *testing.T) {
+	res, err := FindThreshold(stepProtocol{1 << 30}, 100, ThresholdOptions{Trials: 20, Seed: 3, Hint: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Threshold != -1 {
+		t.Errorf("result = %+v, want not found", res)
+	}
+}
+
+func TestFindThresholdNoDuplicateEstimates(t *testing.T) {
+	// No configuration — cold, hinted high, hinted low, odd or even n —
+	// may estimate the same gap twice or append duplicate Evaluations.
+	for _, n := range []int{100, 101, 1000} {
+		for _, hint := range []int{0, 1, 7, 29, 30, 31, 64, 99, 1 << 15} {
+			for _, cutoff := range []int{2, 29, 30, 98} {
+				calls := make(map[int]int)
+				res, err := FindThreshold(stepProtocol{cutoff}, n, ThresholdOptions{
+					Trials:    20,
+					Seed:      4,
+					Hint:      hint,
+					Estimator: countingEstimator(stepProtocol{cutoff}, n, 0, false, calls),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for delta, c := range calls {
+					if c != 1 {
+						t.Errorf("n=%d hint=%d cutoff=%d: delta %d estimated %d times", n, hint, cutoff, delta, c)
+					}
+				}
+				seen := make(map[int]bool)
+				for _, ev := range res.Evaluations {
+					if seen[ev.Delta] {
+						t.Errorf("n=%d hint=%d cutoff=%d: duplicate evaluation at delta %d", n, hint, cutoff, ev.Delta)
+					}
+					seen[ev.Delta] = true
+				}
+				if len(calls) != len(res.Evaluations) {
+					t.Errorf("n=%d hint=%d cutoff=%d: %d estimator calls but %d evaluations", n, hint, cutoff, len(calls), len(res.Evaluations))
+				}
+			}
+		}
+	}
+}
+
+func TestFindThresholdEstimatorOverride(t *testing.T) {
+	// A synthetic estimator fully determines the search: succeed from
+	// gap 12 with a fabricated estimate, without running any trials.
+	var called int
+	res, err := FindThreshold(stepProtocol{1}, 100, ThresholdOptions{
+		Trials: 20,
+		Seed:   5,
+		Estimator: func(delta int, opts EstimateOptions) (stats.BernoulliEstimate, error) {
+			called++
+			if opts.Trials != 20 {
+				t.Errorf("estimator got %d trials, want 20", opts.Trials)
+			}
+			if delta >= 12 {
+				return stats.BernoulliEstimate{Successes: 20, Trials: 20, Lo: 0.9, Hi: 1}, nil
+			}
+			return stats.BernoulliEstimate{Successes: 0, Trials: 20, Lo: 0, Hi: 0.1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called == 0 {
+		t.Fatal("estimator override never called")
+	}
+	if !res.Found || res.Threshold != 12 {
+		t.Errorf("threshold = %d (found=%v), want 12", res.Threshold, res.Found)
+	}
+}
+
+func TestFindThresholdEarlyStopMatchesFixed(t *testing.T) {
+	// For a protocol far from the target at every probed gap the
+	// sequential estimator settles the same threshold as the fixed-size
+	// one, with no more probes.
+	fixed, err := FindThreshold(noisyRampProtocol{50}, 200, ThresholdOptions{Target: 0.9, Trials: 4000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := FindThreshold(noisyRampProtocol{50}, 200, ThresholdOptions{Target: 0.9, Trials: 4000, Seed: 6, EarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !early.Found {
+		t.Fatal("early-stop search found no threshold")
+	}
+	if d := early.Threshold - fixed.Threshold; d < -4 || d > 4 {
+		t.Errorf("early-stop threshold %d, fixed %d — outside the statistical neighborhood", early.Threshold, fixed.Threshold)
+	}
+	var earlyTrials, fixedTrials int
+	for _, ev := range early.Evaluations {
+		earlyTrials += ev.Estimate.Trials
+	}
+	for _, ev := range fixed.Evaluations {
+		fixedTrials += ev.Estimate.Trials
+	}
+	if earlyTrials >= fixedTrials {
+		t.Errorf("early stop spent %d trials, fixed %d — no saving", earlyTrials, fixedTrials)
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"io"
 	"runtime"
 	"sort"
+
+	"lvmajority/internal/sweep"
 )
 
 // Config controls an experiment run.
@@ -22,6 +24,10 @@ type Config struct {
 	// results; the default (quick) grids keep every experiment in the
 	// tens-of-seconds range.
 	Full bool
+	// Cache, when non-nil, serves and records threshold-search probes
+	// across runs (see internal/sweep); it never changes results, only
+	// skips already-settled Monte-Carlo work.
+	Cache *sweep.Cache
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"lvmajority/internal/sweep"
 )
 
 // fmtSscan wraps fmt.Sscan for the fit-exponent extraction.
@@ -69,6 +71,49 @@ func TestRunAllExperimentsQuick(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTable1SDCacheReplay asserts the Table-1 reproduction path is wired
+// through the sweep engine's probe cache: a second run with the same
+// configuration replays every threshold probe (zero fresh estimator calls)
+// and produces identical rows.
+func TestTable1SDCacheReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick T1-SD grid")
+	}
+	cache := sweep.NewCache()
+	cfg := Config{Seed: 20240506, Workers: 2, Cache: cache}
+
+	var log1 strings.Builder
+	cfg.Log = &log1
+	first, err := runTable1SD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := cache.Len()
+	if probes == 0 {
+		t.Fatal("first run recorded no probes in the cache")
+	}
+
+	var log2 strings.Builder
+	cfg.Log = &log2
+	second, err := runTable1SD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != probes {
+		t.Errorf("second run grew the cache from %d to %d probes — not fully replayed", probes, cache.Len())
+	}
+	for _, line := range strings.Split(log2.String(), "\n") {
+		if strings.Contains(line, "probes,") && !strings.Contains(line, " 0 fresh") {
+			t.Errorf("second run issued fresh probes: %s", line)
+		}
+	}
+	for i, tbl := range first {
+		if fmt.Sprint(tbl.Rows) != fmt.Sprint(second[i].Rows) {
+			t.Errorf("cached rerun changed table %q", tbl.Title)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"lvmajority/internal/ode"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
+	"lvmajority/internal/sweep"
 )
 
 // runSeparation reproduces the headline comparison of §1.4: at a fixed
@@ -147,23 +148,31 @@ func runBaselines(cfg Config) ([]*Table, error) {
 
 	protos := baselineProtocols()
 	for i, p := range protos {
-		res, err := consensus.FindThreshold(p, n, consensus.ThresholdOptions{
+		seed := cfg.Seed + uint64(i)*1009
+		// One-point sweep: no warm chain at a single n, but the probes
+		// run the early-stopping estimator and land in the cache.
+		swept, err := sweep.Run(p, sweep.Options{
+			Grid:    []int{n},
 			Trials:  trials,
 			Workers: cfg.workers(),
-			Seed:    cfg.Seed + uint64(i)*1009,
+			Seed:    seed,
+			SeedFor: func(int) uint64 { return seed }, // historical per-protocol seed, independent of n
+			Cache:   cfg.Cache,
+			Log:     cfg.logf,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("threshold for %s: %w", p.Name(), err)
 		}
+		res := swept.Points[0]
 		if !res.Found {
-			tbl.AddRow(p.Name(), "not found", "-", "-", len(res.Evaluations))
+			tbl.AddRow(p.Name(), "not found", "-", "-", res.Probes)
 			continue
 		}
 		fn := float64(n)
 		tbl.AddRow(p.Name(), res.Threshold,
 			float64(res.Threshold)/consensus.ShapeLog2(fn),
 			float64(res.Threshold)/consensus.ShapeSqrt(fn),
-			len(res.Evaluations))
+			res.Probes)
 		cfg.logf("E-BASE %s: threshold=%d", p.Name(), res.Threshold)
 	}
 	return []*Table{tbl}, nil
@@ -210,26 +219,33 @@ func runAsymmetric(cfg Config) ([]*Table, error) {
 		}
 		drift := (ratio - 1) / (ratio + 1)
 		p := consensus.LVProtocol{Params: params, Label: fmt.Sprintf("NSD ratio %g", ratio)}
-		for _, n := range grid {
-			res, err := consensus.FindThreshold(p, n, consensus.ThresholdOptions{
-				Trials:  trials,
-				Workers: cfg.workers(),
-				Seed:    cfg.Seed + uint64(n) + uint64(math.Float64bits(ratio)),
-			})
-			if err != nil {
-				return nil, err
-			}
+		// One warm-started sweep per ratio: the per-ratio curve is
+		// monotone in n, so each search seeds its bracket from the
+		// previous population size.
+		swept, err := sweep.Run(p, sweep.Options{
+			Grid:    grid,
+			Trials:  trials,
+			Workers: cfg.workers(),
+			Seed:    cfg.Seed,
+			SeedFor: func(n int) uint64 { return cfg.Seed + uint64(n) + uint64(math.Float64bits(ratio)) },
+			Cache:   cfg.Cache,
+			Log:     cfg.logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range swept.Points {
 			if !res.Found {
-				tbl.AddRow(ratio, n, "not found", "-", "-", "-")
+				tbl.AddRow(ratio, res.N, "not found", "-", "-", "-")
 				continue
 			}
-			fn := float64(n)
+			fn := float64(res.N)
 			nDrift := fn * drift
-			tbl.AddRow(ratio, n, res.Threshold,
+			tbl.AddRow(ratio, res.N, res.Threshold,
 				float64(res.Threshold)/consensus.ShapeSqrtLog(fn),
 				nDrift,
 				(float64(res.Threshold)-nDrift)/consensus.ShapeSqrt(fn))
-			cfg.logf("E-ASYM ratio=%g n=%d threshold=%d", ratio, n, res.Threshold)
+			cfg.logf("E-ASYM ratio=%g n=%d threshold=%d", ratio, res.N, res.Threshold)
 		}
 	}
 	return []*Table{tbl}, nil

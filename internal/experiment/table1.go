@@ -9,6 +9,7 @@ import (
 	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
+	"lvmajority/internal/sweep"
 )
 
 // nGrid returns the population-size grid for threshold scaling experiments.
@@ -37,32 +38,37 @@ func trialsFor(cfg Config, n int) int {
 	return t
 }
 
-// thresholdCurve runs the threshold search over the n grid and returns the
-// curve plus a rendered table.
+// thresholdCurve computes the threshold curve over the n grid on the sweep
+// engine — searches warm-started along the monotone curve, probed with the
+// early-stopping estimator, and served from the probe cache when one is
+// configured — and returns the curve plus a rendered table.
 func thresholdCurve(cfg Config, p consensus.Protocol, title, caption string, shapes map[string]func(float64) float64, shapeOrder []string) ([]consensus.CurvePoint, *Table, error) {
 	columns := []string{"n", "target", "threshold"}
 	columns = append(columns, shapeOrder...)
 	tbl := &Table{Title: title, Caption: caption, Columns: columns}
 
-	var points []consensus.CurvePoint
-	for _, n := range nGrid(cfg) {
-		res, err := consensus.FindThreshold(p, n, consensus.ThresholdOptions{
-			Trials:  trialsFor(cfg, n),
-			Workers: cfg.workers(),
-			Seed:    cfg.Seed + uint64(n),
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("threshold search at n=%d: %w", n, err)
-		}
-		pt := consensus.CurvePoint{N: n, Threshold: res.Threshold, Found: res.Found}
-		points = append(points, pt)
-		cfg.logf("%s: n=%d threshold=%d (%d probes)", title, n, res.Threshold, len(res.Evaluations))
+	swept, err := sweep.Run(p, sweep.Options{
+		Grid:      nGrid(cfg),
+		TrialsFor: func(n int) int { return trialsFor(cfg, n) },
+		Workers:   cfg.workers(),
+		Seed:      cfg.Seed, // per-n seed defaults to Seed + n, the historical policy
+		Cache:     cfg.Cache,
+		Log:       cfg.logf,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("threshold sweep: %w", err)
+	}
 
-		cells := []any{n, fmt.Sprintf("%.6f", res.Target)}
+	var points []consensus.CurvePoint
+	for _, res := range swept.Points {
+		pt := consensus.CurvePoint{N: res.N, Threshold: res.Threshold, Found: res.Found}
+		points = append(points, pt)
+
+		cells := []any{res.N, fmt.Sprintf("%.6f", res.Target)}
 		if res.Found {
 			cells = append(cells, res.Threshold)
 			for _, name := range shapeOrder {
-				cells = append(cells, float64(res.Threshold)/shapes[name](float64(n)))
+				cells = append(cells, float64(res.Threshold)/shapes[name](float64(res.N)))
 			}
 		} else {
 			cells = append(cells, "not found")

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lvmajority/internal/stats"
+)
+
+// Key identifies one probe result in the cache: the protocol identity, the
+// population and gap, the root seed of the search (the per-gap stream is
+// derived from it deterministically), the trial budget, the target the
+// early-stopping estimator compares against, and whether early stopping was
+// on. Changing any of them invalidates the entry by construction — there is
+// no TTL and no explicit invalidation.
+//
+// The protocol identity is its CacheKey when implemented, else its Name
+// (see CacheKeyer). A protocol whose dynamics change while both stay the
+// same would replay stale probes — implement CacheKeyer over all
+// behaviour-changing parameters (as consensus.LVProtocol does), or point
+// such runs at a fresh cache file.
+type Key struct {
+	Protocol  string  `json:"protocol"`
+	N         int     `json:"n"`
+	Delta     int     `json:"delta"`
+	Seed      uint64  `json:"seed"`
+	Trials    int     `json:"trials"`
+	Target    float64 `json:"target"`
+	EarlyStop bool    `json:"early_stop"`
+}
+
+// cacheEntry pairs a key with its settled estimate in the on-disk encoding.
+type cacheEntry struct {
+	Key      Key                     `json:"key"`
+	Estimate stats.BernoulliEstimate `json:"estimate"`
+}
+
+// cacheFile is the JSON document stored on disk.
+type cacheFile struct {
+	Version int          `json:"version"`
+	Entries []cacheEntry `json:"entries"`
+}
+
+// cacheVersion invalidates every persisted entry when the probe semantics
+// change incompatibly (e.g. a new per-gap seed derivation).
+const cacheVersion = 1
+
+// Cache is a concurrency-safe store of settled probe estimates, optionally
+// persisted to a JSON file. A Cache with an empty path is memory-only:
+// Save is then a no-op, which is what tests and one-shot callers want.
+type Cache struct {
+	mu      sync.Mutex
+	path    string
+	entries map[Key]stats.BernoulliEstimate
+	dirty   bool
+}
+
+// NewCache returns an empty memory-only cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]stats.BernoulliEstimate)}
+}
+
+// OpenCache loads the cache persisted at path, or returns an empty cache
+// bound to that path when the file does not exist yet. An empty path
+// returns a memory-only cache.
+func OpenCache(path string) (*Cache, error) {
+	c := NewCache()
+	c.path = path
+	if path == "" {
+		return c, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading cache %s: %w", path, err)
+	}
+	var file cacheFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("sweep: corrupt cache %s: %w", path, err)
+	}
+	if file.Version != cacheVersion {
+		// Probe semantics changed; start over rather than replay
+		// incompatible results.
+		return c, nil
+	}
+	for _, e := range file.Entries {
+		c.entries[e.Key] = e.Estimate
+	}
+	return c, nil
+}
+
+// Get returns the cached estimate for k, if any.
+func (c *Cache) Get(k Key) (stats.BernoulliEstimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est, ok := c.entries[k]
+	return est, ok
+}
+
+// Put stores a settled estimate under k.
+func (c *Cache) Put(k Key, est stats.BernoulliEstimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[k]; ok && old == est {
+		return
+	}
+	c.entries[k] = est
+	c.dirty = true
+}
+
+// Len returns the number of cached probes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Save atomically persists the cache to its path. It is a no-op for
+// memory-only caches and when nothing changed since the last Save.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" || !c.dirty {
+		return nil
+	}
+	file := cacheFile{Version: cacheVersion, Entries: make([]cacheEntry, 0, len(c.entries))}
+	for k, est := range c.entries {
+		file.Entries = append(file.Entries, cacheEntry{Key: k, Estimate: est})
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache: %w", err)
+	}
+	if dir := filepath.Dir(c.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("sweep: creating cache directory: %w", err)
+		}
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: writing cache: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("sweep: installing cache: %w", err)
+	}
+	c.dirty = false
+	return nil
+}

@@ -1,0 +1,316 @@
+// Package sweep computes whole threshold curves Ψ(n) as one orchestrated
+// job instead of independent cold searches. Three mechanisms stack on top
+// of consensus.FindThreshold:
+//
+//   - Warm starting. The grid is processed in ascending n along a small
+//     number of deterministic lanes; within a lane, the bracket for each n
+//     is seeded from the threshold found at the lane's previous n. Since
+//     Ψ(n) is monotone in n, an accurate seed replaces the exponential
+//     bracketing phase with one or two confirmation probes.
+//   - Caching. Every probe is memoized within a search (consensus layer)
+//     and recorded in an optional persistent Cache keyed by (protocol, n,
+//     delta, seed, trials, target, early-stop), so re-running a sweep —
+//     or a CLI — replays settled probes without spending a single trial.
+//   - Parallelism. Lanes run concurrently under a shared worker budget,
+//     and every probe fans its trials out on the internal/mc pool.
+//
+// Determinism: probes draw from streams keyed by (seed, gap, trial index),
+// so a probe's estimate is bit-identical regardless of worker count, lane
+// count, or whether it was replayed from the cache. The search path (and
+// with it the probe count) depends on warm starting, but when the probe
+// outcomes are monotone in the gap — the assumption FindThreshold is built
+// on — the returned thresholds are identical to a cold serial search's.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/stats"
+)
+
+// CacheKeyer lets a protocol provide a cache identity richer than its
+// display name. Protocols whose Name can be overridden independently of
+// their dynamics (e.g. consensus.LVProtocol's Label) should implement it so
+// that changing the underlying parameters invalidates cached probes.
+type CacheKeyer interface {
+	CacheKey() string
+}
+
+// protocolIdentity returns the string identifying p in cache keys: its
+// CacheKey when implemented, else its Name. Callers reusing one cache file
+// across protocol redefinitions that keep both unchanged must clear the
+// cache themselves.
+func protocolIdentity(p consensus.Protocol) string {
+	if ck, ok := p.(CacheKeyer); ok {
+		return ck.CacheKey()
+	}
+	return p.Name()
+}
+
+// Options configure a threshold sweep.
+type Options struct {
+	// Grid is the set of population sizes; it is sorted ascending and
+	// deduplicated before the sweep runs.
+	Grid []int
+	// Target is the success probability defining the threshold; zero
+	// selects the paper's per-n criterion 1 − 1/n.
+	Target float64
+	// Trials is the Monte-Carlo budget per probed gap (default 2000).
+	Trials int
+	// TrialsFor overrides Trials per population size when non-nil.
+	TrialsFor func(n int) int
+	// Workers is the total parallel worker budget shared by all lanes
+	// (default GOMAXPROCS).
+	Workers int
+	// Lanes is the number of concurrent per-n searches. Grid index i is
+	// assigned to lane i mod Lanes and warm-started from index i −
+	// Lanes, so the dependency structure — and with it the search path —
+	// is fixed by Lanes alone, never by scheduling. Default 1 (a single
+	// warm chain).
+	Lanes int
+	// Seed is the root seed.
+	Seed uint64
+	// SeedFor derives the per-population root seed when non-nil; the
+	// default is Seed + n, matching the repository's historical callers.
+	SeedFor func(n int) uint64
+	// MaxDelta caps each search (0 = n−2, see consensus.ThresholdOptions).
+	MaxDelta int
+	// Cold disables warm starting: every search brackets from scratch.
+	// Useful for diagnostics and benchmarks.
+	Cold bool
+	// NoEarlyStop disables the sequential estimator, probing every gap
+	// with the full fixed-size trial budget.
+	NoEarlyStop bool
+	// Cache, when non-nil, serves settled probes and records fresh ones.
+	// Run saves it before returning.
+	Cache *Cache
+	// Log, when non-nil, receives one progress line per settled point.
+	Log func(format string, args ...any)
+}
+
+// Point is the sweep result for one population size.
+type Point struct {
+	consensus.ThresholdResult
+	// Probes is the number of distinct gaps the search evaluated.
+	Probes int
+	// EstimatorCalls counts probes that actually ran trials; probes
+	// served by the cache are excluded.
+	EstimatorCalls int
+	// CacheHits counts probes replayed from the cache.
+	CacheHits int
+}
+
+// Result is the outcome of a sweep: one Point per grid entry, in grid
+// order, plus aggregate probe accounting.
+type Result struct {
+	// Protocol is the swept protocol's name.
+	Protocol string
+	// Points holds one entry per grid population size, ascending.
+	Points []Point
+	// Probes, EstimatorCalls and CacheHits aggregate the per-point
+	// counters.
+	Probes         int
+	EstimatorCalls int
+	CacheHits      int
+}
+
+// Curve converts the sweep result to the consensus package's curve-point
+// representation, e.g. for FitCurve.
+func (r Result) Curve() []consensus.CurvePoint {
+	pts := make([]consensus.CurvePoint, len(r.Points))
+	for i, p := range r.Points {
+		pts[i] = consensus.CurvePoint{N: p.N, Threshold: p.Threshold, Found: p.Found}
+	}
+	return pts
+}
+
+func (o Options) trialsFor(n int) int {
+	if o.TrialsFor != nil {
+		return o.TrialsFor(n)
+	}
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return 2000
+}
+
+func (o Options) seedFor(n int) uint64 {
+	if o.SeedFor != nil {
+		return o.SeedFor(n)
+	}
+	return o.Seed + uint64(n)
+}
+
+func (o Options) targetFor(n int) float64 {
+	if o.Target > 0 {
+		return o.Target
+	}
+	return 1 - 1/float64(n)
+}
+
+// Run sweeps the threshold curve of p over the grid and returns one point
+// per population size. The first error aborts the sweep.
+func Run(p consensus.Protocol, opts Options) (Result, error) {
+	if p == nil {
+		return Result{}, fmt.Errorf("sweep: nil protocol")
+	}
+	if len(opts.Grid) == 0 {
+		return Result{}, fmt.Errorf("sweep: empty population grid")
+	}
+	grid := append([]int(nil), opts.Grid...)
+	slices.Sort(grid)
+	grid = slices.Compact(grid)
+
+	lanes := opts.Lanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	if lanes > len(grid) {
+		lanes = len(grid)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Split the worker budget across lanes, spreading the remainder over
+	// the first lanes so none of it idles. Worker counts never affect
+	// estimates, only scheduling.
+	laneWorkers := func(lane int) int {
+		w := workers / lanes
+		if lane < workers%lanes {
+			w++
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+
+	// Lane goroutines may log concurrently; serialize so callers can pass
+	// any log sink without their own locking.
+	logf := func(string, ...any) {}
+	if opts.Log != nil {
+		var logMu sync.Mutex
+		logf = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			opts.Log(format, args...)
+		}
+	}
+
+	res := Result{Protocol: p.Name(), Points: make([]Point, len(grid))}
+	var estimatorCalls, cacheHits atomic.Int64
+	errs := make([]error, lanes)
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			hint := 0
+			for i := lane; i < len(grid); i += lanes {
+				n := grid[i]
+				pt, err := runPoint(p, n, hint, laneWorkers(lane), opts, &estimatorCalls, &cacheHits)
+				if err != nil {
+					errs[lane] = fmt.Errorf("sweep: threshold search at n=%d: %w", n, err)
+					return
+				}
+				res.Points[i] = pt
+				logf("sweep %s: n=%d threshold=%d (%d probes, %d fresh, %d cached)",
+					res.Protocol, n, pt.Threshold, pt.Probes, pt.EstimatorCalls, pt.CacheHits)
+				if !opts.Cold && pt.Found {
+					hint = pt.Threshold
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Best effort: keep the probes the other lanes settled so
+			// a retry does not repay their Monte-Carlo cost.
+			if opts.Cache != nil {
+				if saveErr := opts.Cache.Save(); saveErr != nil {
+					err = fmt.Errorf("%w (additionally, saving the probe cache failed: %v)", err, saveErr)
+				}
+			}
+			return res, err
+		}
+	}
+	for _, pt := range res.Points {
+		res.Probes += pt.Probes
+	}
+	res.EstimatorCalls = int(estimatorCalls.Load())
+	res.CacheHits = int(cacheHits.Load())
+	if opts.Cache != nil {
+		if err := opts.Cache.Save(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runPoint runs the warm-started, cache-backed threshold search for one
+// population size.
+func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimatorCalls, cacheHits *atomic.Int64) (Point, error) {
+	target := opts.targetFor(n)
+	trials := opts.trialsFor(n)
+	seed := opts.seedFor(n)
+	earlyStop := !opts.NoEarlyStop
+	inner := consensus.DefaultEstimator(p, n, target, earlyStop)
+
+	identity := protocolIdentity(p)
+	var fresh, hits int
+	estimator := func(delta int, eopts consensus.EstimateOptions) (stats.BernoulliEstimate, error) {
+		key := Key{
+			Protocol:  identity,
+			N:         n,
+			Delta:     delta,
+			Seed:      seed,
+			Trials:    trials,
+			Target:    target,
+			EarlyStop: earlyStop,
+		}
+		if opts.Cache != nil {
+			if est, ok := opts.Cache.Get(key); ok {
+				hits++
+				cacheHits.Add(1)
+				return est, nil
+			}
+		}
+		est, err := inner(delta, eopts)
+		if err != nil {
+			return est, err
+		}
+		fresh++
+		estimatorCalls.Add(1)
+		if opts.Cache != nil {
+			opts.Cache.Put(key, est)
+		}
+		return est, nil
+	}
+
+	res, err := consensus.FindThreshold(p, n, consensus.ThresholdOptions{
+		Target:    target,
+		Trials:    trials,
+		Workers:   workers,
+		Seed:      seed,
+		MaxDelta:  opts.MaxDelta,
+		EarlyStop: earlyStop,
+		Hint:      hint,
+		Estimator: estimator,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		ThresholdResult: res,
+		Probes:          len(res.Evaluations),
+		EstimatorCalls:  fresh,
+		CacheHits:       hits,
+	}, nil
+}
