@@ -1,5 +1,6 @@
 // Package lvmajority_test holds the top-level benchmark harness: one
-// benchmark per paper artifact, as indexed in DESIGN.md §3. The paper's
+// benchmark per paper artifact, as indexed in DESIGN.md §3 (generated from
+// the experiment registry by cmd/report). The paper's
 // evaluation consists of Table 1 (six competition regimes; benchmarked row
 // by row under BenchmarkTable1) and the theorem suite behind it (the
 // BenchmarkE* benchmarks). Each benchmark executes the corresponding

@@ -1,7 +1,15 @@
 // Command experiments regenerates the paper's evaluation artifacts: Table 1
 // of the paper (six competition regimes) plus the per-theorem validation
-// experiments indexed in DESIGN.md. Run with no arguments to execute
-// everything at the quick effort level, or name experiment IDs.
+// experiments indexed in DESIGN.md §3 (generated from the registry by
+// cmd/report). Run with no arguments to execute everything at the quick
+// effort level, or name experiment IDs.
+//
+// With -report DIR, every run also writes a JSON run manifest
+// (internal/report) recording the result tables with typed cells plus full
+// provenance: seed, grid level, workers, wall time, sweep-cache hit/miss
+// counts, and toolchain versions. Manifests are the source the recorded
+// EXPERIMENTS.md is generated from, and re-rendering one reproduces this
+// command's output byte-for-byte (see cmd/report -render).
 //
 // Examples:
 //
@@ -10,6 +18,7 @@
 //	experiments -list
 //	experiments -csv out/ E-SEP       # also write CSV files
 //	experiments -cache probes.json T1-SD   # replay settled threshold probes
+//	experiments -report results/manifests  # also write run manifests
 package main
 
 import (
@@ -18,10 +27,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/report"
 	"lvmajority/internal/sweep"
 )
 
@@ -35,13 +44,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiment IDs and exit")
-		full    = fs.Bool("full", false, "use the heavier (recorded) parameter grids")
-		seed    = fs.Uint64("seed", 20240506, "random seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
-		cache   = fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
-		quiet   = fs.Bool("q", false, "suppress progress logging")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		full      = fs.Bool("full", false, "use the heavier (recorded) parameter grids")
+		seed      = fs.Uint64("seed", 20240506, "random seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvDir    = fs.String("csv", "", "directory to also write per-table CSV files into")
+		reportDir = fs.String("report", "", "directory to write one JSON run manifest per experiment into")
+		cache     = fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
+		quiet     = fs.Bool("q", false, "suppress progress logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +88,12 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		cfg.Cache = c
+	} else if *reportDir != "" {
+		// Manifests record sweep-cache hit/miss counts; without a cache
+		// file, an in-memory cache makes the accounting meaningful (and
+		// replays probes shared between selected experiments) at no
+		// behavioural cost — the cache never changes results.
+		cfg.Cache = sweep.NewCache()
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -89,49 +105,46 @@ func run(args []string, w io.Writer) error {
 	}
 
 	for _, e := range selected {
+		var hits0, misses0 int64
+		if cfg.Cache != nil {
+			hits0, misses0 = cfg.Cache.Counters()
+		}
+		// Header before the run (progress cue for long experiments), body
+		// after; together they are exactly RenderASCII's output, which is
+		// what keeps manifest replay byte-identical.
+		if err := report.ASCIIHeader(w, e.ID, e.Title, e.Artifact); err != nil {
+			return err
+		}
 		start := time.Now()
-		fmt.Fprintf(w, "\n### %s — %s\n### artifact: %s\n\n", e.ID, e.Title, e.Artifact)
 		tables, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		for i, tbl := range tables {
-			if err := tbl.Render(w); err != nil {
+		info := report.RunInfo{
+			Seed:     *seed,
+			Workers:  *workers,
+			Full:     *full,
+			WallTime: time.Since(start),
+			Now:      time.Now(),
+		}
+		if cfg.Cache != nil {
+			hits, misses := cfg.Cache.Counters()
+			info.CacheHits, info.CacheMisses = hits-hits0, misses-misses0
+		}
+		m := report.New(e, info, tables)
+		if err := m.RenderASCIIBody(w); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := m.WriteCSVDir(*csvDir); err != nil {
 				return err
 			}
-			fmt.Fprintln(w)
-			if *csvDir != "" {
-				name := fmt.Sprintf("%s_%d.csv", sanitize(e.ID), i)
-				if err := writeCSVFile(filepath.Join(*csvDir, name), tbl); err != nil {
-					return err
-				}
+		}
+		if *reportDir != "" {
+			if err := m.WriteFile(filepath.Join(*reportDir, report.Filename(e.ID))); err != nil {
+				return err
 			}
 		}
-		fmt.Fprintf(w, "### %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
-}
-
-func sanitize(id string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
-			return r
-		default:
-			return '_'
-		}
-	}, id)
-}
-
-func writeCSVFile(path string, tbl *experiment.Table) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("creating %s: %w", path, err)
-	}
-	defer func() {
-		if closeErr := f.Close(); closeErr != nil && err == nil {
-			err = closeErr
-		}
-	}()
-	return tbl.WriteCSV(f)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lvmajority/internal/report"
 )
 
 func TestRunList(t *testing.T) {
@@ -84,11 +86,73 @@ func TestRunCorruptCache(t *testing.T) {
 	}
 }
 
-func TestSanitize(t *testing.T) {
-	if got := sanitize("T1-SD"); got != "T1-SD" {
-		t.Errorf("sanitize(T1-SD) = %q", got)
+// TestRunReportManifestRoundTrip is the acceptance check for the results
+// pipeline: a manifest written by -report must re-render to the CLI's
+// ASCII and CSV output byte-identically, and must record the run's
+// provenance.
+func TestRunReportManifestRoundTrip(t *testing.T) {
+	manifestDir := t.TempDir()
+	csvDir := t.TempDir()
+	var b strings.Builder
+	// E-DOM is the cheapest registered experiment.
+	if err := run([]string{"-q", "-seed", "7", "-workers", "2", "-report", manifestDir, "-csv", csvDir, "E-DOM"}, &b); err != nil {
+		t.Fatal(err)
 	}
-	if got := sanitize("a/b c"); got != "a_b_c" {
-		t.Errorf("sanitize(a/b c) = %q", got)
+
+	m, err := report.Load(filepath.Join(manifestDir, report.Filename("E-DOM")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Provenance: seed, grid, workers, wall time, cache counts.
+	if m.ExperimentID != "E-DOM" || m.Seed != 7 || m.Workers != 2 || m.Grid != "quick" {
+		t.Errorf("manifest provenance wrong: %+v", m)
+	}
+	if m.WallTimeNS <= 0 {
+		t.Errorf("manifest wall time not recorded: %d", m.WallTimeNS)
+	}
+	if m.SweepCacheHits != 0 || m.SweepCacheMisses != 0 {
+		// E-DOM issues no threshold probes, so both deltas must be zero
+		// (and present, not garbage).
+		t.Errorf("sweep cache counts = %d/%d, want 0/0 for E-DOM", m.SweepCacheHits, m.SweepCacheMisses)
+	}
+	if m.GoVersion == "" || m.Module == "" || m.GeneratedAt == "" {
+		t.Errorf("toolchain provenance incomplete: %+v", m)
+	}
+
+	// ASCII round trip: re-rendering the manifest must reproduce the
+	// CLI's stdout byte-for-byte.
+	var rendered strings.Builder
+	if err := m.RenderASCII(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	if rendered.String() != b.String() {
+		t.Errorf("manifest ASCII render differs from CLI output:\n--- CLI ---\n%s\n--- manifest ---\n%s", b.String(), rendered.String())
+	}
+
+	// CSV round trip: the manifest's CSV files must match -csv's.
+	renderedCSV := t.TempDir()
+	if err := m.WriteCSVDir(renderedCSV); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written by -csv")
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(csvDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(renderedCSV, e.Name()))
+		if err != nil {
+			t.Fatalf("manifest CSV missing %s: %v", e.Name(), err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("CSV %s differs between -csv and manifest render", e.Name())
+		}
 	}
 }

@@ -1,0 +1,105 @@
+// Command report generates the repository's result documentation and
+// re-renders saved run manifests (see internal/report):
+//
+//	report -design DESIGN.md
+//	    Generate the experiment index from the registry
+//	    (internal/experiment.All()). CI regenerates this file and fails
+//	    on drift, so it can never fall out of sync with the code.
+//
+//	report -experiments EXPERIMENTS.md -manifests results/manifests
+//	    Generate the recorded-results document from a directory of run
+//	    manifests written by cmd/experiments -report.
+//
+//	report -render ascii|md manifest.json
+//	    Re-render one manifest to stdout. The ascii form is byte-identical
+//	    to the cmd/experiments output that produced the manifest.
+//
+//	report -render csv -o DIR manifest.json
+//	    Re-write the manifest's per-table CSV files, byte-identical to
+//	    cmd/experiments -csv.
+//
+// A single invocation may combine -design and -experiments; -render is
+// exclusive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lvmajority/internal/experiment"
+	"lvmajority/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	var (
+		design      = fs.String("design", "", "write the generated DESIGN.md (experiment index) to this file")
+		experiments = fs.String("experiments", "", "write the generated EXPERIMENTS.md (recorded results) to this file")
+		manifests   = fs.String("manifests", "results/manifests", "manifest directory -experiments reads")
+		render      = fs.String("render", "", "re-render one manifest: ascii, md, or csv")
+		out         = fs.String("o", "", "output directory for -render csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *render != "" {
+		if *design != "" || *experiments != "" {
+			return fmt.Errorf("-render cannot be combined with -design/-experiments")
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-render needs exactly one manifest file argument")
+		}
+		m, err := report.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		switch *render {
+		case "ascii":
+			return m.RenderASCII(w)
+		case "md", "markdown":
+			return m.RenderMarkdown(w)
+		case "csv":
+			if *out == "" {
+				return fmt.Errorf("-render csv needs -o DIR")
+			}
+			return m.WriteCSVDir(*out)
+		default:
+			return fmt.Errorf("unknown -render format %q (want ascii, md, or csv)", *render)
+		}
+	}
+
+	if *design == "" && *experiments == "" {
+		return fmt.Errorf("nothing to do: pass -design FILE, -experiments FILE, or -render FORMAT manifest.json")
+	}
+	if *design != "" {
+		if err := report.WriteAtomic(*design, func(f io.Writer) error {
+			return report.WriteDesign(f, experiment.All())
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d experiments)\n", *design, len(experiment.All()))
+	}
+	if *experiments != "" {
+		ms, err := report.LoadDir(*manifests)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteAtomic(*experiments, func(f io.Writer) error {
+			return report.WriteExperiments(f, ms)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d manifests)\n", *experiments, len(ms))
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lvmajority/internal/experiment"
+	"lvmajority/internal/report"
+)
+
+// writeTestManifest saves one small valid manifest and returns its path.
+func writeTestManifest(t *testing.T, dir, id string) string {
+	t.Helper()
+	tbl := &experiment.Table{
+		Title:   id + ": demo table",
+		Columns: []string{"n", "rho"},
+	}
+	tbl.AddRow(256, 0.75)
+	m := &report.Manifest{
+		SchemaVersion: report.SchemaVersion,
+		ExperimentID:  id,
+		Title:         "Demo " + id,
+		Artifact:      "Section 0",
+		Grid:          "quick",
+		Seed:          1,
+		Workers:       1,
+		GoVersion:     "go1.24.0",
+		Module:        "lvmajority",
+		ModuleVersion: "test",
+		Tables:        []*experiment.Table{tbl},
+	}
+	path := filepath.Join(dir, report.Filename(id))
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDesign(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "DESIGN.md")
+	var b strings.Builder
+	if err := run([]string{"-design", out}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range experiment.All() {
+		if !strings.Contains(string(data), "| "+e.ID+" |") {
+			t.Errorf("DESIGN.md missing %s", e.ID)
+		}
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("no confirmation printed: %q", b.String())
+	}
+}
+
+func TestRunExperiments(t *testing.T) {
+	manifests := t.TempDir()
+	writeTestManifest(t, manifests, "T1-SD")
+	writeTestManifest(t, manifests, "E-SEP")
+	out := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := run([]string{"-experiments", out, "-manifests", manifests}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry order: T1-SD before E-SEP regardless of file order.
+	sd := strings.Index(string(data), "## T1-SD")
+	sep := strings.Index(string(data), "## E-SEP")
+	if sd < 0 || sep < 0 || sd > sep {
+		t.Errorf("sections missing or misordered (T1-SD at %d, E-SEP at %d)", sd, sep)
+	}
+}
+
+func TestRunRender(t *testing.T) {
+	path := writeTestManifest(t, t.TempDir(), "T-DEMO")
+
+	var ascii strings.Builder
+	if err := run([]string{"-render", "ascii", path}, &ascii); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "### T-DEMO — Demo T-DEMO") {
+		t.Errorf("ascii render malformed:\n%s", ascii.String())
+	}
+
+	var md strings.Builder
+	if err := run([]string{"-render", "md", path}, &md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| 256 | 0.7500 |") {
+		t.Errorf("markdown render malformed:\n%s", md.String())
+	}
+
+	csvDir := t.TempDir()
+	if err := run([]string{"-render", "csv", "-o", csvDir, path}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(csvDir, "T-DEMO_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "n,rho\n") {
+		t.Errorf("csv render malformed: %q", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	manifest := writeTestManifest(t, t.TempDir(), "T-DEMO")
+	for name, args := range map[string][]string{
+		"no work":             {},
+		"bad flag":            {"-definitely-not-a-flag"},
+		"render no args":      {"-render", "ascii"},
+		"render bad format":   {"-render", "nope", manifest},
+		"render csv no out":   {"-render", "csv", manifest},
+		"render plus design":  {"-render", "ascii", "-design", "x.md", manifest},
+		"missing manifests":   {"-experiments", "out.md", "-manifests", filepath.Join(t.TempDir(), "nope")},
+		"render missing file": {"-render", "ascii", filepath.Join(t.TempDir(), "nope.json")},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -32,7 +32,8 @@ type Options struct {
 	// TieValue is the value assigned to the double-extinction state
 	// (0,0) in the ρ system. The paper's strict definition scores it 0
 	// (no species has positive count at T(S)); 0.5 recovers the clean
-	// a/(a+b) solution of Theorems 20/23 (see EXPERIMENTS.md).
+	// a/(a+b) solution of Theorems 20/23 (measured side by side in the
+	// E-EXACT record of the generated EXPERIMENTS.md).
 	TieValue float64
 	// Tol is the Gauss–Seidel convergence tolerance (default 1e-12).
 	Tol float64

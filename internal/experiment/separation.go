@@ -193,8 +193,8 @@ func runBaselines(cfg Config) ([]*Table, error) {
 //
 // This is a genuine boundary condition on the paper's remark: the Hoeffding
 // step in the proof of Theorem 18 bounds Pr[Y ≥ t] around a mean that is
-// only non-positive when the majority competes at least as well
-// (see EXPERIMENTS.md).
+// only non-positive when the majority competes at least as well (the
+// E-ASYM record in the generated EXPERIMENTS.md shows the measurement).
 func runAsymmetric(cfg Config) ([]*Table, error) {
 	trials := 1500
 	if cfg.Full {

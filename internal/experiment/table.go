@@ -2,32 +2,252 @@ package experiment
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 )
 
+// CellKind discriminates the typed value a Cell holds.
+type CellKind string
+
+// The cell kinds a Table records. Every AddRow argument is classified into
+// one of these; values of any other Go type are rendered with %v and stored
+// as KindString, which keeps the rendered output lossless even when the
+// original type is not representable.
+const (
+	KindString CellKind = "string"
+	KindInt    CellKind = "int"
+	KindFloat  CellKind = "float"
+	KindBool   CellKind = "bool"
+)
+
+// Cell is one typed table cell: the Go value an experiment reported, kept
+// alongside its kind so a serialized table can be re-rendered byte-for-byte
+// and consumed numerically without string parsing.
+type Cell struct {
+	Kind CellKind
+	// Exactly one of the following is meaningful, selected by Kind.
+	S string
+	I int64
+	F float64
+	B bool
+}
+
+// cellOf classifies one AddRow argument. Integer kinds that fit int64 stay
+// numeric; everything unclassifiable falls back to the rendered string, so
+// Cell.String always reproduces the historical %v formatting.
+func cellOf(v any) Cell {
+	// float32 deliberately has no case: only float64 was ever formatted
+	// through formatFloat, so float32 keeps its historical %v rendering
+	// via the string fallback.
+	switch x := v.(type) {
+	case float64:
+		return Cell{Kind: KindFloat, F: x}
+	case int:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case int8:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case int16:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case int32:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case int64:
+		return Cell{Kind: KindInt, I: x}
+	case uint:
+		if uint64(x) <= math.MaxInt64 {
+			return Cell{Kind: KindInt, I: int64(x)}
+		}
+	case uint8:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case uint16:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case uint32:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case uint64:
+		if x <= math.MaxInt64 {
+			return Cell{Kind: KindInt, I: int64(x)}
+		}
+	case bool:
+		return Cell{Kind: KindBool, B: x}
+	case string:
+		return Cell{Kind: KindString, S: x}
+	}
+	return Cell{Kind: KindString, S: fmt.Sprintf("%v", v)}
+}
+
+// String renders the cell exactly as AddRow has always rendered the
+// underlying value: floats through the table float formatter, integers and
+// booleans through their %v forms, strings verbatim.
+func (c Cell) String() string {
+	switch c.Kind {
+	case KindFloat:
+		return formatFloat(c.F)
+	case KindInt:
+		return strconv.FormatInt(c.I, 10)
+	case KindBool:
+		return strconv.FormatBool(c.B)
+	default:
+		return c.S
+	}
+}
+
+// cellJSON is the on-disk encoding of a Cell: a kind tag plus the value.
+// Non-finite floats cannot be JSON numbers, so they are carried in the
+// string slot and restored by kind on decode.
+type cellJSON struct {
+	Kind CellKind `json:"t"`
+	S    *string  `json:"s,omitempty"`
+	I    *int64   `json:"i,omitempty"`
+	F    *float64 `json:"f,omitempty"`
+	B    *bool    `json:"b,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	enc := cellJSON{Kind: c.Kind}
+	switch c.Kind {
+	case KindFloat:
+		if math.IsNaN(c.F) || math.IsInf(c.F, 0) {
+			s := strconv.FormatFloat(c.F, 'g', -1, 64)
+			enc.S = &s
+		} else {
+			f := c.F
+			enc.F = &f
+		}
+	case KindInt:
+		i := c.I
+		enc.I = &i
+	case KindBool:
+		b := c.B
+		enc.B = &b
+	case KindString:
+		s := c.S
+		enc.S = &s
+	default:
+		return nil, fmt.Errorf("experiment: unknown cell kind %q", c.Kind)
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Cell) UnmarshalJSON(data []byte) error {
+	var dec cellJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	*c = Cell{Kind: dec.Kind}
+	switch dec.Kind {
+	case KindFloat:
+		switch {
+		case dec.F != nil:
+			c.F = *dec.F
+		case dec.S != nil:
+			f, err := strconv.ParseFloat(*dec.S, 64)
+			if err != nil {
+				return fmt.Errorf("experiment: non-finite float cell %q: %w", *dec.S, err)
+			}
+			c.F = f
+		default:
+			return fmt.Errorf("experiment: float cell without value")
+		}
+	case KindInt:
+		if dec.I == nil {
+			return fmt.Errorf("experiment: int cell without value")
+		}
+		c.I = *dec.I
+	case KindBool:
+		if dec.B == nil {
+			return fmt.Errorf("experiment: bool cell without value")
+		}
+		c.B = *dec.B
+	case KindString:
+		if dec.S == nil {
+			return fmt.Errorf("experiment: string cell without value")
+		}
+		c.S = *dec.S
+	default:
+		return fmt.Errorf("experiment: unknown cell kind %q", dec.Kind)
+	}
+	return nil
+}
+
 // Table is a rendered experiment result: a title, a caption tying it to the
-// paper artifact, column headers, and string-valued rows.
+// paper artifact, column headers, and the result rows. Rows holds the
+// rendered strings every renderer consumes; Cells holds the typed values
+// behind them, populated by AddRow, so a table survives JSON serialization
+// losslessly (see MarshalJSON) instead of decaying to rendered strings.
 type Table struct {
 	Title   string
 	Caption string
 	Columns []string
 	Rows    [][]string
+	Cells   [][]Cell
 }
 
-// AddRow appends a row, formatting each cell with %v.
+// AddRow appends a row, recording each cell's typed value and formatting it
+// with %v (floats through the table float formatter).
 func (t *Table) AddRow(cells ...any) {
+	typed := make([]Cell, len(cells))
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = formatFloat(v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
+		typed[i] = cellOf(c)
+		row[i] = typed[i].String()
+	}
+	t.Cells = append(t.Cells, typed)
+	t.Rows = append(t.Rows, row)
+}
+
+// tableJSON is the serialized form of a Table: typed cells only — the
+// rendered rows are derived, and are rebuilt on decode.
+type tableJSON struct {
+	Title   string   `json:"title"`
+	Caption string   `json:"caption,omitempty"`
+	Columns []string `json:"columns"`
+	Cells   [][]Cell `json:"cells"`
+}
+
+// MarshalJSON implements json.Marshaler: the typed cells are authoritative.
+// A table whose rows were built outside AddRow (no typed cells recorded)
+// falls back to string cells so nothing rendered is ever lost.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	cells := t.Cells
+	if cells == nil && t.Rows != nil {
+		cells = make([][]Cell, len(t.Rows))
+		for i, row := range t.Rows {
+			cells[i] = make([]Cell, len(row))
+			for j, s := range row {
+				cells[i][j] = Cell{Kind: KindString, S: s}
+			}
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return json.Marshal(tableJSON{
+		Title:   t.Title,
+		Caption: t.Caption,
+		Columns: t.Columns,
+		Cells:   cells,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the rendered rows
+// from the typed cells so Render and WriteCSV reproduce the original
+// output byte-for-byte.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var dec tableJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	*t = Table{Title: dec.Title, Caption: dec.Caption, Columns: dec.Columns, Cells: dec.Cells}
+	for _, cells := range dec.Cells {
+		row := make([]string, len(cells))
+		for i, c := range cells {
+			row[i] = c.String()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
 }
 
 func formatFloat(v float64) string {
@@ -109,4 +329,50 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// EscapeMarkdownCell neutralizes the characters that would break a
+// Markdown pipe-table cell. The report package shares it so the generated
+// documents and the per-table renders always escape identically.
+func EscapeMarkdownCell(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// WriteMarkdown writes the table as a GitHub-flavored Markdown pipe table,
+// preceded by its title (as a level-4 heading) and caption.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("experiment: table %q has no columns", t.Title)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "#### %s\n\n", EscapeMarkdownCell(t.Title))
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n\n", EscapeMarkdownCell(t.Caption))
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, cell := range cells {
+			b.WriteString(" ")
+			b.WriteString(EscapeMarkdownCell(cell))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("experiment: table %q row has %d cells, want %d", t.Title, len(row), len(t.Columns))
+		}
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }

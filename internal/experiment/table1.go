@@ -177,7 +177,7 @@ func runTable1Both(cfg Config) ([]*Table, error) {
 		Title: "T1-BOTH: inter+intraspecific competition, exact rho = a/(a+b)",
 		Caption: "Theorem 20 (SD, alpha=gamma) and Theorem 23 (NSD, gamma=2alpha). " +
 			"Tie-adjusted scoring counts SD double extinctions (reached via (1,1)->(0,0)) as half-wins; " +
-			"under that scoring the exact solution holds at every state (see EXPERIMENTS.md).",
+			"under that scoring the exact solution holds at every state (recorded in EXPERIMENTS.md; see also E-EXACT).",
 		Columns: []string{"model", "a", "b", "exact a/(a+b)", "rho (tie-adjusted)", "CI low", "CI high", "rho (strict)"},
 	}
 

@@ -1,9 +1,17 @@
 package experiment
 
 import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestTableRender(t *testing.T) {
 	tbl := &Table{
@@ -70,11 +78,174 @@ func TestTableWriteCSV(t *testing.T) {
 	}
 }
 
+// roundTripTables returns one table per shape the experiments produce:
+// full title+caption with mixed cell types, captionless, titleless, and
+// cells that need CSV/Markdown escaping.
+func roundTripTables() map[string]*Table {
+	mixed := &Table{
+		Title:   "mixed types",
+		Caption: "every cell kind in one table",
+		Columns: []string{"n", "rho", "label", "covers", "big"},
+	}
+	mixed.AddRow(1024, 0.9375, "SD", true, uint64(1)<<40)
+	mixed.AddRow(-3, 1234567.0, "not found", false, int64(-9))
+	mixed.AddRow(0, 0.0000004, "-", true, 7)
+
+	captionless := &Table{Title: "captionless", Columns: []string{"k", "v"}}
+	captionless.AddRow(1, 0.5)
+	captionless.AddRow(2, math.Inf(1))
+
+	titleless := &Table{Columns: []string{"only"}}
+	titleless.AddRow("row")
+
+	escaping := &Table{
+		Title:   "escaping | tricky",
+		Caption: "cells with pipes, commas and quotes",
+		Columns: []string{"text", "x"},
+	}
+	escaping.AddRow("a|b", 1)
+	escaping.AddRow(`quote " comma ,`, 2)
+
+	return map[string]*Table{
+		"mixed":       mixed,
+		"captionless": captionless,
+		"titleless":   titleless,
+		"escaping":    escaping,
+	}
+}
+
+// TestTableJSONRoundTrip checks the typed-cell serialization is lossless:
+// the decoded table carries identical typed cells and rendered rows, and
+// its ASCII and CSV renders are byte-identical to the original's.
+func TestTableJSONRoundTrip(t *testing.T) {
+	for name, tbl := range roundTripTables() {
+		t.Run(name, func(t *testing.T) {
+			data, err := json.Marshal(tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Table
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tbl.Cells, back.Cells) {
+				t.Errorf("typed cells not lossless:\n want %+v\n got  %+v", tbl.Cells, back.Cells)
+			}
+			if !reflect.DeepEqual(tbl.Rows, back.Rows) {
+				t.Errorf("rendered rows not rebuilt:\n want %v\n got  %v", tbl.Rows, back.Rows)
+			}
+
+			render := func(tb *Table) (ascii, csv string) {
+				var a, c strings.Builder
+				if err := tb.Render(&a); err != nil {
+					t.Fatal(err)
+				}
+				if err := tb.WriteCSV(&c); err != nil {
+					t.Fatal(err)
+				}
+				return a.String(), c.String()
+			}
+			wantASCII, wantCSV := render(tbl)
+			gotASCII, gotCSV := render(&back)
+			if gotASCII != wantASCII {
+				t.Errorf("ASCII render changed across round trip:\n want:\n%s\n got:\n%s", wantASCII, gotASCII)
+			}
+			if gotCSV != wantCSV {
+				t.Errorf("CSV output changed across round trip:\n want:\n%s\n got:\n%s", wantCSV, gotCSV)
+			}
+		})
+	}
+}
+
+// TestTableCellTypes checks AddRow's classification, including the
+// fallback of unrepresentable values to their rendered strings.
+func TestTableCellTypes(t *testing.T) {
+	tbl := &Table{Columns: []string{"v"}}
+	tbl.AddRow(1.5)
+	tbl.AddRow(42)
+	tbl.AddRow(true)
+	tbl.AddRow("s")
+	tbl.AddRow(uint64(math.MaxUint64)) // overflows int64: stored as string
+	tbl.AddRow([2]int{1, 2})           // unclassifiable: %v fallback
+	wantKinds := []CellKind{KindFloat, KindInt, KindBool, KindString, KindString, KindString}
+	for i, want := range wantKinds {
+		if got := tbl.Cells[i][0].Kind; got != want {
+			t.Errorf("row %d: kind = %q, want %q", i, got, want)
+		}
+	}
+	if tbl.Rows[4][0] != "18446744073709551615" {
+		t.Errorf("uint64 fallback rendered as %q", tbl.Rows[4][0])
+	}
+	if tbl.Rows[5][0] != "[1 2]" {
+		t.Errorf("%%v fallback rendered as %q", tbl.Rows[5][0])
+	}
+}
+
+// TestTableMarshalWithoutCells checks the string-cell fallback for tables
+// whose rows were not built through AddRow.
+func TestTableMarshalWithoutCells(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}, Rows: [][]string{{"x"}}}
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0][0] != "x" {
+		t.Errorf("fallback rows lost: %v", back.Rows)
+	}
+	if back.Cells[0][0].Kind != KindString {
+		t.Errorf("fallback cell kind = %q", back.Cells[0][0].Kind)
+	}
+}
+
+// TestTableMarkdownGolden locks the Markdown render of every table shape.
+func TestTableMarkdownGolden(t *testing.T) {
+	for name, tbl := range roundTripTables() {
+		t.Run(name, func(t *testing.T) {
+			var b strings.Builder
+			if err := tbl.WriteMarkdown(&b); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "markdown_"+name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if b.String() != string(want) {
+				t.Errorf("markdown render differs from %s:\n got:\n%s\n want:\n%s", golden, b.String(), want)
+			}
+		})
+	}
+}
+
+func TestTableMarkdownErrors(t *testing.T) {
+	empty := &Table{Title: "no columns"}
+	if err := empty.WriteMarkdown(&strings.Builder{}); err == nil {
+		t.Error("empty table rendered without error")
+	}
+	ragged := &Table{Columns: []string{"a", "b"}}
+	ragged.AddRow(1)
+	if err := ragged.WriteMarkdown(&strings.Builder{}); err == nil {
+		t.Error("ragged table rendered without error")
+	}
+}
+
 func TestRegistryIntegrity(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range All() {
 		if e.ID == "" || e.Title == "" || e.Artifact == "" || e.Run == nil {
 			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if e.QuickGrid == "" || e.FullGrid == "" {
+			t.Errorf("experiment %s lacks grid summaries (needed by the DESIGN.md index)", e.ID)
 		}
 		if seen[e.ID] {
 			t.Errorf("duplicate experiment id %q", e.ID)

@@ -37,8 +37,9 @@ func estimateMajorityWin(t *testing.T, p Params, initial State, trials int, seed
 // Under this tiebreak the exact solution ρ(a,b) = a/(a+b) of Theorems 20
 // and 23 holds at every state; under the paper's strict definition
 // (majority must have positive count at T(S)) the (1,1) → (0,0) transition
-// of self-destructive competition shaves a visible amount off ρ — see
-// EXPERIMENTS.md. We verified both readings against an independent
+// of self-destructive competition shaves a visible amount off ρ — see the
+// T1-BOTH and E-EXACT records in the generated EXPERIMENTS.md. We
+// verified both readings against an independent
 // value-iteration solution of the first-step recurrence.
 func estimateMajorityWinTieAdjusted(t *testing.T, p Params, initial State, trials int, seed uint64) stats.BernoulliEstimate {
 	t.Helper()

@@ -17,7 +17,8 @@ import (
 // chain stays "nice"). The original model couples growth to an explicit
 // resource species; the saturated-rate form exercises the same code path
 // (sub-mass-action growth + NSD competition) without the unavailable
-// original's exact constants — see DESIGN.md §2.
+// original's exact constants — see the reconstruction caveat in the
+// generated DESIGN.md §2.
 type AndaurProtocol struct {
 	// Beta is the per-capita growth rate before saturation.
 	Beta float64

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lvmajority/internal/experiment"
+)
+
+// ASCIIHeader writes the "### ID — title / ### artifact:" block that opens
+// a per-experiment section. cmd/experiments prints it before the run
+// starts (so long experiments show progress) and RenderASCII reuses it, so
+// header + RenderASCIIBody concatenate to exactly what RenderASCII emits.
+func ASCIIHeader(w io.Writer, id, title, artifact string) error {
+	_, err := fmt.Fprintf(w, "\n### %s — %s\n### artifact: %s\n\n", id, title, artifact)
+	return err
+}
+
+// RenderASCII writes the per-experiment block exactly as cmd/experiments
+// prints it: the ID/title/artifact header, every table in aligned ASCII
+// form, and the timing footer. cmd/experiments itself renders through
+// ASCIIHeader + RenderASCIIBody, so re-rendering a saved manifest
+// reproduces the CLI's output byte-for-byte.
+func (m *Manifest) RenderASCII(w io.Writer) error {
+	if err := ASCIIHeader(w, m.ExperimentID, m.Title, m.Artifact); err != nil {
+		return err
+	}
+	return m.RenderASCIIBody(w)
+}
+
+// RenderASCIIBody writes the tables and timing footer of the ASCII block —
+// everything after ASCIIHeader.
+func (m *Manifest) RenderASCIIBody(w io.Writer) error {
+	for _, tbl := range m.Tables {
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "### %s finished in %v\n", m.ExperimentID, m.WallTime().Round(time.Millisecond))
+	return err
+}
+
+// RenderMarkdown writes the manifest as one EXPERIMENTS.md section: a
+// heading, a provenance block, and every table as a Markdown pipe table.
+func (m *Manifest) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", experiment.EscapeMarkdownCell(m.ExperimentID), experiment.EscapeMarkdownCell(m.Title)); err != nil {
+		return err
+	}
+	prov := fmt.Sprintf(
+		"- **Artifact:** %s\n"+
+			"- **Grid:** %s\n"+
+			"- **Seed:** %d · **Workers:** %d · **Wall time:** %v\n"+
+			"- **Sweep cache:** %d hits / %d misses\n"+
+			"- **Toolchain:** %s, %s %s\n",
+		experiment.EscapeMarkdownCell(m.Artifact), m.Grid, m.Seed, m.Workers, m.WallTime().Round(time.Millisecond),
+		m.SweepCacheHits, m.SweepCacheMisses,
+		m.GoVersion, m.Module, m.ModuleVersion)
+	if m.GeneratedAt != "" {
+		prov += fmt.Sprintf("- **Recorded:** %s\n", m.GeneratedAt)
+	}
+	if _, err := io.WriteString(w, prov+"\n"); err != nil {
+		return err
+	}
+	for _, tbl := range m.Tables {
+		if err := tbl.WriteMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVDir writes one CSV file per table into dir, named
+// <sanitized-id>_<index>.csv — the same files cmd/experiments -csv writes.
+func (m *Manifest) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: creating CSV directory: %w", err)
+	}
+	for i, tbl := range m.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", SanitizeID(m.ExperimentID), i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("report: creating %s: %w", path, err)
+		}
+		err = tbl.WriteCSV(f)
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return fmt.Errorf("report: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}

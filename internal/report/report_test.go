@@ -1,0 +1,311 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lvmajority/internal/experiment"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedManifest builds a deterministic manifest (no timestamps, no
+// environment-dependent provenance) for golden tests.
+func fixedManifest() *Manifest {
+	curve := &experiment.Table{
+		Title:   "T-DEMO: threshold curve",
+		Caption: "Demo caption tying the table to the paper artifact.",
+		Columns: []string{"n", "target", "threshold", "found"},
+	}
+	curve.AddRow(256, 0.996094, 18, true)
+	curve.AddRow(1024, 0.999023, 30, true)
+	curve.AddRow(4096, "not found", "-", false)
+
+	fit := &experiment.Table{
+		Title:   "T-DEMO: scaling fit",
+		Columns: []string{"exponent k", "constant C", "R^2"},
+	}
+	fit.AddRow(0.182345, 5.25, 0.9912)
+
+	return &Manifest{
+		SchemaVersion:    SchemaVersion,
+		ExperimentID:     "T-DEMO",
+		Title:            "Demo experiment",
+		Artifact:         "Table 1 row 0; Theorem 0",
+		Grid:             "quick",
+		Seed:             20240506,
+		Workers:          8,
+		WallTimeNS:       (12*time.Second + 345*time.Millisecond).Nanoseconds(),
+		SweepCacheHits:   17,
+		SweepCacheMisses: 240,
+		GoVersion:        "go1.24.0",
+		Module:           "lvmajority",
+		ModuleVersion:    "abcdef123456",
+		GeneratedAt:      "2026-07-29T00:00:00Z",
+		Tables:           []*experiment.Table{curve, fit},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n got:\n%s\n want:\n%s", golden, got, want)
+	}
+}
+
+func TestNewRecordsProvenance(t *testing.T) {
+	e, err := experiment.ByID("E-DOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &experiment.Table{Columns: []string{"x"}}
+	tbl.AddRow(1)
+	now := time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC)
+	m := New(e, RunInfo{
+		Seed:        42,
+		Workers:     0, // resolves to GOMAXPROCS
+		Full:        true,
+		WallTime:    3 * time.Second,
+		CacheHits:   5,
+		CacheMisses: 7,
+		Now:         now,
+	}, []*experiment.Table{tbl})
+	if m.ExperimentID != "E-DOM" || m.Title != e.Title || m.Artifact != e.Artifact {
+		t.Errorf("registry fields wrong: %+v", m)
+	}
+	if m.Grid != "full" || m.Seed != 42 || m.Workers < 1 {
+		t.Errorf("run fields wrong: %+v", m)
+	}
+	if m.WallTime() != 3*time.Second || m.SweepCacheHits != 5 || m.SweepCacheMisses != 7 {
+		t.Errorf("accounting wrong: %+v", m)
+	}
+	if m.GoVersion == "" || m.Module == "" || m.ModuleVersion == "" {
+		t.Errorf("toolchain fields empty: %+v", m)
+	}
+	if m.GeneratedAt != "2026-07-29T12:00:00Z" {
+		t.Errorf("GeneratedAt = %q", m.GeneratedAt)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("fresh manifest invalid: %v", err)
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	m := fixedManifest()
+	path := filepath.Join(t.TempDir(), Filename(m.ExperimentID))
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("manifest not lossless:\n want %+v\n got  %+v", m, back)
+	}
+	render := func(m *Manifest) string {
+		var b strings.Builder
+		if err := m.RenderASCII(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(back) != render(m) {
+		t.Error("ASCII render changed across file round trip")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, corrupt := range map[string]func(*Manifest){
+		"schema version": func(m *Manifest) { m.SchemaVersion = 99 },
+		"missing id":     func(m *Manifest) { m.ExperimentID = "" },
+		"no tables":      func(m *Manifest) { m.Tables = nil },
+		"no columns":     func(m *Manifest) { m.Tables[0].Columns = nil },
+		"ragged row":     func(m *Manifest) { m.Tables[0].Rows[0] = []string{"just one"} },
+	} {
+		m := fixedManifest()
+		corrupt(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: corrupt manifest accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt manifest loaded")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing manifest loaded")
+	}
+}
+
+func TestLoadDirRegistryOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Write manifests in an order that differs from both alphabetical and
+	// registry order; include an unknown ID, which must sort last.
+	for _, id := range []string{"E-SEP", "ZZ-UNKNOWN", "T1-SD", "E-DOM"} {
+		m := fixedManifest()
+		m.ExperimentID = id
+		if err := m.WriteFile(filepath.Join(dir, Filename(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, m := range ms {
+		got = append(got, m.ExperimentID)
+	}
+	want := []string{"T1-SD", "E-SEP", "E-DOM", "ZZ-UNKNOWN"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LoadDir order = %v, want %v", got, want)
+	}
+
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty manifest directory accepted")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := SanitizeID("T1-SD"); got != "T1-SD" {
+		t.Errorf("SanitizeID(T1-SD) = %q", got)
+	}
+	if got := SanitizeID("a/b c"); got != "a_b_c" {
+		t.Errorf("SanitizeID(a/b c) = %q", got)
+	}
+	if got := Filename("E-SEP"); got != "E-SEP.json" {
+		t.Errorf("Filename(E-SEP) = %q", got)
+	}
+}
+
+func TestRenderMarkdownGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixedManifest().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "manifest_markdown.golden", b.String())
+}
+
+func TestRenderASCIIGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixedManifest().RenderASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "manifest_ascii.golden", b.String())
+}
+
+func TestWriteCSVDirMatchesTableCSV(t *testing.T) {
+	m := fixedManifest()
+	dir := t.TempDir()
+	if err := m.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i, tbl := range m.Tables {
+		var want strings.Builder
+		if err := tbl.WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "T-DEMO_"+string(rune('0'+i))+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want.String() {
+			t.Errorf("table %d CSV differs", i)
+		}
+	}
+}
+
+// fakeRegistry is a fixed two-entry registry so the DESIGN.md golden does
+// not churn with the real one (drift against the real registry is CI's
+// docs-sync job, not this test).
+func fakeRegistry() []experiment.Experiment {
+	return []experiment.Experiment{
+		{
+			ID:        "T-DEMO",
+			Title:     "Demo experiment",
+			Artifact:  "Table 1 row 0; Theorem 0",
+			QuickGrid: "n in {256..4096}, 1k trials",
+			FullGrid:  "n in {256..16384}, 10k trials",
+		},
+		{
+			ID:        "E-PIPE",
+			Title:     "Pipe | in title",
+			Artifact:  "Section 0",
+			QuickGrid: "one cell",
+			FullGrid:  "two cells",
+		},
+	}
+}
+
+func TestWriteDesignGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDesign(&b, fakeRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "design.md.golden", b.String())
+}
+
+// TestWriteDesignRealRegistry sanity-checks the real generated index:
+// every registered ID appears, and the godoc-referenced sections exist.
+func TestWriteDesignRealRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDesign(&b, experiment.All()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, e := range experiment.All() {
+		if !strings.Contains(out, "| "+e.ID+" |") {
+			t.Errorf("generated DESIGN.md missing experiment %s", e.ID)
+		}
+	}
+	for _, section := range []string{"## §1", "## §2", "## §3", "## §4"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("generated DESIGN.md missing section %q", section)
+		}
+	}
+	// The package docs cite DESIGN.md §2 for the Andaur reconstruction
+	// caveat and §3 for the index; keep those anchors real.
+	for _, anchor := range []string{"Andaur et al. reconstruction", "exact constants", "Experiment index"} {
+		if !strings.Contains(out, anchor) {
+			t.Errorf("generated DESIGN.md missing anchor %q", anchor)
+		}
+	}
+}
+
+func TestWriteExperimentsGolden(t *testing.T) {
+	second := fixedManifest()
+	second.ExperimentID = "E-PIPE"
+	second.Title = "Pipe | in title"
+	second.GeneratedAt = ""
+	var b strings.Builder
+	if err := WriteExperiments(&b, []*Manifest{fixedManifest(), second}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "experiments.md.golden", b.String())
+
+	if err := WriteExperiments(&strings.Builder{}, nil); err == nil {
+		t.Error("empty manifest list accepted")
+	}
+}

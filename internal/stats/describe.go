@@ -3,6 +3,16 @@
 // binomial confidence intervals, regression for scaling-exponent fits, and
 // the concentration-bound helpers (Chernoff, Hoeffding) that the paper's
 // proofs rely on and that our tests use as oracles.
+//
+// The pieces the rest of the repository builds on: Running (streaming
+// mean/variance/extrema without storing samples), Quantile and NewECDF
+// (order statistics and domination checks for the Lemma 9 experiments),
+// WilsonInterval and BernoulliEstimate (the confidence intervals behind
+// every ρ estimate and the early-stopping threshold probes), PowerLaw
+// (the scaling-exponent fits classifying Table 1 thresholds), and the
+// normal CDF used by the diffusion approximation. Everything is
+// deterministic: no function here draws randomness, so the statistics
+// layer never participates in the seed-derivation contract.
 package stats
 
 import (

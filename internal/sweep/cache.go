@@ -56,6 +56,8 @@ type Cache struct {
 	path    string
 	entries map[Key]stats.BernoulliEstimate
 	dirty   bool
+	hits    int64
+	misses  int64
 }
 
 // NewCache returns an empty memory-only cache.
@@ -94,12 +96,27 @@ func OpenCache(path string) (*Cache, error) {
 	return c, nil
 }
 
-// Get returns the cached estimate for k, if any.
+// Get returns the cached estimate for k, if any, and counts the lookup as
+// a hit or miss (see Counters).
 func (c *Cache) Get(k Key) (stats.BernoulliEstimate, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	est, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
 	return est, ok
+}
+
+// Counters returns the cumulative hit and miss counts of Get over the
+// cache's lifetime. Callers wanting per-run accounting (e.g. run manifests)
+// snapshot the counters around the run and record the difference.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // Put stores a settled estimate under k.

@@ -286,6 +286,25 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCacheCounters(t *testing.T) {
+	c := NewCache()
+	key := Key{Protocol: "p", N: 64}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key, stats.BernoulliEstimate{Trials: 1})
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("stored key missing")
+	}
+	if _, ok := c.Get(Key{Protocol: "other"}); ok {
+		t.Fatal("missing key reported as present")
+	}
+	hits, misses := c.Counters()
+	if hits != 1 || misses != 2 {
+		t.Errorf("Counters() = %d hits, %d misses; want 1, 2", hits, misses)
+	}
+}
+
 func TestCacheMemoryOnly(t *testing.T) {
 	c := NewCache()
 	c.Put(Key{Protocol: "p"}, stats.BernoulliEstimate{Trials: 1})

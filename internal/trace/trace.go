@@ -2,6 +2,14 @@
 // and renders them as ASCII charts. It gives the CLIs and examples a way to
 // show the logistic growth / competitive-exclusion dynamics the paper
 // describes (§1.7) without any plotting dependency.
+//
+// A Trajectory records (time, counts) points during a run, downsampling
+// so memory stays bounded on long trajectories; RenderASCII draws the
+// recorded series into a fixed-size ASCII grid, and Sparkline gives the
+// one-line form. All of it is presentation only — nothing in the
+// measurement pipeline
+// (internal/mc, internal/consensus, internal/experiment) depends on them,
+// so recording can never perturb an estimate.
 package trace
 
 import (
