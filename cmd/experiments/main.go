@@ -19,6 +19,7 @@
 //	experiments -csv out/ E-SEP       # also write CSV files
 //	experiments -cache probes.json T1-SD   # replay settled threshold probes
 //	experiments -report results/manifests  # also write run manifests
+//	experiments -cpuprofile cpu.pprof T1-NSD   # profile a heavy run
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"lvmajority/internal/experiment"
@@ -52,9 +54,22 @@ func run(args []string, w io.Writer) error {
 		reportDir = fs.String("report", "", "directory to write one JSON run manifest per experiment into")
 		cache     = fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
 		quiet     = fs.Bool("q", false, "suppress progress logging")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected runs to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	if *list {

@@ -15,6 +15,7 @@ package crn
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // MaxReactants is the largest supported reactant multiset size. Trimolecular
@@ -47,6 +48,15 @@ type Network struct {
 	delta [][]int
 	// reactantCount[r][s] is the multiplicity of s among r's reactants.
 	reactantCount [][]int
+
+	// depMu guards the lazily built dependency graph. Simulators for the
+	// same network may be constructed concurrently (one per Monte-Carlo
+	// worker), so the first compile must be race-free; AddReaction
+	// invalidates the graph and is documented as construction-time only.
+	depMu sync.Mutex
+	// deps[r] lists the reactions whose propensity can change when r
+	// fires (always including r itself), in ascending index order.
+	deps [][]int
 }
 
 // NewNetwork creates a network over the given named species. Species indexes
@@ -141,6 +151,9 @@ func (n *Network) AddReaction(r Reaction) error {
 	n.reactions = append(n.reactions, stored)
 	n.delta = append(n.delta, delta)
 	n.reactantCount = append(n.reactantCount, count)
+	n.depMu.Lock()
+	n.deps = nil
+	n.depMu.Unlock()
 	return nil
 }
 
@@ -228,3 +241,49 @@ func (n *Network) Apply(r int, state []int) error {
 
 // Delta returns the net stoichiometric change of species s under reaction r.
 func (n *Network) Delta(r int, s Species) int { return n.delta[r][s] }
+
+// Dependents returns the indexes of the reactions whose propensity can
+// change when reaction r fires: every reaction with a reactant among the
+// species whose count r changes, always with r itself first. The returned
+// slice is shared: callers must not modify it. The graph is built once on
+// first use and reused by every simulator over the network.
+func (n *Network) Dependents(r int) []int { return n.dependencyGraph()[r] }
+
+// dependencyGraph returns the species→reaction dependency graph, building
+// and caching it on first use.
+func (n *Network) dependencyGraph() [][]int {
+	n.depMu.Lock()
+	defer n.depMu.Unlock()
+	if n.deps != nil {
+		return n.deps
+	}
+	nr := len(n.reactions)
+	// For each species, which reactions read it (have it as reactant)?
+	readers := make([][]int, len(n.speciesNames))
+	for r := 0; r < nr; r++ {
+		for s, m := range n.reactantCount[r] {
+			if m > 0 {
+				readers[s] = append(readers[s], r)
+			}
+		}
+	}
+	deps := make([][]int, nr)
+	for r := 0; r < nr; r++ {
+		seen := make(map[int]bool, nr)
+		seen[r] = true
+		deps[r] = append(deps[r], r)
+		for s := range n.speciesNames {
+			if n.delta[r][s] == 0 {
+				continue
+			}
+			for _, other := range readers[s] {
+				if !seen[other] {
+					seen[other] = true
+					deps[r] = append(deps[r], other)
+				}
+			}
+		}
+	}
+	n.deps = deps
+	return deps
+}

@@ -86,7 +86,7 @@ func NewNRMSimulator(net *Network, initial []int, src *rng.Source) (*NRMSimulato
 		state: state,
 		src:   src,
 		props: make([]float64, nr),
-		deps:  dependencyGraph(net),
+		deps:  net.dependencyGraph(),
 	}
 	sim.queue.pos = make([]int, nr)
 	sim.queue.entries = make([]nrmEntry, 0, nr)
@@ -100,37 +100,6 @@ func NewNRMSimulator(net *Network, initial []int, src *rng.Source) (*NRMSimulato
 	}
 	heap.Init(&sim.queue)
 	return sim, nil
-}
-
-// dependencyGraph computes, for each reaction, the set of reactions whose
-// propensity depends on a species the reaction changes.
-func dependencyGraph(net *Network) [][]int {
-	nr := net.NumReactions()
-	// For each species, which reactions read it (have it as reactant)?
-	readers := make([][]int, net.NumSpecies())
-	for r := 0; r < nr; r++ {
-		for _, s := range net.Reaction(r).Reactants {
-			readers[s] = append(readers[s], r)
-		}
-	}
-	deps := make([][]int, nr)
-	for r := 0; r < nr; r++ {
-		seen := make(map[int]bool)
-		seen[r] = true
-		deps[r] = append(deps[r], r)
-		for s := 0; s < net.NumSpecies(); s++ {
-			if net.Delta(r, Species(s)) == 0 {
-				continue
-			}
-			for _, other := range readers[s] {
-				if !seen[other] {
-					seen[other] = true
-					deps[r] = append(deps[r], other)
-				}
-			}
-		}
-	}
-	return deps
 }
 
 // firingTime draws an absolute next firing time for a channel with the

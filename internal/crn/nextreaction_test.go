@@ -135,7 +135,7 @@ func TestDependencyGraph(t *testing.T) {
 	net.MustAddReaction(Reaction{Name: "readA", Reactants: []Species{0}, Products: []Species{0}, Rate: 1})
 	net.MustAddReaction(Reaction{Name: "readB", Reactants: []Species{1}, Products: []Species{1}, Rate: 1})
 	net.MustAddReaction(Reaction{Name: "readC", Reactants: []Species{2}, Products: []Species{2}, Rate: 1})
-	deps := dependencyGraph(net)
+	deps := net.dependencyGraph()
 	has := func(r, dep int) bool {
 		for _, d := range deps[r] {
 			if d == dep {

@@ -15,6 +15,13 @@ var ErrExhausted = errors.New("crn: zero total propensity, chain is absorbed")
 // Simulator runs exact stochastic simulation of a Network. It implements
 // both the discrete-time jump chain (Step) and Gillespie's direct method in
 // continuous time (StepTime). A Simulator is not safe for concurrent use.
+//
+// Propensities are cached incrementally: after firing reaction r only the
+// channels in net.Dependents(r) are recomputed. Networks with at most
+// denseTotalThreshold reactions resum the cached array on every pick, which
+// keeps the simulator bit-for-bit identical to the naive direct method;
+// larger networks maintain a running total with drift-controlled periodic
+// resummation and sample through a Fenwick prefix tree in O(log R).
 type Simulator struct {
 	net   *Network
 	state []int
@@ -23,8 +30,19 @@ type Simulator struct {
 	time  float64
 	steps int
 
-	// props is scratch space for per-reaction propensities.
+	// props caches the per-reaction propensities of the current state.
 	props []float64
+	// deps is the network's dependency graph, captured at construction.
+	deps [][]int
+	// dense selects the small-network total strategy (see kernel.go).
+	dense bool
+	// total is the running total propensity (sparse mode only).
+	total float64
+	// sinceResum counts incremental updates since the last exact
+	// resummation (sparse mode only).
+	sinceResum int
+	// tree is the sampling tree (sparse mode only).
+	tree propTree
 }
 
 // NewSimulator creates a simulator over net starting from the given initial
@@ -44,12 +62,40 @@ func NewSimulator(net *Network, initial []int, src *rng.Source) (*Simulator, err
 	}
 	state := make([]int, len(initial))
 	copy(state, initial)
-	return &Simulator{
+	sim := &Simulator{
 		net:   net,
 		state: state,
 		src:   src,
 		props: make([]float64, net.NumReactions()),
-	}, nil
+		deps:  net.dependencyGraph(),
+		dense: net.NumReactions() <= denseTotalThreshold,
+	}
+	sim.refill()
+	return sim, nil
+}
+
+// refill recomputes every cached propensity from the current state and, in
+// sparse mode, rebuilds the running total and sampling tree.
+func (sim *Simulator) refill() {
+	for r := range sim.props {
+		sim.props[r] = sim.net.Propensity(r, sim.state)
+	}
+	if !sim.dense {
+		sim.resum()
+	}
+}
+
+// resum recomputes the sparse running total and tree from the cached
+// propensities, clearing accumulated floating-point drift. It does not
+// recompute any propensity.
+func (sim *Simulator) resum() {
+	var total float64
+	for _, p := range sim.props {
+		total += p
+	}
+	sim.total = total
+	sim.tree.rebuild(sim.props)
+	sim.sinceResum = 0
 }
 
 // State returns the current state. The returned slice is a copy.
@@ -82,6 +128,7 @@ func (sim *Simulator) Reset(initial []int, src *rng.Source) error {
 	sim.src = src
 	sim.time = 0
 	sim.steps = 0
+	sim.refill()
 	return nil
 }
 
@@ -94,34 +141,64 @@ func (sim *Simulator) Time() float64 { return sim.time }
 // Steps returns the number of reactions fired so far.
 func (sim *Simulator) Steps() int { return sim.steps }
 
-// pick samples the next reaction index proportionally to propensity, or
-// returns ErrExhausted when the total propensity is zero. It also returns
-// the total propensity for holding-time draws.
+// pick samples the next reaction index proportionally to the cached
+// propensities, or returns ErrExhausted when the total propensity is zero.
+// It also returns the total propensity for holding-time draws.
 func (sim *Simulator) pick() (int, float64, error) {
-	var total float64
-	for r := range sim.props {
-		p := sim.net.Propensity(r, sim.state)
-		sim.props[r] = p
-		total += p
+	if sim.dense {
+		// Resumming the cached array in index order reproduces the
+		// naive direct method's floating-point total exactly.
+		var total float64
+		for _, p := range sim.props {
+			total += p
+		}
+		if total <= 0 {
+			return 0, 0, ErrExhausted
+		}
+		u := sim.src.Float64() * total
+		r := selectChannel(sim.props, u)
+		if r < 0 {
+			return 0, 0, ErrExhausted
+		}
+		return r, total, nil
 	}
-	if total <= 0 {
+	if sim.sinceResum >= resumInterval || sim.total <= 0 {
+		sim.resum()
+		if sim.total <= 0 {
+			return 0, 0, ErrExhausted
+		}
+	}
+	u := sim.src.Float64() * sim.total
+	r := sim.tree.sample(sim.props, u)
+	if r < 0 {
+		// The running total drifted positive over an all-zero state.
+		sim.resum()
 		return 0, 0, ErrExhausted
 	}
-	u := sim.src.Float64() * total
-	acc := 0.0
-	last := 0
-	for r, p := range sim.props {
-		if p == 0 {
-			continue
-		}
-		acc += p
-		last = r
-		if u < acc {
-			return r, total, nil
+	return r, sim.total, nil
+}
+
+// fire applies reaction r and incrementally refreshes the propensities of
+// the channels it may have changed.
+func (sim *Simulator) fire(r int) error {
+	if err := sim.net.Apply(r, sim.state); err != nil {
+		return err
+	}
+	for _, dep := range sim.deps[r] {
+		p := sim.net.Propensity(dep, sim.state)
+		if old := sim.props[dep]; p != old {
+			sim.props[dep] = p
+			if !sim.dense {
+				sim.total += p - old
+				sim.tree.add(dep, p-old)
+			}
 		}
 	}
-	// Floating-point slack: u landed within rounding of the total.
-	return last, total, nil
+	if !sim.dense {
+		sim.sinceResum++
+	}
+	sim.steps++
+	return nil
 }
 
 // Step advances the discrete-time jump chain by one reaction and returns the
@@ -132,13 +209,12 @@ func (sim *Simulator) Step() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := sim.net.Apply(r, sim.state); err != nil {
+	if err := sim.fire(r); err != nil {
 		// Unreachable for mass-action propensities: a reaction with
 		// insufficient reactants has zero propensity and cannot be
 		// picked.
 		return 0, err
 	}
-	sim.steps++
 	return r, nil
 }
 
@@ -152,10 +228,9 @@ func (sim *Simulator) StepTime() (reaction int, hold float64, err error) {
 		return 0, 0, err
 	}
 	hold = sim.src.Exp(total)
-	if err := sim.net.Apply(r, sim.state); err != nil {
+	if err := sim.fire(r); err != nil {
 		return 0, 0, err
 	}
-	sim.steps++
 	sim.time += hold
 	return r, hold, nil
 }

@@ -39,6 +39,28 @@ func BenchmarkRunNSD(b *testing.B) {
 	}
 }
 
+// BenchmarkLVKernel measures the fused event kernel on full self-
+// destructive consensus runs at n = 10⁴, reporting ns per event. The
+// allocs/op column is the kernel's zero-allocation guarantee: entire
+// replicated runs produce no garbage.
+func BenchmarkLVKernel(b *testing.B) {
+	params := Neutral(1, 1, 1, 0, SelfDestructive)
+	src := rng.New(1)
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		out, err := Run(params, State{X0: 6000, X1: 4000}, src, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Consensus {
+			b.Fatal("no consensus")
+		}
+		events += int64(out.Steps)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
 // BenchmarkStep measures single-step cost without the Run bookkeeping.
 func BenchmarkStep(b *testing.B) {
 	params := Neutral(1, 1, 1, 0, SelfDestructive)

@@ -275,82 +275,201 @@ type RunOptions struct {
 const DefaultMaxSteps = 500_000_000
 
 // Run simulates the chain from initial until consensus and returns the full
-// event accounting.
+// event accounting. It runs the fused event kernel: a single allocation-free
+// loop with the rate coefficients hoisted into locals and the absorption,
+// budget, and gap accounting checks folded into the per-event arithmetic.
+// For a given random stream it is byte-identical to stepping Step in a loop
+// with the historical accounting.
 func Run(params Params, initial State, src *rng.Source, opts RunOptions) (Outcome, error) {
-	chain, err := NewChain(params, initial, src)
-	if err != nil {
+	if err := params.Validate(); err != nil {
 		return Outcome{}, err
 	}
-	chain.SetTrackTime(opts.TrackTime)
-	maxSteps := opts.MaxSteps
+	if err := initial.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if src == nil {
+		return Outcome{}, fmt.Errorf("lv: nil random source")
+	}
+	// The chain lives on the stack: Run performs no heap allocation.
+	chain := Chain{params: params, state: initial, src: src, trackTime: opts.TrackTime}
+	return chain.runToConsensus(opts.MaxSteps), nil
+}
+
+// RunToConsensus runs the fused event kernel from the chain's current
+// configuration until consensus, absorption, or the step budget runs out
+// (maxSteps <= 0 means DefaultMaxSteps), and returns the full event
+// accounting. Replicated runs reuse one chain through Reset +
+// RunToConsensus without allocating.
+func (c *Chain) RunToConsensus(maxSteps int) Outcome {
+	return c.runToConsensus(maxSteps)
+}
+
+// runToConsensus is the fused event kernel behind Run and RunToConsensus.
+func (c *Chain) runToConsensus(maxSteps int) Outcome {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
-
-	out := Outcome{Winner: -1, MaxPopulation: initial.Total()}
+	out := Outcome{Winner: -1, MaxPopulation: c.state.Total()}
 	// The initial majority is species 0 when X0 >= X1, else species 1;
 	// the paper's convention is S0 = (a, b) with a > b, but we support
 	// either orientation (and ties, resolved in favor of species 0).
 	majority := 0
-	if initial.X1 > initial.X0 {
+	if c.state.X1 > c.state.X0 {
 		majority = 1
 	}
-	signedGap := func(s State) int {
+
+	// Precomputed rate coefficients and hot-loop state, hoisted out of
+	// the event loop. The propensity expressions and the event switch
+	// below deliberately duplicate propensities() and apply() — calling
+	// them per event costs ~25% (they are beyond the inliner's budget,
+	// and Params travels by value) — so any semantics change there must
+	// land here too; TestFusedKernelByteIdenticalToStepLoop compares the
+	// two paths event for event across every regime and trips on any
+	// divergence.
+	var (
+		beta, dlt = c.params.Beta, c.params.Delta
+		a0, a1    = c.params.Alpha[0], c.params.Alpha[1]
+		g0, g1    = c.params.Gamma[0], c.params.Gamma[1]
+		sd        = c.params.Competition == SelfDestructive
+		trackTime = c.trackTime
+		src       = c.src
+		x0, x1    = c.state.X0, c.state.X1
+		steps     = c.steps
+		t         = c.time
+		consensus = false
+	)
+
+	for {
+		if x0 == 0 || x1 == 0 {
+			consensus = true
+			break
+		}
+		if steps >= maxSteps {
+			break
+		}
+
+		// Propensities, in EventKind order with the exact expressions of
+		// propensities() so the selection below is bit-identical to Step.
+		fx0, fx1 := float64(x0), float64(x1)
+		var props [numEvents]float64
+		props[Birth0] = beta * fx0
+		props[Birth1] = beta * fx1
+		props[Death0] = dlt * fx0
+		props[Death1] = dlt * fx1
+		props[Inter0] = a0 * fx0 * fx1
+		props[Inter1] = a1 * fx0 * fx1
+		props[Intra0] = g0 * fx0 * (fx0 - 1) / 2
+		props[Intra1] = g1 * fx1 * (fx1 - 1) / 2
+		var total float64
+		for _, v := range props {
+			total += v
+		}
+		if total <= 0 {
+			// Zero propensity without consensus: all rates are zero,
+			// the chain can never reach consensus.
+			break
+		}
+
+		if trackTime {
+			t += src.Exp(total)
+		}
+		u := src.Float64() * total
+		acc := 0.0
+		kind := numEvents - 1
+		for k, v := range props {
+			if v == 0 {
+				continue
+			}
+			acc += v
+			kind = EventKind(k)
+			if u < acc {
+				break
+			}
+		}
+
+		px0, px1 := x0, x1
+		switch kind {
+		case Birth0:
+			x0++
+		case Birth1:
+			x1++
+		case Death0:
+			x0--
+		case Death1:
+			x1--
+		case Inter0, Inter1:
+			if sd {
+				x0--
+				x1--
+			} else if kind == Inter0 {
+				// Initiator 0 survives; the victim is species 1.
+				x1--
+			} else {
+				x0--
+			}
+		case Intra0:
+			if sd {
+				x0 -= 2
+			} else {
+				x0--
+			}
+		case Intra1:
+			if sd {
+				x1 -= 2
+			} else {
+				x1--
+			}
+		}
+		steps++
+
+		// Fused gap accounting, all in integer arithmetic.
+		var fStep int
 		if majority == 0 {
-			return s.X0 - s.X1
+			fStep = (px0 - px1) - (x0 - x1)
+		} else {
+			fStep = (px1 - px0) - (x1 - x0)
 		}
-		return s.X1 - s.X0
-	}
-
-	prev := chain.State()
-	for !chain.State().Consensus() {
-		if chain.Steps() >= maxSteps {
-			out.Steps = chain.Steps()
-			out.Final = chain.State()
-			out.Time = chain.Time()
-			return out, nil
-		}
-		kind, ok := chain.Step()
-		if !ok {
-			// Zero propensity without consensus: all rates are
-			// zero, the chain can never reach consensus.
-			out.Steps = chain.Steps()
-			out.Final = chain.State()
-			out.Time = chain.Time()
-			return out, nil
-		}
-		cur := chain.State()
-
-		fStep := signedGap(prev) - signedGap(cur)
-		if kind.IsIndividual() {
+		if kind <= Death1 {
 			out.Individual++
 			out.FInd += fStep
 			// Bad non-competitive event: the absolute gap between
 			// current majority and minority decreased while the
 			// minority had positive count.
-			if prev.Min() > 0 && cur.AbsGap() == prev.AbsGap()-1 {
+			if min(px0, px1) > 0 && absInt(x0-x1) == absInt(px0-px1)-1 {
 				out.BadNonCompetitive++
 			}
 		} else {
 			out.Competitive++
 			out.FComp += fStep
 		}
-		if cur.Total() > out.MaxPopulation {
-			out.MaxPopulation = cur.Total()
+		if x0+x1 > out.MaxPopulation {
+			out.MaxPopulation = x0 + x1
 		}
-		if !cur.Consensus() && cur.X0 == cur.X1 {
+		if x0 == x1 && x0 != 0 {
 			out.GapHitZero = true
 		}
-		prev = cur
 	}
 
-	out.Consensus = true
-	out.Steps = chain.Steps()
-	out.Final = chain.State()
-	out.Time = chain.Time()
-	out.Winner = out.Final.Winner()
-	out.MajorityWon = out.Winner == majority
-	return out, nil
+	c.state = State{X0: x0, X1: x1}
+	c.steps = steps
+	c.time = t
+	out.Steps = steps
+	out.Final = c.state
+	out.Time = t
+	if consensus {
+		out.Consensus = true
+		out.Winner = out.Final.Winner()
+		out.MajorityWon = out.Winner == majority
+	}
+	return out
+}
+
+// absInt returns |v|.
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // ExpectedDeterministicWinner returns the species that wins under the

@@ -1,0 +1,52 @@
+package protocols
+
+import (
+	"testing"
+
+	"lvmajority/internal/rng"
+)
+
+// benchKernel runs full trials of the 3-state approximate-majority baseline
+// at n = 10⁴ through the given trial runner and reports ns per simulated
+// interaction — skipped null interactions count, since every runner
+// accounts for exactly the same interaction-sequence law.
+func benchKernel(b *testing.B, trial func(n, delta int, src *rng.Source) (bool, int, error)) {
+	b.Helper()
+	src := rng.New(1)
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		_, steps, err := trial(10_000, 400, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += int64(steps)
+	}
+	if events == 0 {
+		b.Fatal("no interactions simulated")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+// BenchmarkPopulationKernel compares the historical event loop (re-validate
+// per trial, Rule call and range check per interaction, Done on every
+// tick) against the compiled per-event kernel and the batch null-skipping
+// kernel on the paper's 3-state approximate-majority baseline (experiment
+// E-BASE) at n = 10⁴.
+func BenchmarkPopulationKernel(b *testing.B) {
+	b.Run("old", func(b *testing.B) {
+		p := NewThreeStateAM()
+		benchKernel(b, func(n, delta int, src *rng.Source) (bool, int, error) {
+			return historicalTrial(p, n, delta, src)
+		})
+	})
+	b.Run("perevent", func(b *testing.B) {
+		p := NewThreeStateAM()
+		p.Kernel = KernelPerEvent
+		benchKernel(b, p.run)
+	})
+	b.Run("batch", func(b *testing.B) {
+		p := NewThreeStateAM()
+		benchKernel(b, p.run)
+	})
+}

@@ -2,6 +2,7 @@ package protocols
 
 import (
 	"fmt"
+	"sync"
 
 	"lvmajority/internal/crn"
 	"lvmajority/internal/rng"
@@ -63,8 +64,42 @@ func (c CondonProtocol) Name() string {
 	return fmt.Sprintf("Condon %s CRN", c.Variant)
 }
 
-// network builds the reaction network for the variant.
+// condonNets caches the immutable reaction network (and its compiled
+// dependency graph) per (variant, rate), so replicated trials share one
+// network instead of rebuilding it per trial.
+var condonNets sync.Map // map[condonNetKey]*crn.Network
+
+type condonNetKey struct {
+	variant CRNVariant
+	rate    float64
+}
+
+// network returns the (shared, immutable) reaction network for the variant.
 func (c CondonProtocol) network() (*crn.Network, error) {
+	// Normalize the rate exactly as buildNetwork does, so Rate=0 and
+	// Rate=1 (identical networks) share one cache entry; a NaN rate would
+	// never match a sync.Map key, so reject it before the lookup.
+	rate := c.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	if rate != rate {
+		return nil, fmt.Errorf("protocols: %s CRN has NaN rate", c.Variant)
+	}
+	key := condonNetKey{variant: c.Variant, rate: rate}
+	if cached, ok := condonNets.Load(key); ok {
+		return cached.(*crn.Network), nil
+	}
+	net, err := c.buildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	cached, _ := condonNets.LoadOrStore(key, net)
+	return cached.(*crn.Network), nil
+}
+
+// buildNetwork constructs the reaction network for the variant.
+func (c CondonProtocol) buildNetwork() (*crn.Network, error) {
 	rate := c.Rate
 	if rate <= 0 {
 		rate = 1

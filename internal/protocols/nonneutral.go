@@ -2,6 +2,7 @@ package protocols
 
 import (
 	"fmt"
+	"sync"
 
 	"lvmajority/internal/crn"
 	"lvmajority/internal/lv"
@@ -103,6 +104,12 @@ type GeneralLVProtocol struct {
 	Params GeneralLVParams
 	// MaxSteps bounds each trial; zero uses lv.DefaultMaxSteps.
 	MaxSteps int
+
+	// netOnce caches the immutable network (and its compiled dependency
+	// graph) across trials.
+	netOnce sync.Once
+	net     *crn.Network
+	netErr  error
 }
 
 // Name implements consensus.Protocol.
@@ -118,7 +125,8 @@ func (p *GeneralLVProtocol) Trial(n, delta int, src *rng.Source) (bool, error) {
 	if delta < 0 || delta > n-2 || (n-delta)%2 != 0 {
 		return false, fmt.Errorf("protocols: infeasible gap %d for n=%d", delta, n)
 	}
-	net, err := p.Params.Network()
+	p.netOnce.Do(func() { p.net, p.netErr = p.Params.Network() })
+	net, err := p.net, p.netErr
 	if err != nil {
 		return false, err
 	}

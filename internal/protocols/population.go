@@ -18,14 +18,57 @@ package protocols
 
 import (
 	"fmt"
+	"sync"
 
 	"lvmajority/internal/rng"
 )
+
+// PopulationKernel selects the event loop a PopulationProtocol trial runs
+// on. Both kernels simulate exactly the same process — uniformly random
+// ordered pairs, one interaction per clock tick — but consume the random
+// stream differently, so individual trials differ while every distribution
+// (winner, interaction counts, budget behaviour) is unchanged.
+type PopulationKernel int
+
+const (
+	// KernelBatch (the default) skips runs of null interactions in one
+	// shot: it draws the number of consecutive pair selections that
+	// change no agent from the exact geometric law, advances the
+	// interaction counter by that many ticks, then samples the next
+	// effective pair from the conditional distribution. Near convergence
+	// almost every interaction is null, so this is the fast kernel for
+	// the small state spaces used here. Its per-effective-interaction
+	// cost is O(NumStates²) (one pass over the non-null pair weights), so
+	// a protocol with many states and few null interactions is better
+	// served by KernelPerEvent, whose per-interaction cost is
+	// O(NumStates).
+	KernelBatch PopulationKernel = iota
+	// KernelPerEvent simulates every interaction individually, drawing
+	// the initiator and responder per tick. It is byte-for-byte identical
+	// to the historical event loop for a given random stream.
+	KernelPerEvent
+)
+
+// String returns the kernel name.
+func (k PopulationKernel) String() string {
+	switch k {
+	case KernelBatch:
+		return "batch"
+	case KernelPerEvent:
+		return "per-event"
+	default:
+		return fmt.Sprintf("PopulationKernel(%d)", int(k))
+	}
+}
 
 // PopulationProtocol is a population protocol over a small state space with
 // uniformly random ordered pairwise interactions: at each step an ordered
 // pair of distinct agents (initiator, responder) is chosen uniformly at
 // random and both agents update according to Rule.
+//
+// The configuration fields must not be mutated after the first Trial call:
+// the protocol compiles Rule into a flat transition table once, on first
+// use.
 type PopulationProtocol struct {
 	// ProtocolName labels the protocol.
 	ProtocolName string
@@ -44,10 +87,29 @@ type PopulationProtocol struct {
 	// nil uses 400·n·(log₂ n + 1), generous for protocols converging in
 	// O(n log n) interactions.
 	MaxInteractionsFor func(n int) int
+	// Kernel selects the trial event loop (default KernelBatch).
+	Kernel PopulationKernel
+
+	// compileOnce guards the one-time validate-and-compile step; all
+	// per-pair work (validation, Rule evaluation, range checks, null
+	// classification) happens exactly once per protocol value.
+	compileOnce sync.Once
+	compiled    *popTable
+	compileErr  error
+	// compileCalls counts executions of the compile step, for tests.
+	compileCalls int
 }
 
 // Name implements consensus.Protocol.
 func (p *PopulationProtocol) Name() string { return p.ProtocolName }
+
+// CacheKey implements sweep.CacheKeyer: unlike Name it includes the state
+// count and the kernel, so switching kernels (which legitimately changes
+// individual trial outcomes, though not their law) cannot replay stale
+// cached probes.
+func (p *PopulationProtocol) CacheKey() string {
+	return fmt.Sprintf("pop:%s|states=%d|kernel=%s", p.ProtocolName, p.NumStates, p.Kernel)
+}
 
 // validate checks the protocol wiring.
 func (p *PopulationProtocol) validate() error {
@@ -64,18 +126,97 @@ func (p *PopulationProtocol) validate() error {
 	return nil
 }
 
+// popTable is a protocol compiled to a flat NumStates² transition table:
+// successor states and null classification per ordered pair, with the
+// per-pair Rule range checks already done. Pair (s, t) lives at index
+// s·NumStates + t.
+type popTable struct {
+	states int
+	// ni and nr are the successor states of initiator and responder.
+	ni, nr []int
+	// null marks pairs that change neither agent.
+	null []bool
+	// eff lists the non-null pair indices, the only ones the batch kernel
+	// ever weighs or samples; effS and effT are their unpacked
+	// (initiator, responder) states, precomputed to keep division out of
+	// the hot loop.
+	eff        []int32
+	effS, effT []int32
+}
+
+// compile validates the protocol and builds the transition table, once.
+// Subsequent calls (every Trial after the first) reuse the result without
+// re-validating or re-evaluating Rule.
+func (p *PopulationProtocol) compile() (*popTable, error) {
+	p.compileOnce.Do(func() {
+		p.compileCalls++
+		if err := p.validate(); err != nil {
+			p.compileErr = err
+			return
+		}
+		s := p.NumStates
+		tab := &popTable{
+			states: s,
+			ni:     make([]int, s*s),
+			nr:     make([]int, s*s),
+			null:   make([]bool, s*s),
+		}
+		for a := 0; a < s; a++ {
+			for b := 0; b < s; b++ {
+				na, nb := p.Rule(a, b)
+				if na < 0 || na >= s || nb < 0 || nb >= s {
+					p.compileErr = fmt.Errorf("protocols: %q rule produced out-of-range states (%d, %d)", p.ProtocolName, na, nb)
+					return
+				}
+				k := a*s + b
+				tab.ni[k], tab.nr[k] = na, nb
+				tab.null[k] = na == a && nb == b
+				if !tab.null[k] {
+					tab.eff = append(tab.eff, int32(k))
+					tab.effS = append(tab.effS, int32(a))
+					tab.effT = append(tab.effT, int32(b))
+				}
+			}
+		}
+		p.compiled = tab
+	})
+	return p.compiled, p.compileErr
+}
+
+// maxInteractions resolves the interaction budget for population size n.
+func (p *PopulationProtocol) maxInteractions(n int) int {
+	if p.MaxInteractionsFor != nil {
+		if m := p.MaxInteractionsFor(n); m > 0 {
+			return m
+		}
+	}
+	logN := 1
+	for v := n; v > 1; v >>= 1 {
+		logN++
+	}
+	return 400 * n * logN
+}
+
 // Trial implements consensus.Protocol: it runs one execution with a
 // majority of a = (n+delta)/2 agents and a minority of b = (n−delta)/2
 // agents and reports whether the initial majority's opinion won.
 func (p *PopulationProtocol) Trial(n, delta int, src *rng.Source) (bool, error) {
-	if err := p.validate(); err != nil {
-		return false, err
+	won, _, err := p.run(n, delta, src)
+	return won, err
+}
+
+// run is Trial plus the number of interactions consumed, for benchmarks
+// and the kernel-equivalence tests.
+func (p *PopulationProtocol) run(n, delta int, src *rng.Source) (won bool, interactions int, err error) {
+	tab, err := p.compile()
+	if err != nil {
+		return false, 0, err
 	}
 	if n < 2 {
-		return false, fmt.Errorf("protocols: population %d too small", n)
+		return false, 0, fmt.Errorf("protocols: population %d too small", n)
 	}
 	if delta < 0 || (n-delta)%2 != 0 || delta > n-2 {
-		return false, fmt.Errorf("protocols: infeasible gap %d for n=%d", delta, n)
+		return false, 0, fmt.Errorf("protocols: infeasible gap %d for n=%d", delta, n)
 	}
 	b := (n - delta) / 2
 	a := n - b
@@ -84,21 +225,27 @@ func (p *PopulationProtocol) Trial(n, delta int, src *rng.Source) (bool, error) 
 	counts[p.MajorityState] += a
 	counts[p.MinorityState] += b
 
-	maxInteractions := 0
-	if p.MaxInteractionsFor != nil {
-		maxInteractions = p.MaxInteractionsFor(n)
+	if p.Kernel == KernelPerEvent {
+		return p.runPerEvent(tab, counts, n, src)
 	}
-	if maxInteractions <= 0 {
-		logN := 1
-		for v := n; v > 1; v >>= 1 {
-			logN++
-		}
-		maxInteractions = 400 * n * logN
-	}
+	return p.runBatch(tab, counts, n, src)
+}
 
+// runPerEvent simulates every interaction individually. For a given random
+// stream it is byte-identical to the historical event loop: one Intn(n)
+// draw for the initiator and one Intn(n−1) draw for the responder per
+// interaction, null or not. Done is only re-evaluated after an interaction
+// actually changed a count — it is a pure function of the counts, so
+// skipping it on null interactions cannot change the stopping time.
+func (p *PopulationProtocol) runPerEvent(tab *popTable, counts []int, n int, src *rng.Source) (bool, int, error) {
+	maxInteractions := p.maxInteractions(n)
+	changed := true
 	for step := 0; step < maxInteractions; step++ {
-		if done, winner := p.Done(counts); done {
-			return winner == 0, nil
+		if changed {
+			if done, winner := p.Done(counts); done {
+				return winner == 0, step, nil
+			}
+			changed = false
 		}
 		initiator := sampleState(counts, n, src)
 		// The responder is a distinct agent: discount the initiator.
@@ -106,17 +253,126 @@ func (p *PopulationProtocol) Trial(n, delta int, src *rng.Source) (bool, error) 
 		responder := sampleState(counts, n-1, src)
 		counts[initiator]++
 
-		ni, nr := p.Rule(initiator, responder)
-		if ni < 0 || ni >= p.NumStates || nr < 0 || nr >= p.NumStates {
-			return false, fmt.Errorf("protocols: %q rule produced out-of-range states (%d, %d)", p.ProtocolName, ni, nr)
+		k := initiator*tab.states + responder
+		if tab.null[k] {
+			continue
 		}
 		counts[initiator]--
 		counts[responder]--
-		counts[ni]++
-		counts[nr]++
+		counts[tab.ni[k]]++
+		counts[tab.nr[k]]++
+		changed = true
 	}
 	// Did not stabilize within the budget: count as failure.
-	return false, nil
+	return false, maxInteractions, nil
+}
+
+// runBatch simulates the same process, skipping runs of null interactions
+// without touching the counts.
+//
+// In a state with counts c over a population of n agents, an ordered pair
+// (s, t) of distinct agents is selected with probability
+// c_s·(c_t − [s=t]) / (n·(n−1)); the pair is null when Rule changes
+// neither agent. With W the total weight of non-null pairs, each
+// interaction is effective with probability W / n(n−1), independently,
+// until the counts change — so a maximal run of nulls is skipped either
+// tick by tick with one uniform each (moderate null fractions) or in a
+// single Geometric draw (null-dominated states, where the geometric's
+// logarithm amortizes over many ticks). Both charge the skipped ticks to
+// the interaction counter, so the MaxInteractionsFor budget binds exactly
+// as in the per-event kernel. The effective pair itself follows the
+// conditional distribution weight/W, sampled by integer weights with no
+// floating-point error.
+func (p *PopulationProtocol) runBatch(tab *popTable, counts []int, n int, src *rng.Source) (bool, int, error) {
+	maxInteractions := p.maxInteractions(n)
+	total := int64(n) * int64(n-1)
+	ftotal := float64(total)
+	// Per-effective-pair weights, in tab.eff order.
+	weights := make([]int64, len(tab.eff))
+	step := 0
+	for {
+		// Budget before Done, matching the per-event loop: a trial whose
+		// final permitted interaction reaches consensus still scores as
+		// undecided, because the loop never observes the final state.
+		if step >= maxInteractions {
+			return false, step, nil
+		}
+		if done, winner := p.Done(counts); done {
+			return winner == 0, step, nil
+		}
+
+		// One pass over the non-null pairs: weight of each and their sum.
+		var w int64
+		for i := range tab.eff {
+			s, t := tab.effS[i], tab.effT[i]
+			cs := int64(counts[s])
+			ct := int64(counts[t])
+			if t == s {
+				ct--
+				if ct < 0 {
+					ct = 0
+				}
+			}
+			wi := cs * ct
+			weights[i] = wi
+			w += wi
+		}
+		if w == 0 {
+			// Every selectable pair is null: no count can ever change
+			// again and Done can never flip, so the per-event loop
+			// would spin until the budget ran out.
+			return false, maxInteractions, nil
+		}
+
+		if w < total {
+			fw := float64(w)
+			if 8*w >= total {
+				// Moderate null fraction (expected run below ~8 ticks):
+				// skip nulls tick by tick, one uniform each; cheaper
+				// than the geometric's logarithms. Each tick is
+				// effective with probability w/total; the loop ends on
+				// the first effective one.
+				for src.Float64()*ftotal >= fw {
+					step++
+					if step >= maxInteractions {
+						return false, step, nil
+					}
+				}
+			} else {
+				// Null-dominated state: one geometric draw replaces
+				// the whole run of null ticks.
+				remaining := maxInteractions - step
+				nulls := src.GeometricCapped(fw/ftotal, remaining)
+				if nulls >= remaining {
+					return false, maxInteractions, nil
+				}
+				step += nulls
+			}
+		}
+		// The effective interaction itself consumes one tick.
+		step++
+
+		// Sample the effective pair proportionally to its integer weight.
+		v := int64(src.Uint64N(uint64(w)))
+		pair := -1
+		for i, wi := range weights {
+			v -= wi
+			if v < 0 {
+				pair = i
+				break
+			}
+		}
+		// Unreachable: the weights sum to exactly w. Guard anyway.
+		if pair < 0 {
+			return false, step, fmt.Errorf("protocols: %q effective-pair sampling overran its weight", p.ProtocolName)
+		}
+
+		k := tab.eff[pair]
+		counts[tab.effS[pair]]--
+		counts[tab.effT[pair]]--
+		counts[tab.ni[k]]++
+		counts[tab.nr[k]]++
+	}
 }
 
 // sampleState picks a state index with probability counts[s]/total.

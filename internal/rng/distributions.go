@@ -50,6 +50,40 @@ func (src *Source) Geometric(p float64) int {
 	return int(math.Log(u) / math.Log(1-p))
 }
 
+// GeometricCapped returns min(G, max) for G ~ Geometric(p), the number of
+// failures before the first success, without ever materializing G: for
+// small p the raw inversion value can exceed the integer range, so the
+// comparison happens in floating point. Callers that only need "did the
+// success happen within my remaining budget" — e.g. the batch population
+// kernel skipping null interactions against an interaction budget — use
+// this instead of Geometric. It panics if p <= 0 or p > 1, or if max < 0.
+func (src *Source) GeometricCapped(p float64, max int) int {
+	if p <= 0 || p > 1 {
+		panic("rng: GeometricCapped called with p outside (0, 1]")
+	}
+	if max < 0 {
+		panic("rng: GeometricCapped called with negative cap")
+	}
+	if p == 1 {
+		return 0
+	}
+	d := math.Log(1 - p)
+	if d == 0 {
+		// p below ~1e-17: 1−p rounds to 1. The geometric mean exceeds
+		// 10^16 failures, so any realistic cap is hit with certainty (up
+		// to the same rounding). Consume the uniform regardless, so the
+		// stream advances identically either way.
+		src.Float64()
+		return max
+	}
+	u := 1 - src.Float64() // in (0, 1]
+	g := math.Log(u) / d
+	if g >= float64(max) {
+		return max
+	}
+	return int(g)
+}
+
 // Binomial returns a Binomial(n, p) distributed value.
 //
 // For small n·p it uses exact inversion by multiplication (BINV). For large

@@ -104,6 +104,55 @@ func TestGeometricOne(t *testing.T) {
 	}
 }
 
+func TestGeometricCappedMatchesGeometric(t *testing.T) {
+	// With an unreachable cap, GeometricCapped consumes one uniform and
+	// returns exactly Geometric's inversion value.
+	for _, p := range []float64{0.05, 0.3, 0.8, 1} {
+		a, b := New(61), New(61)
+		for i := 0; i < 2000; i++ {
+			if got, want := a.GeometricCapped(p, 1<<40), b.Geometric(p); got != want {
+				t.Fatalf("GeometricCapped(%v, big) = %d, Geometric = %d", p, got, want)
+			}
+		}
+	}
+}
+
+func TestGeometricCappedCap(t *testing.T) {
+	src := New(67)
+	// Tiny success probability: essentially every draw hits the cap, and
+	// none may exceed it or go negative.
+	for i := 0; i < 1000; i++ {
+		g := src.GeometricCapped(1e-18, 500)
+		if g < 0 || g > 500 {
+			t.Fatalf("GeometricCapped(1e-18, 500) = %d outside [0, 500]", g)
+		}
+	}
+	if g := src.GeometricCapped(0.5, 0); g != 0 {
+		t.Errorf("GeometricCapped(0.5, 0) = %d, want 0", g)
+	}
+	if g := src.GeometricCapped(1, 100); g != 0 {
+		t.Errorf("GeometricCapped(1, 100) = %d, want 0", g)
+	}
+}
+
+func TestGeometricCappedPanics(t *testing.T) {
+	src := New(71)
+	for _, fn := range []func(){
+		func() { src.GeometricCapped(0, 10) },
+		func() { src.GeometricCapped(1.5, 10) },
+		func() { src.GeometricCapped(0.5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestBinomialEdgeCases(t *testing.T) {
 	src := New(59)
 	if got := src.Binomial(0, 0.5); got != 0 {

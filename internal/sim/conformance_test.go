@@ -283,6 +283,42 @@ func TestEngineConformance(t *testing.T) {
 	}
 }
 
+// TestEngineResetReuseAllocationFree audits Reset buffer reuse across all
+// engines: after one warm-up run (which may materialize lazy buffers, e.g.
+// the tau-leap fallback simulator), Reset plus a steady-state stepping loop
+// must not allocate at all. This is what lets the mc replication pool reuse
+// one engine per worker without per-replicate garbage.
+func TestEngineResetReuseAllocationFree(t *testing.T) {
+	for _, bk := range backends(t) {
+		bk := bk
+		t.Run(bk.name, func(t *testing.T) {
+			e, err := bk.make(rng.New(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up to steady state.
+			if _, err := sim.Run(e, bk.stop, sim.Limits{MaxSteps: 2000}); err != nil {
+				t.Fatal(err)
+			}
+			src := rng.New(0)
+			seed := uint64(0)
+			allocs := testing.AllocsPerRun(10, func() {
+				seed++
+				src.Reseed(seed)
+				e.Reset(src)
+				for i := 0; i < 300; i++ {
+					if _, ok := e.Step(); !ok {
+						break
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: Reset + steady-state stepping allocated %v times per run, want 0", bk.name, allocs)
+			}
+		})
+	}
+}
+
 // TestEngineConformanceViaRun exercises every backend through the shared
 // Run loop instead of manual stepping: the run must terminate with the
 // same classification and respect the step limit.
