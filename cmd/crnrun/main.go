@@ -1,12 +1,20 @@
 // Command crnrun simulates an arbitrary chemical reaction network described
 // in the text format of internal/crn (see -help for the grammar). It runs
-// exact Gillespie simulation from a given initial state and prints either a
+// stochastic simulation from a given initial state and prints either a
 // per-reaction trace or batch statistics of the final state.
+//
+// The command is a thin front-end over the declarative run API
+// (internal/scenario): the network text is inlined into a simulate Spec —
+// so the spec is self-contained — whose batch statistics scenario.Runner
+// computes with the selected internal/sim engine (-engine direct, nrm, or
+// leap); the -trace rendering of the first run stays in the front-end.
+// Print the spec with -dump-spec; replay one with -spec.
 //
 // Examples:
 //
 //	crnrun -network lv-sd.crn -init "X0=60,X1=40" -runs 1000
 //	crnrun -network lv-sd.crn -init "X0=60,X1=40" -trace
+//	crnrun -network big.crn -init "X0=500" -runs 100 -engine nrm
 //	echo 'X -> 2 X @ 1
 //	X -> 0 @ 1.1' | crnrun -init "X=100"
 //
@@ -18,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +35,8 @@ import (
 	"strings"
 
 	"lvmajority/internal/crn"
-	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
-	"lvmajority/internal/sim"
-	"lvmajority/internal/stats"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
@@ -45,46 +52,97 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		networkPath = fs.String("network", "", "path to the network file (default: read from stdin)")
 		initText    = fs.String("init", "", `initial counts, e.g. "X0=60,X1=40" (unlisted species start at 0)`)
 		runs        = fs.Int("runs", 1, "number of independent runs")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		workers     = fs.Int("workers", 0, "parallel workers for batch runs (0 = GOMAXPROCS); never changes the results")
+		engine      = fs.String("engine", "direct", `simulation engine: "direct" (exact SSA), "nrm" (next-reaction method), or "leap" (tau-leaping)`)
 		maxSteps    = fs.Int("max-steps", 10_000_000, "reaction budget per run")
 		maxTime     = fs.Float64("max-time", 0, "simulated-time budget per run (0 = unlimited)")
 		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
 		echo        = fs.Bool("echo", false, "print the parsed network before simulating")
 	)
+	common := scenario.RegisterRun(fs, 1)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
+		return err
+	}
 
-	text, err := readNetworkText(*networkPath, stdin)
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		if *runs < 1 {
+			return nil, fmt.Errorf("need at least one run, got %d", *runs)
+		}
+		text, err := readNetworkText(*networkPath, stdin)
+		if err != nil {
+			return nil, err
+		}
+		net, err := crn.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		init, err := parseInit(net, *initText)
+		if err != nil {
+			return nil, err
+		}
+		engineName := *engine
+		if engineName == "direct" {
+			engineName = "" // the spec's default; keeps dumps minimal
+		}
+		spec := scenario.New(scenario.TaskSimulate)
+		spec.Model = &scenario.Model{Kind: scenario.ModelCRN, CRN: &scenario.CRNModel{
+			Text:   text,
+			Engine: engineName,
+		}}
+		spec.Seed = common.Seed
+		spec.Workers = common.Workers
+		spec.Simulate = &scenario.SimulateSpec{
+			Runs: *runs, Init: init,
+			MaxSteps: *maxSteps, MaxTime: *maxTime,
+			Trace: *traceRun, Echo: *echo,
+		}
+		return []scenario.Spec{spec}, nil
+	})
 	if err != nil {
 		return err
 	}
-	net, err := crn.Parse(text)
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
+	}
+	if len(specs) != 1 || specs[0].Task != scenario.TaskSimulate ||
+		specs[0].Model == nil || specs[0].Model.Kind != scenario.ModelCRN {
+		return fmt.Errorf("crnrun runs a single CRN simulate spec")
+	}
+	spec := specs[0]
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	net, err := crn.Parse(spec.Model.CRN.Text)
 	if err != nil {
 		return err
 	}
-	initial, err := parseInit(net, *initText)
-	if err != nil {
-		return err
-	}
-	if *runs < 1 {
-		return fmt.Errorf("need at least one run, got %d", *runs)
-	}
-	if *echo {
+	if spec.Simulate.Echo {
 		fmt.Fprint(w, crn.Format(net))
 		fmt.Fprintln(w)
 	}
-
-	if *traceRun {
-		if err := printTrace(w, net, initial, rng.New(*seed), *maxSteps, *maxTime); err != nil {
+	if spec.Simulate.Trace {
+		initial, err := scenario.InitialState(net, spec.Simulate.Init)
+		if err != nil {
 			return err
 		}
-		if *runs == 1 {
+		if err := printTrace(w, net, initial, rng.New(spec.Seed), spec.Simulate.MaxSteps, spec.Simulate.MaxTime); err != nil {
+			return err
+		}
+		if spec.Simulate.Runs == 1 {
 			return nil
 		}
 	}
-	return batchRuns(w, net, initial, *seed, *workers, *runs, *maxSteps, *maxTime)
+
+	runner := &scenario.Runner{}
+	res, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	return renderBatch(w, res.Simulate.CRN)
 }
 
 // readNetworkText loads the network description from a file or stdin.
@@ -106,28 +164,29 @@ func readNetworkText(path string, stdin io.Reader) (string, error) {
 	return string(data), nil
 }
 
-// parseInit parses "X0=60,X1=40" into a state vector over net's species.
-func parseInit(net *crn.Network, text string) ([]int, error) {
-	state := make([]int, net.NumSpecies())
+// parseInit parses "X0=60,X1=40" into the name-keyed count map a spec
+// carries, validating every name against the network.
+func parseInit(net *crn.Network, text string) (map[string]int, error) {
 	if strings.TrimSpace(text) == "" {
-		return state, nil
+		return nil, nil
 	}
+	init := make(map[string]int)
 	for _, item := range strings.Split(text, ",") {
 		name, countText, ok := strings.Cut(strings.TrimSpace(item), "=")
 		if !ok {
 			return nil, fmt.Errorf(`bad -init item %q (want "NAME=COUNT")`, item)
 		}
-		s, err := net.SpeciesByName(strings.TrimSpace(name))
-		if err != nil {
+		name = strings.TrimSpace(name)
+		if _, err := net.SpeciesByName(name); err != nil {
 			return nil, err
 		}
 		count, err := strconv.Atoi(strings.TrimSpace(countText))
 		if err != nil || count < 0 {
 			return nil, fmt.Errorf("bad count %q for species %s", countText, name)
 		}
-		state[s] = count
+		init[name] = count
 	}
-	return state, nil
+	return init, nil
 }
 
 // printTrace runs one simulation, printing every reaction.
@@ -157,54 +216,14 @@ func printTrace(w io.Writer, net *crn.Network, initial []int, src *rng.Source, m
 	return nil
 }
 
-// batchRuns aggregates final-state statistics over many runs. The runs are
-// replicated through the shared sim engine and mc worker pool: each worker
-// reuses one engine via Reset, and per-run streams are keyed by the run
-// index, so the output is identical for every worker count.
-func batchRuns(w io.Writer, net *crn.Network, initial []int, seed uint64, workers, runs, maxSteps int, maxTime float64) error {
-	clock := sim.JumpChain
-	if maxTime > 0 {
-		clock = sim.Gillespie
-	}
-	type final struct {
-		steps    int
-		absorbed bool
-		state    []int
-	}
-	outs, err := mc.RunEngine(mc.Options{Replicates: runs, Workers: workers, Seed: seed},
-		func() (sim.Engine, error) { return sim.NewCRN(net, initial, clock, rng.New(0)) },
-		func(_ int, e sim.Engine) (final, error) {
-			res, err := sim.Run(e, nil, sim.Limits{MaxSteps: maxSteps, MaxTime: maxTime})
-			if err != nil {
-				return final{}, err
-			}
-			return final{
-				steps:    res.Steps,
-				absorbed: res.Absorbed,
-				state:    append([]int(nil), e.State()...),
-			}, nil
-		})
-	if err != nil {
-		return err
-	}
-
-	finals := make([]stats.Running, net.NumSpecies())
-	var steps stats.Running
-	absorbed := 0
-	for _, out := range outs {
-		if out.absorbed {
-			absorbed++
-		}
-		steps.Add(float64(out.steps))
-		for s, c := range out.state {
-			finals[s].Add(float64(c))
-		}
-	}
-	fmt.Fprintf(w, "runs:        %d\n", runs)
-	fmt.Fprintf(w, "absorbed:    %d\n", absorbed)
-	fmt.Fprintf(w, "steps:       %s\n", &steps)
-	for s := range finals {
-		fmt.Fprintf(w, "final %-10s %s\n", net.SpeciesName(crn.Species(s))+":", &finals[s])
+// renderBatch prints the final-state statistics in the command's historical
+// format.
+func renderBatch(w io.Writer, batch *scenario.CRNBatch) error {
+	fmt.Fprintf(w, "runs:        %d\n", batch.Runs)
+	fmt.Fprintf(w, "absorbed:    %d\n", batch.Absorbed)
+	fmt.Fprintf(w, "steps:       %s\n", &batch.Steps)
+	for s := range batch.Finals {
+		fmt.Fprintf(w, "final %-10s %s\n", batch.Net.SpeciesName(crn.Species(s))+":", &batch.Finals[s])
 	}
 	return nil
 }

@@ -85,6 +85,63 @@ func TestRunMaxTime(t *testing.T) {
 	}
 }
 
+// TestDumpSpecReplay: -dump-spec followed by -spec must replay the
+// identical run. The network text is inlined in the spec, so the replay
+// reads neither the file nor stdin.
+func TestDumpSpecReplay(t *testing.T) {
+	args := []string{"-network", writeNetworkFile(t), "-init", "X0=30,X1=20", "-runs", "20", "-seed", "5"}
+
+	var direct strings.Builder
+	if err := run(args, strings.NewReader(""), &direct); err != nil {
+		t.Fatal(err)
+	}
+	var dumped strings.Builder
+	if err := run(append(args, "-dump-spec"), strings.NewReader(""), &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-spec", path}, strings.NewReader(""), &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+}
+
+// TestEngineSelection drives the NRM and leap engines end to end through
+// the spec layer.
+func TestEngineSelection(t *testing.T) {
+	for _, engine := range []string{"nrm", "leap"} {
+		var b strings.Builder
+		err := run([]string{"-init", "X=50", "-runs", "10", "-engine", engine, "-seed", "2"},
+			strings.NewReader("X -> 0 @ 1\n"), &b)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(b.String(), "runs:        10") {
+			t.Errorf("engine %s output malformed:\n%s", engine, b.String())
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-init", "X=1", "-engine", "warp"}, strings.NewReader("X -> 0 @ 1\n"), &b); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, strings.NewReader(""), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lvmajority") {
+		t.Errorf("version output %q", b.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-network", "/nonexistent/net.crn"},

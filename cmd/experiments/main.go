@@ -4,6 +4,11 @@
 // cmd/report). Run with no arguments to execute everything at the quick
 // effort level, or name experiment IDs.
 //
+// The command is a thin front-end over the declarative run API
+// (internal/scenario): every selected experiment becomes one experiment
+// Spec executed by scenario.Runner. Print the specs with -dump-spec; replay
+// them with -spec — the same specs run over HTTP via cmd/serve.
+//
 // With -report DIR, every run also writes a JSON run manifest
 // (internal/report) recording the result tables with typed cells plus full
 // provenance: seed, grid level, workers, wall time, sweep-cache hit/miss
@@ -19,21 +24,21 @@
 //	experiments -csv out/ E-SEP       # also write CSV files
 //	experiments -cache probes.json T1-SD   # replay settled threshold probes
 //	experiments -report results/manifests  # also write run manifests
+//	experiments -dump-spec T1-SD > run.json; experiments -spec run.json
 //	experiments -cpuprofile cpu.pprof T1-NSD   # profile a heavy run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime/pprof"
-	"time"
 
 	"lvmajority/internal/experiment"
 	"lvmajority/internal/report"
-	"lvmajority/internal/sweep"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
@@ -48,16 +53,74 @@ func run(args []string, w io.Writer) error {
 	var (
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
 		full      = fs.Bool("full", false, "use the heavier (recorded) parameter grids")
-		seed      = fs.Uint64("seed", 20240506, "random seed")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		csvDir    = fs.String("csv", "", "directory to also write per-table CSV files into")
 		reportDir = fs.String("report", "", "directory to write one JSON run manifest per experiment into")
-		cache     = fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
 		quiet     = fs.Bool("q", false, "suppress progress logging")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected runs to this file")
 	)
+	common := scenario.RegisterRun(fs, 20240506)
+	cachePath := scenario.RegisterCache(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
+		return err
+	}
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(w, "%-10s %s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return nil
+	}
+
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		var ids []string
+		if fs.NArg() == 0 {
+			for _, e := range experiment.All() {
+				ids = append(ids, e.ID)
+			}
+		} else {
+			for _, id := range fs.Args() {
+				if _, err := experiment.ByID(id); err != nil {
+					return nil, err
+				}
+				ids = append(ids, id)
+			}
+		}
+		// Cache policy: an explicit -cache file wins; otherwise -report
+		// selects the runner's shared in-memory cache so the manifests'
+		// hit/miss accounting is meaningful (and probes shared between
+		// selected experiments are replayed) at no behavioural cost — the
+		// cache never changes results.
+		var cache *scenario.CacheSpec
+		switch {
+		case *cachePath != "":
+			cache = scenario.FileCache(*cachePath)
+		case *reportDir != "":
+			cache = &scenario.CacheSpec{Policy: scenario.CacheShared}
+		}
+		specs := make([]scenario.Spec, 0, len(ids))
+		for _, id := range ids {
+			spec := scenario.New(scenario.TaskExperiment)
+			spec.Seed = common.Seed
+			spec.Workers = common.Workers
+			spec.Cache = cache
+			spec.Experiment = &scenario.ExperimentSpec{
+				ID:        id,
+				Full:      *full,
+				CSVDir:    *csvDir,
+				ReportDir: *reportDir,
+			}
+			specs = append(specs, spec)
+		}
+		return specs, nil
+	}, "q", "cpuprofile")
+	if err != nil {
+		return err
+	}
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
 	}
 
 	if *cpuProf != "" {
@@ -72,57 +135,17 @@ func run(args []string, w io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *list {
-		for _, e := range experiment.All() {
-			fmt.Fprintf(w, "%-10s %s [%s]\n", e.ID, e.Title, e.Artifact)
+	runner := &scenario.Runner{}
+	if !*quiet {
+		runner.Log = os.Stderr
+	}
+	for _, spec := range specs {
+		if spec.Task != scenario.TaskExperiment {
+			return fmt.Errorf("experiments runs experiment specs, got task %q", spec.Task)
 		}
-		return nil
-	}
-
-	var selected []experiment.Experiment
-	if fs.NArg() == 0 {
-		selected = experiment.All()
-	} else {
-		for _, id := range fs.Args() {
-			e, err := experiment.ByID(id)
-			if err != nil {
-				return err
-			}
-			selected = append(selected, e)
-		}
-	}
-
-	cfg := experiment.Config{
-		Seed:    *seed,
-		Workers: *workers,
-		Full:    *full,
-	}
-	if *cache != "" {
-		c, err := sweep.OpenCache(*cache)
+		e, err := experiment.ByID(spec.Experiment.ID)
 		if err != nil {
 			return err
-		}
-		cfg.Cache = c
-	} else if *reportDir != "" {
-		// Manifests record sweep-cache hit/miss counts; without a cache
-		// file, an in-memory cache makes the accounting meaningful (and
-		// replays probes shared between selected experiments) at no
-		// behavioural cost — the cache never changes results.
-		cfg.Cache = sweep.NewCache()
-	}
-	if !*quiet {
-		cfg.Log = os.Stderr
-	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return fmt.Errorf("creating CSV directory: %w", err)
-		}
-	}
-
-	for _, e := range selected {
-		var hits0, misses0 int64
-		if cfg.Cache != nil {
-			hits0, misses0 = cfg.Cache.Counters()
 		}
 		// Header before the run (progress cue for long experiments), body
 		// after; together they are exactly RenderASCII's output, which is
@@ -130,35 +153,17 @@ func run(args []string, w io.Writer) error {
 		if err := report.ASCIIHeader(w, e.ID, e.Title, e.Artifact); err != nil {
 			return err
 		}
-		start := time.Now()
-		tables, err := e.Run(cfg)
+		res, err := runner.Run(context.Background(), spec)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		info := report.RunInfo{
-			Seed:     *seed,
-			Workers:  *workers,
-			Full:     *full,
-			WallTime: time.Since(start),
-			Now:      time.Now(),
-		}
-		if cfg.Cache != nil {
-			hits, misses := cfg.Cache.Counters()
-			info.CacheHits, info.CacheMisses = hits-hits0, misses-misses0
-		}
-		m := report.New(e, info, tables)
-		if err := m.RenderASCIIBody(w); err != nil {
 			return err
 		}
-		if *csvDir != "" {
-			if err := m.WriteCSVDir(*csvDir); err != nil {
+		for _, m := range res.Manifests {
+			if err := m.RenderASCIIBody(w); err != nil {
 				return err
 			}
 		}
-		if *reportDir != "" {
-			if err := m.WriteFile(filepath.Join(*reportDir, report.Filename(e.ID))); err != nil {
-				return err
-			}
+		if err := res.WriteArtifacts(); err != nil {
+			return err
 		}
 	}
 	return nil

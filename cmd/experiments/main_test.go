@@ -65,6 +65,55 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 }
 
+// TestDumpSpecReplay: -dump-spec followed by -spec must replay the
+// identical run (the timing footer is wall-clock and excluded).
+func TestDumpSpecReplay(t *testing.T) {
+	args := []string{"-q", "E-DOM"}
+
+	var direct strings.Builder
+	if err := run(args, &direct); err != nil {
+		t.Fatal(err)
+	}
+
+	var dumped strings.Builder
+	if err := run([]string{"-q", "-dump-spec", "E-DOM"}, &dumped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dumped.String(), `"task": "experiment"`) {
+		t.Fatalf("dump-spec output malformed:\n%s", dumped.String())
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed strings.Builder
+	if err := run([]string{"-q", "-spec", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripTiming(replayed.String()), stripTiming(direct.String()); got != want {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", want, got)
+	}
+
+	// -spec combined with a run flag is a contradiction, not a merge.
+	if err := run([]string{"-spec", path, "-seed", "9"}, &strings.Builder{}); err == nil {
+		t.Error("-spec with -seed accepted")
+	}
+}
+
+// stripTiming removes the wall-clock "finished in" footers, the only
+// run-to-run nondeterminism in the output.
+func stripTiming(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "### ") && strings.Contains(line, " finished in ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
 func TestRunCacheFlag(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "probes.json")
 	var b strings.Builder

@@ -2,22 +2,30 @@
 // Lotka–Volterra chains from the paper and prints either a per-event trace
 // or the aggregate outcome statistics of a batch of runs.
 //
+// The command is a thin front-end over the declarative run API
+// (internal/scenario): the flags are parsed into a simulate Spec whose
+// batch statistics scenario.Runner computes on the shared mc worker pool;
+// the -trace and -plot renderings of the first run stay in the front-end.
+// Print the spec with -dump-spec; replay one with -spec.
+//
 // Examples:
 //
 //	lvsim -a 60 -b 40 -competition sd -trace
 //	lvsim -a 600 -b 400 -competition nsd -runs 1000
 //	lvsim -a 60 -b 40 -alpha0 0.5 -alpha1 1.5 -gamma0 0.2 -gamma1 0.2
+//	lvsim -a 600 -b 400 -runs 1000 -dump-spec > run.json; lvsim -spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"lvmajority/internal/lv"
-	"lvmajority/internal/mc"
 	"lvmajority/internal/rng"
+	"lvmajority/internal/scenario"
 	"lvmajority/internal/stats"
 	"lvmajority/internal/trace"
 )
@@ -42,60 +50,90 @@ func run(args []string, w io.Writer) error {
 		gamma1      = fs.Float64("gamma1", 0, "intraspecific competition rate of species 1")
 		competition = fs.String("competition", "sd", `competition model: "sd" (self-destructive) or "nsd"`)
 		runs        = fs.Int("runs", 1, "number of independent runs")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		workers     = fs.Int("workers", 0, "parallel workers for batch runs (0 = GOMAXPROCS); never changes the results")
 		traceRun    = fs.Bool("trace", false, "print each reaction of the first run")
 		plot        = fs.Bool("plot", false, "draw an ASCII chart of the first run's trajectory")
 		maxSteps    = fs.Int("max-steps", 0, "step budget per run (0 = default)")
 	)
+	common := scenario.RegisterRun(fs, 1)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var comp lv.Competition
-	switch *competition {
-	case "sd":
-		comp = lv.SelfDestructive
-	case "nsd":
-		comp = lv.NonSelfDestructive
-	default:
-		return fmt.Errorf("unknown competition model %q (want sd or nsd)", *competition)
-	}
-	params := lv.Params{
-		Beta: *beta, Delta: *delta,
-		Alpha:       [2]float64{*alpha0, *alpha1},
-		Gamma:       [2]float64{*gamma0, *gamma1},
-		Competition: comp,
-	}
-	if err := params.Validate(); err != nil {
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
 		return err
 	}
-	initial := lv.State{X0: *a, X1: *b}
+
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		if *runs < 1 {
+			return nil, fmt.Errorf("need at least one run, got %d", *runs)
+		}
+		spec := scenario.New(scenario.TaskSimulate)
+		spec.Model = &scenario.Model{Kind: scenario.ModelLV, LV: &scenario.LVModel{
+			Beta: *beta, Death: *delta,
+			Alpha0: *alpha0, Alpha1: *alpha1,
+			Gamma0: *gamma0, Gamma1: *gamma1,
+			Competition: *competition,
+		}}
+		spec.Seed = common.Seed
+		spec.Workers = common.Workers
+		spec.Simulate = &scenario.SimulateSpec{
+			Runs: *runs, A: *a, B: *b,
+			MaxSteps: *maxSteps,
+			Trace:    *traceRun, Plot: *plot,
+		}
+		return []scenario.Spec{spec}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
+	}
+	if len(specs) != 1 || specs[0].Task != scenario.TaskSimulate ||
+		specs[0].Model == nil || specs[0].Model.Kind != scenario.ModelLV {
+		return fmt.Errorf("lvsim runs a single LV simulate spec")
+	}
+	spec := specs[0]
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	params, err := spec.Model.LV.Params()
+	if err != nil {
+		return err
+	}
+	initial := lv.State{X0: spec.Simulate.A, X1: spec.Simulate.B}
 	if err := initial.Validate(); err != nil {
 		return err
 	}
-	if *runs < 1 {
-		return fmt.Errorf("need at least one run, got %d", *runs)
+
+	// The first-run renderings consume one sequential stream rooted at the
+	// seed, exactly as they always have; the batch below draws from
+	// index-keyed per-run streams, so the two never interact.
+	src := rng.New(spec.Seed)
+	if spec.Simulate.Plot {
+		if err := plotRun(w, params, initial, src, spec.Simulate.MaxSteps); err != nil {
+			return err
+		}
+		if spec.Simulate.Runs == 1 && !spec.Simulate.Trace {
+			return nil
+		}
+	}
+	if spec.Simulate.Trace {
+		if err := printTrace(w, params, initial, src, spec.Simulate.MaxSteps); err != nil {
+			return err
+		}
+		if spec.Simulate.Runs == 1 {
+			return nil
+		}
 	}
 
-	src := rng.New(*seed)
-	if *plot {
-		if err := plotRun(w, params, initial, src, *maxSteps); err != nil {
-			return err
-		}
-		if *runs == 1 && !*traceRun {
-			return nil
-		}
+	runner := &scenario.Runner{}
+	res, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		return err
 	}
-	if *traceRun {
-		if err := printTrace(w, params, initial, src, *maxSteps); err != nil {
-			return err
-		}
-		if *runs == 1 {
-			return nil
-		}
-	}
-	return batchRuns(w, params, initial, *seed, *workers, *runs, *maxSteps)
+	return renderBatch(w, res.Simulate.LV)
 }
 
 // plotRun simulates one run while recording the trajectory and draws it.
@@ -151,56 +189,28 @@ func printTrace(w io.Writer, params lv.Params, initial lv.State, src *rng.Source
 	return nil
 }
 
-// batchRuns aggregates outcome statistics over many runs, replicated on
-// the shared mc worker pool with deterministic per-run streams.
-func batchRuns(w io.Writer, params lv.Params, initial lv.State, seed uint64, workers, runs, maxSteps int) error {
-	outs, err := mc.Run(mc.Options{Replicates: runs, Workers: workers, Seed: seed},
-		func(_ int, src *rng.Source) (lv.Outcome, error) {
-			return lv.Run(params, initial, src, lv.RunOptions{MaxSteps: maxSteps})
-		})
-	if err != nil {
-		return err
-	}
-	var (
-		wins, doubleExtinctions, unresolved int
-		steps, individual, competitive, bad stats.Running
-	)
-	for _, out := range outs {
-		if !out.Consensus {
-			unresolved++
-			continue
-		}
-		if out.MajorityWon {
-			wins++
-		}
-		if out.Winner == -1 {
-			doubleExtinctions++
-		}
-		steps.Add(float64(out.Steps))
-		individual.Add(float64(out.Individual))
-		competitive.Add(float64(out.Competitive))
-		bad.Add(float64(out.BadNonCompetitive))
-	}
-
-	fmt.Fprintf(w, "model:               %s\n", params)
+// renderBatch prints the batch statistics in the command's historical
+// format.
+func renderBatch(w io.Writer, batch *scenario.LVBatch) error {
+	fmt.Fprintf(w, "model:               %s\n", batch.Params)
 	fmt.Fprintf(w, "initial state:       (%d, %d), gap %d, total %d\n",
-		initial.X0, initial.X1, initial.AbsGap(), initial.Total())
-	fmt.Fprintf(w, "runs:                %d\n", runs)
-	decided := runs - unresolved
+		batch.Initial.X0, batch.Initial.X1, batch.Initial.AbsGap(), batch.Initial.Total())
+	fmt.Fprintf(w, "runs:                %d\n", batch.Runs)
+	decided := batch.Runs - batch.Unresolved
 	if decided > 0 {
-		est, err := stats.WilsonInterval(wins, runs, stats.Z99)
+		est, err := stats.WilsonInterval(batch.Wins, batch.Runs, stats.Z99)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "majority wins:       %s\n", est)
-		fmt.Fprintf(w, "double extinctions:  %d\n", doubleExtinctions)
-		fmt.Fprintf(w, "consensus time T(S): %s\n", &steps)
-		fmt.Fprintf(w, "individual events:   %s\n", &individual)
-		fmt.Fprintf(w, "competitive events:  %s\n", &competitive)
-		fmt.Fprintf(w, "bad events J(S):     %s\n", &bad)
+		fmt.Fprintf(w, "double extinctions:  %d\n", batch.DoubleExtinctions)
+		fmt.Fprintf(w, "consensus time T(S): %s\n", &batch.Steps)
+		fmt.Fprintf(w, "individual events:   %s\n", &batch.Individual)
+		fmt.Fprintf(w, "competitive events:  %s\n", &batch.Competitive)
+		fmt.Fprintf(w, "bad events J(S):     %s\n", &batch.Bad)
 	}
-	if unresolved > 0 {
-		fmt.Fprintf(w, "unresolved runs:     %d (step budget exhausted)\n", unresolved)
+	if batch.Unresolved > 0 {
+		fmt.Fprintf(w, "unresolved runs:     %d (step budget exhausted)\n", batch.Unresolved)
 	}
 	return nil
 }

@@ -1,9 +1,50 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestDumpSpecReplay: -dump-spec followed by -spec must replay the
+// identical run.
+func TestDumpSpecReplay(t *testing.T) {
+	args := []string{"-a", "30", "-b", "20", "-runs", "50", "-seed", "7"}
+
+	var direct strings.Builder
+	if err := run(args, &direct); err != nil {
+		t.Fatal(err)
+	}
+	var dumped strings.Builder
+	if err := run(append(args, "-dump-spec"), &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-spec", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+	if err := run([]string{"-spec", path, "-runs", "3"}, &strings.Builder{}); err == nil {
+		t.Error("-spec with -runs accepted")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lvmajority") {
+		t.Errorf("version output %q", b.String())
+	}
+}
 
 func TestRunBatch(t *testing.T) {
 	var b strings.Builder

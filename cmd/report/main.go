@@ -19,17 +19,19 @@
 //	    cmd/experiments -csv.
 //
 // A single invocation may combine -design and -experiments; -render is
-// exclusive.
+// exclusive. Like every CLI in this repository, report is a thin front-end
+// over the declarative run API (internal/scenario): the flags become a
+// report Spec, printable with -dump-spec and replayable with -spec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"lvmajority/internal/experiment"
-	"lvmajority/internal/report"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
@@ -48,58 +50,63 @@ func run(args []string, w io.Writer) error {
 		render      = fs.String("render", "", "re-render one manifest: ascii, md, or csv")
 		out         = fs.String("o", "", "output directory for -render csv")
 	)
+	common := scenario.RegisterSpec(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
+		return err
+	}
 
-	if *render != "" {
-		if *design != "" || *experiments != "" {
-			return fmt.Errorf("-render cannot be combined with -design/-experiments")
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		spec := scenario.New(scenario.TaskReport)
+		spec.Report = &scenario.ReportSpec{
+			Design: *design,
+			Render: *render,
+			Out:    *out,
 		}
-		if fs.NArg() != 1 {
-			return fmt.Errorf("-render needs exactly one manifest file argument")
+		if *experiments != "" {
+			spec.Report.Experiments = *experiments
+			spec.Report.Manifests = *manifests
 		}
-		m, err := report.Load(fs.Arg(0))
-		if err != nil {
-			return err
-		}
-		switch *render {
-		case "ascii":
-			return m.RenderASCII(w)
-		case "md", "markdown":
-			return m.RenderMarkdown(w)
-		case "csv":
-			if *out == "" {
-				return fmt.Errorf("-render csv needs -o DIR")
+		if *render != "" {
+			if *design != "" || *experiments != "" {
+				return nil, fmt.Errorf("-render cannot be combined with -design/-experiments")
 			}
-			return m.WriteCSVDir(*out)
-		default:
-			return fmt.Errorf("unknown -render format %q (want ascii, md, or csv)", *render)
+			if fs.NArg() != 1 {
+				return nil, fmt.Errorf("-render needs exactly one manifest file argument")
+			}
+			spec.Report.Manifest = fs.Arg(0)
+		} else if *design == "" && *experiments == "" {
+			return nil, fmt.Errorf("nothing to do: pass -design FILE, -experiments FILE, or -render FORMAT manifest.json")
 		}
+		return []scenario.Spec{spec}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
+	}
+	if len(specs) != 1 || specs[0].Task != scenario.TaskReport {
+		return fmt.Errorf("report runs a single report spec")
 	}
 
-	if *design == "" && *experiments == "" {
-		return fmt.Errorf("nothing to do: pass -design FILE, -experiments FILE, or -render FORMAT manifest.json")
+	runner := &scenario.Runner{}
+	res, err := runner.Run(context.Background(), specs[0])
+	if err != nil {
+		return err
 	}
-	if *design != "" {
-		if err := report.WriteAtomic(*design, func(f io.Writer) error {
-			return report.WriteDesign(f, experiment.All())
-		}); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "wrote %s (%d experiments)\n", *design, len(experiment.All()))
+	if len(res.Report.Rendered) > 0 {
+		_, err := w.Write(res.Report.Rendered)
+		return err
 	}
-	if *experiments != "" {
-		ms, err := report.LoadDir(*manifests)
-		if err != nil {
-			return err
-		}
-		if err := report.WriteAtomic(*experiments, func(f io.Writer) error {
-			return report.WriteExperiments(f, ms)
-		}); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "wrote %s (%d manifests)\n", *experiments, len(ms))
+	if res.Report.DesignWritten != "" {
+		fmt.Fprintf(w, "wrote %s (%d experiments)\n", res.Report.DesignWritten, res.Report.ExperimentCount)
+	}
+	if res.Report.ExperimentsWritten != "" {
+		fmt.Fprintf(w, "wrote %s (%d manifests)\n", res.Report.ExperimentsWritten, res.Report.ManifestCount)
 	}
 	return nil
 }

@@ -38,6 +38,44 @@ func writeTestManifest(t *testing.T, dir, id string) string {
 	return path
 }
 
+// TestDumpSpecReplay: -dump-spec followed by -spec must replay the
+// identical invocation (here: rendering a manifest to stdout).
+func TestDumpSpecReplay(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeTestManifest(t, dir, "E-DEMO")
+	args := []string{"-render", "ascii", manifest}
+
+	var direct strings.Builder
+	if err := run(args, &direct); err != nil {
+		t.Fatal(err)
+	}
+	var dumped strings.Builder
+	if err := run([]string{"-render", "ascii", "-dump-spec", manifest}, &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-spec", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lvmajority") {
+		t.Errorf("version output %q", b.String())
+	}
+}
+
 func TestRunDesign(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "DESIGN.md")
 	var b strings.Builder

@@ -3,22 +3,27 @@
 // solving the first-step recurrence (Eq. 8 of the paper) on a truncated
 // grid — no Monte-Carlo sampling error.
 //
+// The command is a thin front-end over the declarative run API
+// (internal/scenario): the flags are parsed into an exact Spec (a -network
+// file is inlined, so the spec is self-contained) that scenario.Runner
+// solves. Print the spec with -dump-spec; replay one with -spec.
+//
 // Examples:
 //
 //	rho -a 10 -b 5 -competition sd -gamma0 1 -gamma1 1 -alpha0 0.5 -alpha1 0.5
 //	rho -table 8 -competition nsd
 //	rho -a 10 -b 5 -tie 0.5 -steps
+//	rho -a 10 -b 5 -dump-spec > run.json; rho -spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"lvmajority/internal/crn"
-	"lvmajority/internal/exact"
-	"lvmajority/internal/lv"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
@@ -46,77 +51,70 @@ func run(args []string, w io.Writer) error {
 		steps       = fs.Bool("steps", false, "also compute the expected consensus time")
 		networkPath = fs.String("network", "", "solve this two-species network file (internal/crn text format) instead of the LV rate flags")
 	)
+	common := scenario.RegisterSpec(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	ceiling := *max
-	if ceiling <= 0 {
-		ceiling = 4*(*a+*b) + 40
-		if *table > 0 && 4**table+40 > ceiling {
-			ceiling = 4**table + 40
-		}
-	}
-	opts := exact.Options{Max: ceiling, TieValue: *tie}
-
-	var (
-		sol   *exact.Solution
-		err   error
-		label string
-	)
-	if *networkPath != "" {
-		data, err2 := os.ReadFile(*networkPath)
-		if err2 != nil {
-			return err2
-		}
-		net, err2 := crn.Parse(string(data))
-		if err2 != nil {
-			return err2
-		}
-		label = fmt.Sprintf("network %s (%d reactions)", *networkPath, net.NumReactions())
-		if *steps {
-			sol, err = exact.SolveNetworkWithSteps(net, opts)
-		} else {
-			sol, err = exact.SolveNetwork(net, opts)
-		}
-	} else {
-		var comp lv.Competition
-		switch *competition {
-		case "sd":
-			comp = lv.SelfDestructive
-		case "nsd":
-			comp = lv.NonSelfDestructive
-		default:
-			return fmt.Errorf("unknown competition model %q", *competition)
-		}
-		params := lv.Params{
-			Beta: *beta, Delta: *delta,
-			Alpha:       [2]float64{*alpha0, *alpha1},
-			Gamma:       [2]float64{*gamma0, *gamma1},
-			Competition: comp,
-		}
-		label = params.String()
-		if *steps {
-			sol, err = exact.SolveWithSteps(params, opts)
-		} else {
-			sol, err = exact.Solve(params, opts)
-		}
-	}
-	if err != nil {
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
 		return err
 	}
 
-	fmt.Fprintf(w, "# %s, tie value %g, grid ceiling %d\n", label, *tie, ceiling)
-	if *table > 0 {
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		spec := scenario.New(scenario.TaskExact)
+		if *networkPath != "" {
+			data, err := os.ReadFile(*networkPath)
+			if err != nil {
+				return nil, err
+			}
+			spec.Model = &scenario.Model{Kind: scenario.ModelCRN, CRN: &scenario.CRNModel{Text: string(data)}}
+		} else {
+			spec.Model = &scenario.Model{Kind: scenario.ModelLV, LV: &scenario.LVModel{
+				Beta: *beta, Death: *delta,
+				Alpha0: *alpha0, Alpha1: *alpha1,
+				Gamma0: *gamma0, Gamma1: *gamma1,
+				Competition: *competition,
+			}}
+		}
+		spec.Exact = &scenario.ExactSpec{
+			A: *a, B: *b,
+			Tie: *tie, Max: *max, Table: *table, Steps: *steps,
+		}
+		return []scenario.Spec{spec}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
+	}
+	if len(specs) != 1 || specs[0].Task != scenario.TaskExact {
+		return fmt.Errorf("rho runs a single exact spec")
+	}
+	spec := specs[0]
+
+	runner := &scenario.Runner{}
+	res, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	return render(w, spec, res.Exact)
+}
+
+// render prints the exact solution in the command's historical format.
+func render(w io.Writer, spec scenario.Spec, res *scenario.ExactResult) error {
+	e := spec.Exact
+	fmt.Fprintf(w, "# %s, tie value %g, grid ceiling %d\n", res.Label, e.Tie, res.Ceiling)
+	if e.Table > 0 {
 		fmt.Fprintf(w, "%6s", "a\\b")
-		for bb := 1; bb <= *table; bb++ {
+		for bb := 1; bb <= e.Table; bb++ {
 			fmt.Fprintf(w, "  %7d", bb)
 		}
 		fmt.Fprintln(w)
-		for aa := 1; aa <= *table; aa++ {
+		for aa := 1; aa <= e.Table; aa++ {
 			fmt.Fprintf(w, "%6d", aa)
-			for bb := 1; bb <= *table; bb++ {
-				v, err := sol.Rho(aa, bb)
+			for bb := 1; bb <= e.Table; bb++ {
+				v, err := res.Solution.Rho(aa, bb)
 				if err != nil {
 					return err
 				}
@@ -127,18 +125,18 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	v, err := sol.Rho(*a, *b)
+	v, err := res.Solution.Rho(e.A, e.B)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "rho(%d, %d) = %.6f\n", *a, *b, v)
-	fmt.Fprintf(w, "a/(a+b)    = %.6f\n", float64(*a)/float64(*a+*b))
-	if *steps {
-		s, err := sol.Steps(*a, *b)
+	fmt.Fprintf(w, "rho(%d, %d) = %.6f\n", e.A, e.B, v)
+	fmt.Fprintf(w, "a/(a+b)    = %.6f\n", float64(e.A)/float64(e.A+e.B))
+	if e.Steps {
+		s, err := res.Solution.Steps(e.A, e.B)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "E[T(%d, %d)] = %.4f reactions\n", *a, *b, s)
+		fmt.Fprintf(w, "E[T(%d, %d)] = %.4f reactions\n", e.A, e.B, s)
 	}
 	return nil
 }

@@ -82,6 +82,42 @@ X1 + X0 -> X1 @ 1
 	}
 }
 
+// TestDumpSpecReplay: -dump-spec followed by -spec must replay the
+// identical run.
+func TestDumpSpecReplay(t *testing.T) {
+	args := []string{"-a", "10", "-b", "5", "-gamma0", "1", "-gamma1", "1", "-tie", "0.5", "-steps"}
+
+	var direct strings.Builder
+	if err := run(args, &direct); err != nil {
+		t.Fatal(err)
+	}
+	var dumped strings.Builder
+	if err := run(append(args, "-dump-spec"), &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-spec", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lvmajority") {
+		t.Errorf("version output %q", b.String())
+	}
+}
+
 func TestRunWithNetworkErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-network", "/nonexistent.crn"}, &b); err == nil {

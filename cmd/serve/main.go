@@ -1,0 +1,435 @@
+// Command serve is the HTTP facade over the declarative run API
+// (internal/scenario): the first network-serving layer of the system. It
+// accepts the same Specs the six CLIs print with -dump-spec, executes them
+// on a bounded worker queue against one process-wide probe cache, and
+// returns typed results embedding full run-manifest provenance — so a run
+// over HTTP is exactly as reproducible as a run in a shell.
+//
+//	POST   /v1/runs         submit a Spec; returns {id, status} (202)
+//	GET    /v1/runs         list run summaries
+//	GET    /v1/runs/{id}    status, the spec, and (when done) the result
+//	DELETE /v1/runs/{id}    cancel a queued or running run
+//	GET    /v1/experiments  the experiment registry
+//	GET    /v1/healthz      liveness, build version, queue and cache stats
+//
+// Specs that touch the server's filesystem (file cache policies, CSV or
+// manifest output directories, the report task) are rejected with 422 —
+// a remote caller must not direct the serving process's disk. Cancellation
+// is real: every run executes under its own context, and Monte-Carlo tasks
+// abort between trials when it is cancelled.
+//
+// Example:
+//
+//	serve -addr :8080 -runners 2 -queue 64 &
+//	experiments -dump-spec T1-SD | curl -s -d @- localhost:8080/v1/runs
+//	curl -s localhost:8080/v1/runs/1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"lvmajority/internal/experiment"
+	"lvmajority/internal/scenario"
+	"lvmajority/internal/sweep"
+)
+
+func main() {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		runners  = fs.Int("runners", 2, "concurrent run executors")
+		queue    = fs.Int("queue", 64, "maximum queued (not yet running) runs; further submissions get 503")
+		history  = fs.Int("history", 1024, "finished runs retained for GET /v1/runs/{id}; the oldest are evicted beyond this")
+		maxBody  = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		showVers = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *showVers {
+		fmt.Println(scenario.Version())
+		return
+	}
+
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	srv := newServer(*runners, *queue, *maxBody, logger)
+	srv.history = *history
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s (%d runners, queue %d, %s)", ln.Addr(), *runners, *queue, scenario.Version())
+
+	httpSrv := &http.Server{Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		srv.stop()
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	srv.wait()
+}
+
+// runStatus is the lifecycle of one submitted run.
+type runStatus string
+
+const (
+	statusQueued    runStatus = "queued"
+	statusRunning   runStatus = "running"
+	statusDone      runStatus = "done"
+	statusFailed    runStatus = "failed"
+	statusCancelled runStatus = "cancelled"
+)
+
+// run is one submitted spec and its lifecycle.
+type run struct {
+	ID     int              `json:"id"`
+	Status runStatus        `json:"status"`
+	Spec   scenario.Spec    `json:"spec"`
+	Result *scenario.Result `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	// Submitted, Started and Finished are RFC 3339 UTC timestamps; empty
+	// until the run reaches that stage.
+	Submitted string `json:"submitted,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+
+	cancel context.CancelFunc
+}
+
+// summary is the list-endpoint view of a run.
+type summary struct {
+	ID        int       `json:"id"`
+	Status    runStatus `json:"status"`
+	Task      string    `json:"task"`
+	Submitted string    `json:"submitted,omitempty"`
+	Finished  string    `json:"finished,omitempty"`
+}
+
+// server executes submitted specs on a bounded worker pool.
+type server struct {
+	runner  *scenario.Runner
+	logger  *log.Logger
+	maxBody int64
+	// history bounds how many finished runs are retained; beyond it the
+	// oldest finished runs (and their results) are evicted so memory
+	// stays bounded under sustained traffic. Queued and running runs are
+	// never evicted.
+	history int
+
+	mu     sync.Mutex
+	runs   map[int]*run
+	order  []int
+	nextID int
+
+	queue    chan *run
+	baseCtx  context.Context
+	stopBase context.CancelFunc
+	workers  sync.WaitGroup
+}
+
+// newServer builds a server with its worker pool started.
+func newServer(runners, queueDepth int, maxBody int64, logger *log.Logger) *server {
+	if runners < 1 {
+		runners = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	baseCtx, stopBase := context.WithCancel(context.Background())
+	s := &server{
+		runner:   &scenario.Runner{Cache: sweep.NewCache(), Log: logger.Writer()},
+		logger:   logger,
+		maxBody:  maxBody,
+		history:  1024,
+		runs:     make(map[int]*run),
+		nextID:   1,
+		queue:    make(chan *run, queueDepth),
+		baseCtx:  baseCtx,
+		stopBase: stopBase,
+	}
+	for i := 0; i < runners; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// stop cancels every in-flight run and stops accepting queued work.
+func (s *server) stop() {
+	s.stopBase()
+	close(s.queue)
+}
+
+// wait blocks until the workers have drained.
+func (s *server) wait() { s.workers.Wait() }
+
+func (s *server) worker() {
+	defer s.workers.Done()
+	for r := range s.queue {
+		s.execute(r)
+	}
+}
+
+func (s *server) execute(r *run) {
+	s.mu.Lock()
+	if r.Status != statusQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r.Status = statusRunning
+	r.Started = now()
+	r.cancel = cancel
+	spec := r.Spec
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.runner.Run(ctx, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Finished = now()
+	r.cancel = nil
+	switch {
+	case err == nil:
+		r.Status = statusDone
+		r.Result = res
+	case errors.Is(err, context.Canceled):
+		r.Status = statusCancelled
+		r.Error = err.Error()
+	default:
+		r.Status = statusFailed
+		r.Error = err.Error()
+	}
+	s.evictLocked()
+	s.logger.Printf("run %d %s (%s task)", r.ID, r.Status, r.Spec.Task)
+}
+
+// evictLocked drops the oldest finished runs beyond the history bound so
+// retained results cannot grow without bound. Callers hold s.mu.
+func (s *server) evictLocked() {
+	finished := 0
+	for _, id := range s.order {
+		switch s.runs[id].Status {
+		case statusDone, statusFailed, statusCancelled:
+			finished++
+		}
+	}
+	if finished <= s.history {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		r := s.runs[id]
+		evictable := r.Status == statusDone || r.Status == statusFailed || r.Status == statusCancelled
+		if evictable && finished > s.history {
+			delete(s.runs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func now() string { return time.Now().UTC().Format(time.RFC3339) }
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if paths := spec.LocalPaths(); len(paths) > 0 {
+		httpError(w, http.StatusUnprocessableEntity,
+			"spec touches the server's filesystem (%s); use the CLIs for file-writing runs", strings.Join(paths, ", "))
+		return
+	}
+	if spec.Task == scenario.TaskReport {
+		httpError(w, http.StatusUnprocessableEntity, "the report task is CLI-only")
+		return
+	}
+
+	// Registration and the non-blocking enqueue happen under one lock so a
+	// worker can never observe (or mutate) a run the submitter still reads.
+	s.mu.Lock()
+	r := &run{ID: s.nextID, Status: statusQueued, Spec: spec, Submitted: now()}
+	select {
+	case s.queue <- r:
+	default:
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "queue full (%d queued); retry later", cap(s.queue))
+		return
+	}
+	s.nextID++
+	s.runs[r.ID] = r
+	s.order = append(s.order, r.ID)
+	id := r.ID
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     id,
+		"status": statusQueued,
+		"url":    fmt.Sprintf("/v1/runs/%d", id),
+	})
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]summary, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.runs[id]
+		out = append(out, summary{
+			ID: r.ID, Status: r.Status, Task: string(r.Spec.Task),
+			Submitted: r.Submitted, Finished: r.Finished,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *server) lookup(w http.ResponseWriter, req *http.Request) *run {
+	var id int
+	if _, err := fmt.Sscanf(req.PathValue("id"), "%d", &id); err != nil {
+		httpError(w, http.StatusBadRequest, "bad run id %q", req.PathValue("id"))
+		return nil
+	}
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r == nil {
+		httpError(w, http.StatusNotFound, "no run %d", id)
+		return nil
+	}
+	return r
+}
+
+func (s *server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(w, req)
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	view := *r
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &view)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(w, req)
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	switch r.Status {
+	case statusQueued:
+		r.Status = statusCancelled
+		r.Finished = now()
+		s.evictLocked()
+	case statusRunning:
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	view := *r
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &view)
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		ID        string `json:"id"`
+		Title     string `json:"title"`
+		Artifact  string `json:"artifact"`
+		QuickGrid string `json:"quick_grid"`
+		FullGrid  string `json:"full_grid"`
+	}
+	var out []entry
+	for _, e := range experiment.All() {
+		out = append(out, entry{e.ID, e.Title, e.Artifact, e.QuickGrid, e.FullGrid})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := map[runStatus]int{}
+	for _, r := range s.runs {
+		counts[r.Status]++
+	}
+	s.mu.Unlock()
+	hits, misses := s.runner.Cache.Counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"version":    scenario.Version(),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"runs": map[string]int{
+			"queued":    counts[statusQueued],
+			"running":   counts[statusRunning],
+			"done":      counts[statusDone],
+			"failed":    counts[statusFailed],
+			"cancelled": counts[statusCancelled],
+		},
+		"cache": map[string]any{
+			"entries": s.runner.Cache.Len(),
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
+}

@@ -1,0 +1,400 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lvmajority/internal/scenario"
+)
+
+// newTestServer starts a server on httptest and tears it down with the
+// test.
+func newTestServer(t *testing.T, runners, queueDepth int) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(runners, queueDepth, 1<<20, log.New(io.Discard, "", 0))
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		s.stop()
+		s.wait()
+	})
+	return s, ts
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec scenario.Spec) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postBody(t, ts, data)
+}
+
+func postBody(t *testing.T, ts *httptest.Server, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+// waitForRun polls a run until it leaves the queued/running states.
+func waitForRun(t *testing.T, ts *httptest.Server, id int, timeout time.Duration) run {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var r run
+		if code := getJSON(t, ts, fmt.Sprintf("/v1/runs/%d", id), &r); code != http.StatusOK {
+			t.Fatalf("GET run %d: status %d", id, code)
+		}
+		if r.Status != statusQueued && r.Status != statusRunning {
+			return r
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %d still %s after %v", id, r.Status, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func estimateSpec() scenario.Spec {
+	spec := scenario.New(scenario.TaskEstimate)
+	spec.Model = &scenario.Model{Kind: scenario.ModelLV, LV: &scenario.LVModel{
+		Beta: 1, Death: 1, Alpha0: 1, Alpha1: 1, Competition: "sd", Label: "lv-sd",
+	}}
+	spec.Seed = 7
+	spec.Estimate = &scenario.EstimateSpec{N: 100, Delta: 20, Trials: 300}
+	return spec
+}
+
+func TestHealthzAndExperiments(t *testing.T) {
+	_, ts := newTestServer(t, 1, 4)
+
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if code := getJSON(t, ts, "/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health.Status != "ok" || !strings.Contains(health.Version, "lvmajority") {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	var exps struct {
+		Experiments []struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		} `json:"experiments"`
+	}
+	if code := getJSON(t, ts, "/v1/experiments", &exps); code != http.StatusOK {
+		t.Fatalf("experiments status %d", code)
+	}
+	if len(exps.Experiments) < 20 {
+		t.Errorf("registry lists %d experiments", len(exps.Experiments))
+	}
+	found := false
+	for _, e := range exps.Experiments {
+		if e.ID == "T1-SD" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("T1-SD missing from /v1/experiments")
+	}
+}
+
+func TestSubmitEstimateEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, 2, 8)
+
+	code, created := postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d: %v", code, created)
+	}
+	id := int(created["id"].(float64))
+	r := waitForRun(t, ts, id, 30*time.Second)
+	if r.Status != statusDone {
+		t.Fatalf("run finished %s: %s", r.Status, r.Error)
+	}
+	if r.Result == nil || r.Result.Estimate == nil {
+		t.Fatal("done run has no estimate result")
+	}
+
+	// The HTTP path must return exactly what a local Runner computes.
+	local, err := (&scenario.Runner{}).Run(context.Background(), estimateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r.Result.Estimate != *local.Estimate {
+		t.Errorf("server estimate %v, local %v", *r.Result.Estimate, *local.Estimate)
+	}
+	if len(r.Result.Manifests) != 1 || r.Result.Manifests[0].ExperimentID != "RUN-estimate" {
+		t.Errorf("server result manifests malformed: %+v", r.Result.Manifests)
+	}
+
+	var list struct {
+		Runs []summary `json:"runs"`
+	}
+	if code := getJSON(t, ts, "/v1/runs", &list); code != http.StatusOK || len(list.Runs) != 1 {
+		t.Errorf("list status %d, %d runs", code, len(list.Runs))
+	}
+}
+
+// TestServeT1SDMatchesExperimentsCLI is the acceptance criterion: a T1-SD
+// quick Spec over HTTP must return the same manifest tables as
+// cmd/experiments (whose path is pinned byte-identically to the local
+// Runner and the committed record by the scenario golden tests).
+func TestServeT1SDMatchesExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full T1-SD quick grid; skipped with -short")
+	}
+	_, ts := newTestServer(t, 1, 4)
+
+	spec := scenario.New(scenario.TaskExperiment)
+	spec.Seed = 20240506
+	spec.Experiment = &scenario.ExperimentSpec{ID: "T1-SD"}
+	spec.Cache = &scenario.CacheSpec{Policy: scenario.CacheShared}
+
+	code, created := postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d: %v", code, created)
+	}
+	id := int(created["id"].(float64))
+	r := waitForRun(t, ts, id, 5*time.Minute)
+	if r.Status != statusDone {
+		t.Fatalf("run finished %s: %s", r.Status, r.Error)
+	}
+
+	local, err := (&scenario.Runner{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTables, err := json.Marshal(r.Result.Manifests[0].Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables, err := json.Marshal(local.Manifests[0].Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotTables) != string(wantTables) {
+		t.Errorf("server tables differ from local runner:\n%s\nvs\n%s", gotTables, wantTables)
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	_, ts := newTestServer(t, 1, 4)
+
+	if code, _ := postBody(t, ts, []byte("{not json")); code != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", code)
+	}
+	if code, _ := postBody(t, ts, []byte(`{"version":1,"task":"estimate","bogus":true}`)); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+
+	fileCache := estimateSpec()
+	fileCache.Task = scenario.TaskSweep
+	fileCache.Estimate = nil
+	fileCache.Sweep = &scenario.SweepSpec{Grid: []int{64}}
+	fileCache.Cache = &scenario.CacheSpec{Policy: scenario.CacheFile, Path: "/tmp/probes.json"}
+	if code, body := postSpec(t, ts, fileCache); code != http.StatusUnprocessableEntity {
+		t.Errorf("file-cache spec: status %d (%v)", code, body)
+	}
+
+	csvOut := scenario.New(scenario.TaskExperiment)
+	csvOut.Experiment = &scenario.ExperimentSpec{ID: "E-DOM", CSVDir: "out"}
+	if code, _ := postSpec(t, ts, csvOut); code != http.StatusUnprocessableEntity {
+		t.Errorf("csv-writing spec accepted")
+	}
+
+	reportSpec := scenario.New(scenario.TaskReport)
+	reportSpec.Report = &scenario.ReportSpec{Design: "DESIGN.md"}
+	if code, _ := postSpec(t, ts, reportSpec); code != http.StatusUnprocessableEntity {
+		t.Errorf("report task accepted")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/runs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing run: status %d", resp.StatusCode)
+	}
+}
+
+// TestCancelExperimentTask: cancellation must reach inside a registered
+// experiment's Monte-Carlo loops (experiment.Config.Interrupt), not just
+// the scenario-level tasks.
+func TestCancelExperimentTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a multi-second experiment; skipped with -short")
+	}
+	_, ts := newTestServer(t, 1, 4)
+
+	spec := scenario.New(scenario.TaskExperiment)
+	spec.Seed = 20240506
+	spec.Experiment = &scenario.ExperimentSpec{ID: "T1-NSD"}
+	code, created := postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	id := int(created["id"].(float64))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var r run
+		getJSON(t, ts, fmt.Sprintf("/v1/runs/%d", id), &r)
+		if r.Status == statusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never started (status %s)", r.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // let it get into the Monte-Carlo loops
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%d", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if r := waitForRun(t, ts, id, 60*time.Second); r.Status != statusCancelled {
+		t.Errorf("experiment run finished %s (%s), want cancelled", r.Status, r.Error)
+	}
+}
+
+// TestHistoryEviction: finished runs beyond the -history bound are
+// evicted, oldest first, so retained results stay bounded.
+func TestHistoryEviction(t *testing.T) {
+	s, ts := newTestServer(t, 1, 8)
+	s.history = 2
+
+	var ids []int
+	for i := 0; i < 4; i++ {
+		code, created := postSpec(t, ts, estimateSpec())
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d", i, code)
+		}
+		id := int(created["id"].(float64))
+		ids = append(ids, id)
+		if r := waitForRun(t, ts, id, 30*time.Second); r.Status != statusDone {
+			t.Fatalf("run %d finished %s", id, r.Status)
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%d", ts.URL, ids[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest run still retained: status %d", resp.StatusCode)
+	}
+	if r := waitForRun(t, ts, ids[3], time.Second); r.Status != statusDone {
+		t.Errorf("newest run evicted")
+	}
+	var list struct {
+		Runs []summary `json:"runs"`
+	}
+	getJSON(t, ts, "/v1/runs", &list)
+	if len(list.Runs) != 2 {
+		t.Errorf("list retains %d runs, want 2", len(list.Runs))
+	}
+}
+
+// slowSweepSpec is a run long enough to observe running/queued states.
+func slowSweepSpec() scenario.Spec {
+	spec := scenario.New(scenario.TaskSweep)
+	spec.Model = &scenario.Model{Kind: scenario.ModelLV, LV: &scenario.LVModel{
+		Beta: 1, Death: 1, Alpha0: 1, Alpha1: 1, Competition: "nsd", Label: "lv-nsd",
+	}}
+	spec.Seed = 1
+	spec.Workers = 1
+	spec.Sweep = &scenario.SweepSpec{Grid: []int{2048, 4096, 8192}, Trials: 8000}
+	return spec
+}
+
+func TestCancelAndQueueBounds(t *testing.T) {
+	_, ts := newTestServer(t, 1, 1)
+
+	// Occupy the single runner.
+	code, created := postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	runningID := int(created["id"].(float64))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var r run
+		getJSON(t, ts, fmt.Sprintf("/v1/runs/%d", runningID), &r)
+		if r.Status == statusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %d never started (status %s)", runningID, r.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Fill the queue buffer, then overflow it.
+	code, created = postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("queued POST status %d", code)
+	}
+	queuedID := int(created["id"].(float64))
+	code, body := postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("overflow POST status %d (%v)", code, body)
+	}
+
+	// Cancel the queued run: it must finish cancelled without running.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%d", ts.URL, queuedID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if r := waitForRun(t, ts, queuedID, 10*time.Second); r.Status != statusCancelled {
+		t.Errorf("queued run finished %s, want cancelled", r.Status)
+	}
+
+	// Cancel the running run: the per-run context must abort it between
+	// trials.
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%d", ts.URL, runningID), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if r := waitForRun(t, ts, runningID, 60*time.Second); r.Status != statusCancelled {
+		t.Errorf("running run finished %s (%s), want cancelled", r.Status, r.Error)
+	}
+}

@@ -4,10 +4,13 @@
 // scaling exponent. This regenerates the rows of Table 1 of the paper for
 // a single protocol.
 //
-// The curve is computed on the internal/sweep engine: each search is
-// warm-started from the previous population size's threshold, gaps are
-// probed with the early-stopping sequential estimator, and -cache persists
-// settled probes so a re-run replays them without spending trials.
+// The command is a thin front-end over the declarative run API
+// (internal/scenario): the flags are parsed into a sweep Spec executed by
+// scenario.Runner on the internal/sweep engine — searches warm-started from
+// the previous population size's threshold, gaps probed with the
+// early-stopping sequential estimator, and -cache persisting settled probes
+// so a re-run replays them without spending trials. Print the spec with
+// -dump-spec; replay one with -spec.
 //
 // Examples:
 //
@@ -15,9 +18,12 @@
 //	threshold -protocol lv-nsd -n 1024 -trials 8000
 //	threshold -protocol 3-state-am -n 512
 //	threshold -protocol lv-sd -n 256,512,1024 -cache psi.cache.json
+//	threshold -protocol lv-sd -n 256,512 -dump-spec > run.json
+//	threshold -spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,68 +32,13 @@ import (
 	"strings"
 
 	"lvmajority/internal/consensus"
-	"lvmajority/internal/exploit"
-	"lvmajority/internal/gossip"
-	"lvmajority/internal/lv"
-	"lvmajority/internal/moran"
-	"lvmajority/internal/protocols"
-	"lvmajority/internal/sweep"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "threshold:", err)
 		os.Exit(1)
-	}
-}
-
-// protocolByName builds the requested protocol.
-func protocolByName(name string) (consensus.Protocol, error) {
-	switch name {
-	case "lv-sd":
-		return consensus.LVProtocol{
-			Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive),
-			Label:  "lv-sd",
-		}, nil
-	case "lv-nsd":
-		return consensus.LVProtocol{
-			Params: lv.Neutral(1, 1, 1, 0, lv.NonSelfDestructive),
-			Label:  "lv-nsd",
-		}, nil
-	case "cho":
-		return protocols.NewChoProtocol(1, 1), nil
-	case "andaur":
-		return protocols.AndaurProtocol{Beta: 1, Alpha: 1, ResourceCap: 1 << 20}, nil
-	case "condon-single-b":
-		return protocols.CondonProtocol{Variant: protocols.SingleB}, nil
-	case "condon-double-b":
-		return protocols.CondonProtocol{Variant: protocols.DoubleB}, nil
-	case "condon-heavy-b":
-		return protocols.CondonProtocol{Variant: protocols.HeavyB}, nil
-	case "condon-tri":
-		return protocols.CondonProtocol{Variant: protocols.TriMajority}, nil
-	case "3-state-am":
-		return protocols.NewThreeStateAM(), nil
-	case "4-state-exact":
-		return protocols.NewFourStateExact(), nil
-	case "ternary":
-		return protocols.NewTernarySignaling(), nil
-	case "voter":
-		return &gossip.Protocol{Dynamics: gossip.Voter{}}, nil
-	case "two-choices":
-		return &gossip.Protocol{Dynamics: gossip.TwoChoices{}}, nil
-	case "3-majority":
-		return &gossip.Protocol{Dynamics: gossip.ThreeMajority{}}, nil
-	case "usd":
-		return &gossip.Protocol{Dynamics: gossip.Undecided{}}, nil
-	case "moran":
-		return &moran.Protocol{Fitness: 1}, nil
-	case "chemostat":
-		return &exploit.Protocol{
-			Params: exploit.Params{Lambda: 200, Mu: 1, Beta: 0.1, Delta: 1, R0: 10},
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q (try lv-sd, lv-nsd, cho, andaur, condon-single-b, condon-double-b, condon-heavy-b, condon-tri, 3-state-am, 4-state-exact, ternary, voter, two-choices, 3-majority, usd, moran, chemostat)", name)
 	}
 }
 
@@ -114,62 +65,70 @@ func run(args []string, w io.Writer) error {
 		nSpec       = fs.String("n", "256,512,1024,2048", "comma-separated population sizes")
 		trials      = fs.Int("trials", 0, "Monte-Carlo trials per probed gap (0 = 2n capped at 8000)")
 		target      = fs.Float64("target", 0, "success probability target (0 = 1-1/n)")
-		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		lanes       = fs.Int("lanes", 1, "concurrent per-n searches sharing the worker budget")
-		seed        = fs.Uint64("seed", 1, "random seed")
 		verbose     = fs.Bool("v", false, "print every probed gap")
 		cold        = fs.Bool("cold", false, "disable warm-started brackets (every n searched from scratch)")
 		noEarlyStop = fs.Bool("no-earlystop", false, "disable the early-stopping sequential estimator")
-		cachePath   = fs.String("cache", "", "probe cache file; settled probes are replayed across runs (empty = no cache)")
 	)
+	common := scenario.RegisterRun(fs, 1)
+	cachePath := scenario.RegisterCache(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	proto, err := protocolByName(*protoName)
-	if err != nil {
-		return err
-	}
-	ns, err := parseNs(*nSpec)
-	if err != nil {
-		return err
-	}
-	cache, err := sweep.OpenCache(*cachePath)
-	if err != nil {
+	if common.ShowVersion {
+		_, err := fmt.Fprintln(w, scenario.Version())
 		return err
 	}
 
-	res, err := sweep.Run(proto, sweep.Options{
-		Grid:   ns,
-		Target: *target,
-		TrialsFor: func(n int) int {
-			if *trials > 0 {
-				return *trials
-			}
-			tr := 2 * n
-			if tr > 8000 {
-				tr = 8000
-			}
-			if tr < 1000 {
-				tr = 1000
-			}
-			return tr
-		},
-		Workers:     *workers,
-		Lanes:       *lanes,
-		Seed:        *seed, // per-n seed defaults to Seed + n
-		Cold:        *cold,
-		NoEarlyStop: *noEarlyStop,
-		Cache:       cache,
+	specs, err := common.Specs(fs, func() ([]scenario.Spec, error) {
+		ns, err := parseNs(*nSpec)
+		if err != nil {
+			return nil, err
+		}
+		spec := scenario.New(scenario.TaskSweep)
+		spec.Model = &scenario.Model{
+			Kind:     scenario.ModelProtocol,
+			Protocol: &scenario.ProtocolModel{Name: *protoName},
+		}
+		spec.Seed = common.Seed
+		spec.Workers = common.Workers
+		spec.Cache = scenario.FileCache(*cachePath)
+		spec.Sweep = &scenario.SweepSpec{
+			Grid:        ns,
+			Trials:      *trials,
+			Target:      *target,
+			Lanes:       *lanes,
+			Cold:        *cold,
+			NoEarlyStop: *noEarlyStop,
+			Verbose:     *verbose,
+		}
+		return []scenario.Spec{spec}, nil
 	})
 	if err != nil {
 		return err
 	}
+	if common.DumpSpec {
+		return scenario.WriteSpecs(w, specs)
+	}
+	if len(specs) != 1 || specs[0].Task != scenario.TaskSweep {
+		return fmt.Errorf("threshold runs a single sweep spec, got %d spec(s) of task %q", len(specs), specs[0].Task)
+	}
 
+	runner := &scenario.Runner{}
+	result, err := runner.Run(context.Background(), specs[0])
+	if err != nil {
+		return err
+	}
+	return render(w, specs[0], result)
+}
+
+// render prints the sweep result in the command's historical format.
+func render(w io.Writer, spec scenario.Spec, result *scenario.Result) error {
+	res := result.Sweep
 	fmt.Fprintf(w, "protocol: %s\n", res.Protocol)
 	fmt.Fprintf(w, "%8s  %10s  %10s  %14s  %14s\n", "n", "target", "threshold", "thr/log2(n)^2", "thr/sqrt(n)")
 	for _, pt := range res.Points {
-		if *verbose {
+		if spec.Sweep.Verbose {
 			for _, ev := range pt.Evaluations {
 				fmt.Fprintf(w, "  probe n=%d delta=%d rho=%s\n", pt.N, ev.Delta, ev.Estimate)
 			}

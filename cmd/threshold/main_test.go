@@ -5,9 +5,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lvmajority/internal/scenario"
 )
 
-func TestProtocolByName(t *testing.T) {
+func TestProtocolRegistryNames(t *testing.T) {
+	// The historical CLI names must all survive the move into the shared
+	// scenario registry.
 	known := []string{
 		"lv-sd", "lv-nsd", "cho", "andaur",
 		"condon-single-b", "condon-double-b", "condon-heavy-b", "condon-tri",
@@ -15,17 +19,55 @@ func TestProtocolByName(t *testing.T) {
 		"voter", "two-choices", "3-majority", "usd", "moran", "chemostat",
 	}
 	for _, name := range known {
-		p, err := protocolByName(name)
+		p, err := scenario.ProtocolByName(name)
 		if err != nil {
-			t.Errorf("protocolByName(%q): %v", name, err)
+			t.Errorf("ProtocolByName(%q): %v", name, err)
 			continue
 		}
 		if p.Name() == "" {
 			t.Errorf("protocol %q has empty name", name)
 		}
 	}
-	if _, err := protocolByName("bogus"); err == nil {
+	if _, err := scenario.ProtocolByName("bogus"); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestDumpSpecReplay is the reproducibility-as-data acceptance check:
+// -dump-spec followed by -spec must replay the identical run.
+func TestDumpSpecReplay(t *testing.T) {
+	args := []string{"-protocol", "lv-sd", "-n", "64,96", "-trials", "200"}
+
+	var direct strings.Builder
+	if err := run(args, &direct); err != nil {
+		t.Fatal(err)
+	}
+
+	var dumped strings.Builder
+	if err := run(append(args, "-dump-spec"), &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed strings.Builder
+	if err := run([]string{"-spec", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("spec replay differs:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lvmajority") {
+		t.Errorf("version output %q", b.String())
 	}
 }
 

@@ -1,65 +1,98 @@
-// Quickstart: simulate the paper's two-species stochastic Lotka–Volterra
-// chain, watch it reach consensus, and estimate the majority-consensus
-// probability ρ for a given initial gap.
+// Quickstart: describe runs of the paper's two-species stochastic
+// Lotka–Volterra chain declaratively with the scenario API — one
+// serializable Spec per workload, one Runner for all of them — then
+// estimate the majority-consensus probability ρ and search the empirical
+// threshold Ψ(n).
+//
+// Everything here is "reproducible as data": each Spec prints as the exact
+// JSON the CLIs accept via -spec and cmd/serve accepts via POST /v1/runs.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"lvmajority/internal/consensus"
-	"lvmajority/internal/lv"
-	"lvmajority/internal/rng"
+	"lvmajority/internal/scenario"
 )
 
 func main() {
-	// A neutral community with self-destructive interference competition
-	// (model (1) of the paper): birth rate β = 1, death rate δ = 1,
-	// interspecific competition α₀ = α₁ = 1, no intraspecific
-	// competition.
-	params := lv.Neutral(1, 1, 1, 0, lv.SelfDestructive)
+	// The model, as data: a neutral community with self-destructive
+	// interference competition (model (1) of the paper) — birth rate
+	// β = 1, death rate δ = 1, interspecific competition α₀ = α₁ = 1, no
+	// intraspecific competition.
+	model := &scenario.Model{Kind: scenario.ModelLV, LV: &scenario.LVModel{
+		Beta: 1, Death: 1,
+		Alpha0: 1, Alpha1: 1,
+		Competition: "sd",
+		Label:       "quickstart",
+	}}
 
-	// One run: 60 majority cells vs 40 minority cells.
-	src := rng.New(42)
-	out, err := lv.Run(params, lv.State{X0: 60, X1: 40}, src, lv.RunOptions{})
+	// One Runner executes every Spec; the CLIs and cmd/serve are thin
+	// front-ends over exactly this call.
+	runner := &scenario.Runner{}
+	ctx := context.Background()
+
+	// --- batch simulation: 1000 runs of 600 vs 400 cells ---------------
+	sim := scenario.New(scenario.TaskSimulate)
+	sim.Model = model
+	sim.Seed = 42
+	sim.Simulate = &scenario.SimulateSpec{Runs: 1000, A: 600, B: 400}
+
+	res, err := runner.Run(ctx, sim)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("--- single run ---")
-	fmt.Printf("consensus reached:   %v\n", out.Consensus)
-	fmt.Printf("winner:              species %d (majority won: %v)\n", out.Winner, out.MajorityWon)
-	fmt.Printf("consensus time T(S): %d reactions\n", out.Steps)
-	fmt.Printf("individual events:   %d, competitive events: %d\n", out.Individual, out.Competitive)
-	fmt.Printf("bad events J(S):     %d (individual events that shrank the gap)\n", out.BadNonCompetitive)
+	batch := res.Simulate.LV
+	fmt.Println("--- batch simulation ---")
+	fmt.Printf("runs:                %d (unresolved %d)\n", batch.Runs, batch.Unresolved)
+	fmt.Printf("majority wins:       %d\n", batch.Wins)
+	fmt.Printf("consensus time T(S): mean %.0f reactions\n", batch.Steps.Mean())
+	fmt.Printf("bad events J(S):     mean %.1f\n", batch.Bad.Mean())
 
-	// Estimate ρ for a population of n = 1000 with initial gap Δ₀ = 20,
-	// using the parallel Monte-Carlo estimator.
-	protocol := consensus.LVProtocol{Params: params, Label: "quickstart"}
-	est, err := consensus.EstimateWinProbability(protocol, 1000, 20, consensus.EstimateOptions{
-		Trials: 5000,
-		Seed:   7,
-	})
+	// --- ρ estimate: n = 1000, gap Δ₀ = 20 -----------------------------
+	est := scenario.New(scenario.TaskEstimate)
+	est.Model = model
+	est.Seed = 7
+	est.Estimate = &scenario.EstimateSpec{N: 1000, Delta: 20, Trials: 5000}
+
+	res, err = runner.Run(ctx, est)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n--- Monte-Carlo estimate ---")
-	fmt.Printf("rho(n=1000, gap=20) = %s\n", est)
+	fmt.Printf("rho(n=1000, gap=20) = %s\n", res.Estimate)
 
-	// Find the empirical majority-consensus threshold Ψ(n): the smallest
-	// gap whose success probability reaches 1 − 1/n.
-	res, err := consensus.FindThreshold(protocol, 1000, consensus.ThresholdOptions{
-		Trials: 3000,
-		Seed:   11,
-	})
+	// --- threshold search: the smallest gap reaching 1 − 1/n -----------
+	thr := scenario.New(scenario.TaskThreshold)
+	thr.Model = model
+	thr.Seed = 11
+	thr.Threshold = &scenario.ThresholdSpec{N: 1000, Trials: 3000}
+
+	res, err = runner.Run(ctx, thr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	out := res.Threshold
 	fmt.Println("\n--- threshold search ---")
 	fmt.Printf("threshold Psi(1000) at target %.4f: gap %d (%d gaps probed)\n",
-		res.Target, res.Threshold, len(res.Evaluations))
+		out.Target, out.Threshold, len(out.Evaluations))
 	fmt.Println("the paper proves this gap is only polylogarithmic in n for")
 	fmt.Println("self-destructive competition (Theorem 14) — compare with the")
 	fmt.Println("sqrt(n)-scale gap NSD competition needs (Theorem 18/19).")
+
+	// Every run above is data. This is the threshold Spec as the JSON the
+	// CLIs replay with -spec and cmd/serve accepts via POST /v1/runs:
+	fmt.Println("\n--- the threshold run, as a Spec ---")
+	if err := scenario.WriteSpecs(os.Stdout, []scenario.Spec{thr}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Full provenance rides along: every Result embeds a run manifest.
+	m := res.Manifests[0]
+	fmt.Printf("\nprovenance: seed %d, %s %s, wall time %v\n",
+		m.Seed, m.Module, m.ModuleVersion, m.WallTime())
 }

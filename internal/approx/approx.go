@@ -81,6 +81,9 @@ type CalibrateOptions struct {
 	// Workers is the parallel worker count passed to the mc pool
 	// (default GOMAXPROCS). It never affects the calibrated model.
 	Workers int
+	// Interrupt, when non-nil, is polled between pilots; a non-nil return
+	// aborts the calibration with that error (see mc.Options.Interrupt).
+	Interrupt func() error
 }
 
 // Calibrate estimates σ = sd(F) from pilot runs of the given system started
@@ -110,6 +113,7 @@ func Calibrate(params lv.Params, n int, src *rng.Source, opts CalibrateOptions) 
 		Replicates: pilots,
 		Workers:    opts.Workers,
 		Seed:       src.Uint64(),
+		Interrupt:  opts.Interrupt,
 	}, func(i int, src *rng.Source) (float64, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: opts.MaxSteps})
 		if err != nil {

@@ -34,7 +34,7 @@ func EstimateWithEarlyStop(p Protocol, n, delta int, target float64, opts Estima
 		return stats.BernoulliEstimate{}, err
 	}
 	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
-		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed},
+		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
 		Z:         opts.Z,
 		EarlyStop: true,
 		Target:    target,

@@ -22,6 +22,10 @@ type EstimateOptions struct {
 	// Seed determines every random stream; the same options always
 	// reproduce the same estimate bit-for-bit.
 	Seed uint64
+	// Interrupt, when non-nil, is polled between trials; a non-nil return
+	// aborts the estimate with that error (see mc.Options.Interrupt). It
+	// never affects results while it returns nil.
+	Interrupt func() error
 }
 
 func (o *EstimateOptions) normalize() {
@@ -50,7 +54,7 @@ func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (sta
 		return stats.BernoulliEstimate{}, err
 	}
 	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
-		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed},
+		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
 		Z:       opts.Z,
 	}, func(_ int, src *rng.Source) (bool, error) {
 		return p.Trial(n, delta, src)

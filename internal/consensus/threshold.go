@@ -45,6 +45,10 @@ type ThresholdOptions struct {
 	// EstimateWithEarlyStop when EarlyStop is set. The override must be
 	// deterministic in its arguments.
 	Estimator ProbeEstimator
+	// Interrupt, when non-nil, is polled between trials of every probe; a
+	// non-nil return aborts the search with that error. It never affects
+	// results while it returns nil.
+	Interrupt func() error
 }
 
 // ProbeEstimator evaluates one gap during a threshold search. The options
@@ -140,9 +144,10 @@ func FindThreshold(p Protocol, n int, opts ThresholdOptions) (ThresholdResult, e
 			return ok, nil
 		}
 		est, err := estimator(delta, EstimateOptions{
-			Trials:  trials,
-			Workers: opts.Workers,
-			Seed:    opts.Seed ^ (uint64(delta)*0x9e3779b97f4a7c15 + 0x1234567),
+			Trials:    trials,
+			Workers:   opts.Workers,
+			Seed:      opts.Seed ^ (uint64(delta)*0x9e3779b97f4a7c15 + 0x1234567),
+			Interrupt: opts.Interrupt,
 		})
 		if err != nil {
 			return false, err

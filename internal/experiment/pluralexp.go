@@ -47,9 +47,10 @@ func runPlurality(cfg Config) ([]*Table, error) {
 				K: k,
 			}
 			est, err := consensus.EstimateWinProbability(p, n, tc.gap, consensus.EstimateOptions{
-				Trials:  trials,
-				Workers: cfg.workers(),
-				Seed:    cfg.Seed + uint64(k)*97 + uint64(tc.comp),
+				Trials:    trials,
+				Workers:   cfg.workers(),
+				Interrupt: cfg.Interrupt,
+				Seed:      cfg.Seed + uint64(k)*97 + uint64(tc.comp),
 			})
 			if err != nil {
 				return nil, err

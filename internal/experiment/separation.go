@@ -40,13 +40,13 @@ func runSeparation(cfg Config) ([]*Table, error) {
 	for gap := 2; gap <= n/2; gap *= 2 {
 		delta := consensus.MatchParity(n, gap)
 		estSD, err := consensus.EstimateWinProbability(sd, n, delta, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Seed: cfg.Seed + uint64(gap),
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Seed: cfg.Seed + uint64(gap),
 		})
 		if err != nil {
 			return nil, err
 		}
 		estNSD, err := consensus.EstimateWinProbability(nsd, n, delta, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Seed: cfg.Seed + uint64(gap) + 1<<20,
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Seed: cfg.Seed + uint64(gap) + 1<<20,
 		})
 		if err != nil {
 			return nil, err
@@ -110,6 +110,7 @@ func runODEComparison(cfg Config) ([]*Table, error) {
 			Options: mc.Options{
 				Replicates: trials,
 				Workers:    cfg.workers(),
+				Interrupt:  cfg.Interrupt,
 				Seed:       cfg.Seed + uint64(n)*17,
 			},
 			Z: stats.Z999,
@@ -152,13 +153,14 @@ func runBaselines(cfg Config) ([]*Table, error) {
 		// One-point sweep: no warm chain at a single n, but the probes
 		// run the early-stopping estimator and land in the cache.
 		swept, err := sweep.Run(p, sweep.Options{
-			Grid:    []int{n},
-			Trials:  trials,
-			Workers: cfg.workers(),
-			Seed:    seed,
-			SeedFor: func(int) uint64 { return seed }, // historical per-protocol seed, independent of n
-			Cache:   cfg.Cache,
-			Log:     cfg.logf,
+			Grid:      []int{n},
+			Trials:    trials,
+			Workers:   cfg.workers(),
+			Interrupt: cfg.Interrupt,
+			Seed:      seed,
+			SeedFor:   func(int) uint64 { return seed }, // historical per-protocol seed, independent of n
+			Cache:     cfg.Cache,
+			Log:       cfg.logf,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("threshold for %s: %w", p.Name(), err)
@@ -223,13 +225,14 @@ func runAsymmetric(cfg Config) ([]*Table, error) {
 		// monotone in n, so each search seeds its bracket from the
 		// previous population size.
 		swept, err := sweep.Run(p, sweep.Options{
-			Grid:    grid,
-			Trials:  trials,
-			Workers: cfg.workers(),
-			Seed:    cfg.Seed,
-			SeedFor: func(n int) uint64 { return cfg.Seed + uint64(n) + uint64(math.Float64bits(ratio)) },
-			Cache:   cfg.Cache,
-			Log:     cfg.logf,
+			Grid:      grid,
+			Trials:    trials,
+			Workers:   cfg.workers(),
+			Interrupt: cfg.Interrupt,
+			Seed:      cfg.Seed,
+			SeedFor:   func(n int) uint64 { return cfg.Seed + uint64(n) + uint64(math.Float64bits(ratio)) },
+			Cache:     cfg.Cache,
+			Log:       cfg.logf,
 		})
 		if err != nil {
 			return nil, err

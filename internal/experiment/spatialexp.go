@@ -63,9 +63,10 @@ func runSpatial(cfg Config) ([]*Table, error) {
 			},
 		}
 		est, err := consensus.EstimateWinProbability(p, n, gap, consensus.EstimateOptions{
-			Trials:  trials,
-			Workers: cfg.workers(),
-			Seed:    cfg.Seed + uint64(i)*7919,
+			Trials:    trials,
+			Workers:   cfg.workers(),
+			Interrupt: cfg.Interrupt,
+			Seed:      cfg.Seed + uint64(i)*7919,
 		})
 		if err != nil {
 			return nil, err

@@ -51,6 +51,7 @@ func thresholdCurve(cfg Config, p consensus.Protocol, title, caption string, sha
 		Grid:      nGrid(cfg),
 		TrialsFor: func(n int) int { return trialsFor(cfg, n) },
 		Workers:   cfg.workers(),
+		Interrupt: cfg.Interrupt,
 		Seed:      cfg.Seed, // per-n seed defaults to Seed + n, the historical policy
 		Cache:     cfg.Cache,
 		Log:       cfg.logf,
@@ -226,6 +227,7 @@ func estimateBothScorings(cfg Config, params lv.Params, initial lv.State, trials
 	outs, err := mc.Run(mc.Options{
 		Replicates: trials,
 		Workers:    cfg.workers(),
+		Interrupt:  cfg.Interrupt,
 		Seed:       cfg.Seed ^ uint64(initial.X0*1000003+initial.X1),
 	}, func(_ int, src *rng.Source) (scoring, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -284,9 +286,10 @@ func runTable1Intra(cfg Config) ([]*Table, error) {
 				delta = n - 2
 			}
 			est, err := consensus.EstimateWinProbability(p, n, delta, consensus.EstimateOptions{
-				Trials:  trials,
-				Workers: cfg.workers(),
-				Seed:    cfg.Seed + uint64(n*1000+delta),
+				Trials:    trials,
+				Workers:   cfg.workers(),
+				Interrupt: cfg.Interrupt,
+				Seed:      cfg.Seed + uint64(n*1000+delta),
 			})
 			if err != nil {
 				return nil, err

@@ -31,6 +31,7 @@ func runConsensusTime(cfg Config) ([]*Table, error) {
 			samples, err := mc.Run(mc.Options{
 				Replicates: trials,
 				Workers:    cfg.workers(),
+				Interrupt:  cfg.Interrupt,
 				Seed:       cfg.Seed + uint64(n) + uint64(comp)<<32,
 			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -80,6 +81,7 @@ func runBadEvents(cfg Config) ([]*Table, error) {
 			samples, err := mc.Run(mc.Options{
 				Replicates: trials,
 				Workers:    cfg.workers(),
+				Interrupt:  cfg.Interrupt,
 				Seed:       cfg.Seed ^ (uint64(n) * 31) ^ uint64(comp)<<40,
 			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -148,6 +150,7 @@ func runNiceChain(cfg Config) ([]*Table, error) {
 		outs, err := mc.Run(mc.Options{
 			Replicates: trials,
 			Workers:    cfg.workers(),
+			Interrupt:  cfg.Interrupt,
 			Seed:       cfg.Seed + 7*uint64(n),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			res, err := chain.RunToExtinction(n, src, 0)
@@ -219,6 +222,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 		couplingOuts, err := mc.Run(mc.Options{
 			Replicates: runs,
 			Workers:    cfg.workers(),
+			Interrupt:  cfg.Interrupt,
 			Seed:       cfg.Seed ^ 0xd0d0 ^ uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]int, error) {
 			b := 5 + src.Intn(25)
@@ -255,6 +259,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 		lvOuts, err := mc.Run(mc.Options{
 			Replicates: trials,
 			Workers:    cfg.workers(),
+			Interrupt:  cfg.Interrupt,
 			Seed:       cfg.Seed + 11 + uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -269,6 +274,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 		domOuts, err := mc.Run(mc.Options{
 			Replicates: trials,
 			Workers:    cfg.workers(),
+			Interrupt:  cfg.Interrupt,
 			Seed:       cfg.Seed + 13 + uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			res, err := dom.RunToExtinction(initial.Min(), src, 0)

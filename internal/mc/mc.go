@@ -27,6 +27,12 @@ type Options struct {
 	Workers int
 	// Seed is the root seed; replicate i draws from rng.NewStream(Seed, i).
 	Seed uint64
+	// Interrupt, when non-nil, is polled between replicates; a non-nil
+	// return aborts the run with that error. It exists so long runs can be
+	// cancelled promptly (e.g. by a server-side context); while it returns
+	// nil it never affects results — replicates still draw only from their
+	// index-keyed streams.
+	Interrupt func() error
 }
 
 func (o Options) normalized() Options {
@@ -118,6 +124,12 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 	if workers > n {
 		workers = n
 	}
+	interrupted := func() error {
+		if opts.Interrupt == nil {
+			return nil
+		}
+		return opts.Interrupt()
+	}
 	if workers <= 1 {
 		fn, err := newWorker()
 		if err != nil {
@@ -125,6 +137,9 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 		}
 		var src rng.Source
 		for rep := lo; rep < hi; rep++ {
+			if err := interrupted(); err != nil {
+				return err
+			}
 			src.ReseedStream(opts.Seed, uint64(rep))
 			if err := fn(rep, &src); err != nil {
 				return err
@@ -150,6 +165,11 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 			}
 			var src rng.Source
 			for !failed.Load() {
+				if err := interrupted(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
 				rep := int(next.Add(1)) - 1
 				if rep >= hi {
 					return

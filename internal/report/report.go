@@ -166,6 +166,16 @@ var buildIdentity = sync.OnceValues(func() (module, version string) {
 	return module, version
 })
 
+// BuildVersion returns the module path and VCS-stamped version every
+// manifest records: the vcs.revision (with a "+dirty" suffix when the tree
+// was modified) when the binary carries one, else the module version from
+// the build info, else "unknown". The CLIs' -version flags and the server's
+// /v1/healthz endpoint report the same identity, so a manifest, a binary,
+// and a serving process can always be matched to one another.
+func BuildVersion() (module, version string) {
+	return buildIdentity()
+}
+
 // WallTime returns the recorded wall time.
 func (m *Manifest) WallTime() time.Duration {
 	return time.Duration(m.WallTimeNS)

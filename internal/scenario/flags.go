@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"lvmajority/internal/report"
+)
+
+// Common holds the flag values every CLI front-end shares: the seed/worker
+// pair that used to be copy-pasted across the six mains, plus the spec
+// plumbing (-spec, -dump-spec) and -version. Register the flags with
+// RegisterRun or RegisterSpec and resolve the invocation with Specs.
+type Common struct {
+	// Seed and Workers mirror Spec.Seed and Spec.Workers.
+	Seed    uint64
+	Workers int
+	// SpecPath replays a saved spec file; DumpSpec prints the invocation
+	// as a spec instead of running it.
+	SpecPath string
+	DumpSpec bool
+	// ShowVersion prints the build identity and exits.
+	ShowVersion bool
+}
+
+// RegisterRun registers the full shared flag set — -seed, -workers, -spec,
+// -dump-spec, -version — with the CLI's historical seed default.
+func RegisterRun(fs *flag.FlagSet, defaultSeed uint64) *Common {
+	c := RegisterSpec(fs)
+	fs.Uint64Var(&c.Seed, "seed", defaultSeed, "random seed")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS); never changes the results")
+	return c
+}
+
+// RegisterSpec registers only the spec plumbing and -version, for CLIs
+// without Monte-Carlo randomness (rho, report).
+func RegisterSpec(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.StringVar(&c.SpecPath, "spec", "", "run the scenario.Spec in this JSON file instead of the flags")
+	fs.BoolVar(&c.DumpSpec, "dump-spec", false, "print this invocation as a scenario.Spec (JSON) and exit without running")
+	fs.BoolVar(&c.ShowVersion, "version", false, "print the build version and exit")
+	return c
+}
+
+// RegisterCache registers the shared -cache flag (a probe-cache file path)
+// and returns a pointer to its value.
+func RegisterCache(fs *flag.FlagSet) *string {
+	return fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
+}
+
+// FileCache converts a -cache flag value to the spec cache policy: nil for
+// an empty path, the file policy otherwise.
+func FileCache(path string) *CacheSpec {
+	if path == "" {
+		return nil
+	}
+	return &CacheSpec{Policy: CacheFile, Path: path}
+}
+
+// Version returns the one-line build identity shared by every CLI's
+// -version flag and the server's /v1/healthz: the module, its VCS-stamped
+// version (the same value run manifests record), and the Go toolchain.
+func Version() string {
+	module, version := report.BuildVersion()
+	return fmt.Sprintf("%s %s (%s)", module, version, runtime.Version())
+}
+
+// Specs resolves a CLI invocation into its run specs: loaded from -spec
+// when given, else built from the parsed flags by build. Front-ends call
+// it after fs.Parse.
+//
+// With -spec, any other explicitly-set flag is an error — the spec file is
+// the whole invocation — except the spec plumbing itself and the flags the
+// CLI names in presentation: flags that cannot affect the run (logging,
+// profiling) and therefore combine freely with a replay.
+func (c *Common) Specs(fs *flag.FlagSet, build func() ([]Spec, error), presentation ...string) ([]Spec, error) {
+	if c.SpecPath == "" {
+		return build()
+	}
+	allowed := map[string]bool{"spec": true, "dump-spec": true, "version": true}
+	for _, name := range presentation {
+		allowed[name] = true
+	}
+	var conflict string
+	fs.Visit(func(f *flag.Flag) {
+		if !allowed[f.Name] {
+			conflict = f.Name
+		}
+	})
+	if conflict != "" {
+		return nil, fmt.Errorf("-spec replays a saved invocation; drop the conflicting -%s flag", conflict)
+	}
+	specs, err := LoadSpecs(c.SpecPath)
+	if err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// WriteSpecs prints specs in the canonical -dump-spec form: a single
+// indented JSON object for one spec, an array for several. ParseSpecs
+// accepts both, so dump-then-replay always round-trips.
+func WriteSpecs(w io.Writer, specs []Spec) error {
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	var data []byte
+	var err error
+	if len(specs) == 1 {
+		data, err = specs[0].MarshalIndent()
+	} else {
+		data, err = marshalSpecList(specs)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommonSpecsConflict(t *testing.T) {
+	dir := t.TempDir()
+	spec := sampleSpecs()["estimate"]
+	data, err := spec.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() ([]Spec, error) { t.Fatal("build called despite -spec"); return nil, nil }
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterRun(fs, 1)
+	if err := fs.Parse([]string{"-spec", path}); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := c.Specs(fs, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Task != TaskEstimate {
+		t.Errorf("loaded %d specs, task %v", len(specs), specs[0].Task)
+	}
+
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	c = RegisterRun(fs, 1)
+	if err := fs.Parse([]string{"-spec", path, "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Specs(fs, build); err == nil {
+		t.Error("-spec combined with -seed accepted")
+	}
+}
+
+func TestCommonSpecsBuildsWithoutSpec(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterRun(fs, 42)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 {
+		t.Errorf("default seed %d", c.Seed)
+	}
+	want := sampleSpecs()["simulate"]
+	specs, err := c.Specs(fs, func() ([]Spec, error) { return []Spec{want}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Task != TaskSimulate {
+		t.Errorf("build path returned %v", specs)
+	}
+}
+
+func TestWriteSpecsForms(t *testing.T) {
+	one := []Spec{sampleSpecs()["estimate"]}
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, one); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "{") {
+		t.Errorf("single spec not an object:\n%s", buf.String())
+	}
+	back, err := ParseSpecs(buf.Bytes())
+	if err != nil || len(back) != 1 {
+		t.Fatalf("round trip: %v, %d specs", err, len(back))
+	}
+
+	two := []Spec{sampleSpecs()["estimate"], sampleSpecs()["simulate"]}
+	buf.Reset()
+	if err := WriteSpecs(&buf, two); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "[") {
+		t.Errorf("spec list not an array:\n%s", buf.String())
+	}
+	back, err = ParseSpecs(buf.Bytes())
+	if err != nil || len(back) != 2 {
+		t.Fatalf("round trip: %v, %d specs", err, len(back))
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version()
+	if !strings.Contains(v, "lvmajority") || !strings.Contains(v, "go1.") {
+		t.Errorf("version string %q", v)
+	}
+}

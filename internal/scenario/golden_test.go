@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lvmajority/internal/experiment"
+	"lvmajority/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden spec files")
+
+// defaultExperimentSpec is the canonical spec for one registered experiment
+// at the cmd/experiments flag defaults — the spec `experiments -dump-spec
+// <id>` prints.
+func defaultExperimentSpec(id string) Spec {
+	s := New(TaskExperiment)
+	s.Seed = 20240506
+	s.Experiment = &ExperimentSpec{ID: id}
+	return s
+}
+
+// TestGoldenSpecs pins one golden spec file per registered experiment ID:
+// the canonical experiment spec must match the committed file byte-for-byte
+// and survive a strict parse back to the same value. Regenerate with
+// `go test ./internal/scenario -run TestGoldenSpecs -update` after an
+// intentional schema change.
+func TestGoldenSpecs(t *testing.T) {
+	for _, e := range experiment.All() {
+		t.Run(e.ID, func(t *testing.T) {
+			spec := defaultExperimentSpec(e.ID)
+			data, err := spec.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "specs", report.SanitizeID(e.ID)+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if string(golden) != string(data) {
+				t.Errorf("golden spec drifted:\nhave %swant %s", data, golden)
+			}
+			back, err := ParseSpec(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(back, spec) {
+				t.Errorf("golden spec round trip not lossless: %+v vs %+v", back, spec)
+			}
+		})
+	}
+}
+
+// TestRunnerReproducesCommittedManifests executes every registered
+// experiment's golden spec through the Runner and compares the result
+// tables (and identifying provenance) against the run manifests committed
+// under results/manifests — the record cmd/experiments -report wrote. The
+// determinism contract makes this exact: same seed, same grid, same tables
+// to the byte. Provenance that legitimately varies between machines and
+// runs (wall time, worker count, toolchain, cache traffic, timestamps) is
+// excluded.
+//
+// This is the all-IDs acceptance test tying `experiments <id>` and
+// scenario.Runner together; it re-runs the whole quick grid (~1 minute),
+// so -short skips it.
+func TestRunnerReproducesCommittedManifests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs every quick-grid experiment; skipped with -short")
+	}
+	manifestDir := filepath.Join("..", "..", "results", "manifests")
+	r := &Runner{Now: zeroNow}
+	for _, e := range experiment.All() {
+		t.Run(e.ID, func(t *testing.T) {
+			recorded, err := report.Load(filepath.Join(manifestDir, report.Filename(e.ID)))
+			if err != nil {
+				t.Fatalf("no committed manifest: %v", err)
+			}
+			spec := defaultExperimentSpec(e.ID)
+			// The committed record was produced with the shared in-memory
+			// cache of `cmd/experiments -report` (satellite of PR 3); the
+			// cache never changes tables, so off vs shared is immaterial
+			// here — use shared to mirror the recording run.
+			spec.Cache = &CacheSpec{Policy: CacheShared}
+			res, err := r.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Manifests[0]
+			if got.ExperimentID != recorded.ExperimentID || got.Title != recorded.Title ||
+				got.Artifact != recorded.Artifact || got.Grid != recorded.Grid ||
+				got.Seed != recorded.Seed {
+				t.Errorf("identity mismatch: got %s/%s seed %d grid %s",
+					got.ExperimentID, got.Title, got.Seed, got.Grid)
+			}
+			gotTables, err := json.Marshal(got.Tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTables, err := json.Marshal(recorded.Tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotTables) != string(wantTables) {
+				t.Errorf("tables differ from the committed record:\n%s\nvs\n%s", gotTables, wantTables)
+			}
+		})
+	}
+}

@@ -89,6 +89,12 @@ type Options struct {
 	// Cache, when non-nil, serves settled probes and records fresh ones.
 	// Run saves it before returning.
 	Cache *Cache
+	// Interrupt, when non-nil, is polled between trials of every fresh
+	// probe; a non-nil return aborts the sweep with that error. Probes
+	// already settled (and cached) are kept, so an interrupted sweep can
+	// be resumed without repaying their Monte-Carlo cost. It never affects
+	// results while it returns nil.
+	Interrupt func() error
 	// Log, when non-nil, receives one progress line per settled point.
 	Log func(format string, args ...any)
 }
@@ -303,6 +309,7 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 		EarlyStop: earlyStop,
 		Hint:      hint,
 		Estimator: estimator,
+		Interrupt: opts.Interrupt,
 	})
 	if err != nil {
 		return Point{}, err
