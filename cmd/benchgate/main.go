@@ -1,0 +1,45 @@
+// Command benchgate maintains and enforces the committed benchmark
+// trajectory under results/bench/. The trajectory files record one entry
+// per PR, so the repository's performance history is reviewable like any
+// other artifact, and CI can hold new code to the committed numbers.
+//
+// Three modes, all reading `go test -bench` text output on stdin:
+//
+//	benchgate -snapshot out.json
+//	    Parse the benchmark output into a standalone JSON snapshot
+//	    (a CI artifact, not the committed trajectory).
+//
+//	benchgate -update results/bench/BENCH_kernel.json -pr 6 -note "..."
+//	    Append one record to the committed trajectory. Run on a quiet
+//	    dev machine with a real -benchtime, not in CI.
+//
+//	benchgate -check results/bench/BENCH_kernel.json \
+//	    -baseline BenchmarkPopulationKernel/batch -max-regress 0.25 \
+//	    -zero-alloc BenchmarkPopulationKernel/lockstep
+//	    Gate the current output against the latest committed record:
+//	      - every gated benchmark in the committed record must appear in
+//	        the current output, and every current benchmark sharing the
+//	        baseline's prefix must appear in the committed record (adding
+//	        a kernel without recording its trajectory entry fails CI);
+//	      - with -baseline, each benchmark's ns/event is normalized by
+//	        the same run's baseline before comparison, and the check
+//	        fails when the normalized cost regresses by more than
+//	        -max-regress versus the committed record. Absolute ns/event
+//	        is never compared across machines — CI runners differ by far
+//	        more than any real regression;
+//	      - benchmarks named in -zero-alloc must report 0 allocs/op.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lvmajority/internal/benchgate"
+)
+
+func main() {
+	if err := benchgate.Main(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

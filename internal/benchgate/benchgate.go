@@ -1,0 +1,229 @@
+// Package benchgate parses `go test -bench` output and maintains the
+// committed benchmark trajectory under results/bench/: one JSON record per
+// PR, checked by CI against the current build (see cmd/benchgate).
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics are the measurements of one benchmark. Pointers distinguish
+// "absent" from zero: allocs/op of 0 is a meaningful, gated value.
+type Metrics struct {
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	NsPerEvent  *float64 `json:"ns_per_event,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+}
+
+// Record is one trajectory entry: the benchmark set of one PR.
+type Record struct {
+	PR         int                `json:"pr"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Trajectory is a committed benchmark history, oldest first.
+type Trajectory struct {
+	History []Record `json:"history"`
+}
+
+// benchLine matches one benchmark result line. The -N GOMAXPROCS suffix is
+// stripped from the name so records are stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// Parse extracts benchmark metrics from `go test -bench` text output.
+// Value/unit pairs other than the tracked ones are ignored. When the same
+// benchmark appears more than once (e.g. -count > 1), the minimum of each
+// metric is kept — the repeatable floor, not the noise.
+func Parse(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		got := out[name]
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "ns/op":
+				got.NsPerOp = minMetric(got.NsPerOp, v)
+			case "ns/event":
+				got.NsPerEvent = minMetric(got.NsPerEvent, v)
+			case "allocs/op":
+				got.AllocsPerOp = minMetric(got.AllocsPerOp, v)
+			case "B/op":
+				got.BytesPerOp = minMetric(got.BytesPerOp, v)
+			}
+		}
+		out[name] = got
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return out, nil
+}
+
+func minMetric(cur *float64, v float64) *float64 {
+	if cur == nil || v < *cur {
+		return &v
+	}
+	return cur
+}
+
+// Load reads a trajectory file.
+func Load(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.History) == 0 {
+		return nil, fmt.Errorf("%s: empty trajectory", path)
+	}
+	return &t, nil
+}
+
+// Latest returns the newest record.
+func (t *Trajectory) Latest() *Record { return &t.History[len(t.History)-1] }
+
+// Append adds a record and writes the trajectory back to path.
+func (t *Trajectory) Append(path string, rec Record) error {
+	t.History = append(t.History, rec)
+	return t.write(path)
+}
+
+func (t *Trajectory) write(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckOptions configure Check.
+type CheckOptions struct {
+	// Baseline names the benchmark whose ns/event normalizes all others
+	// in the same run before regression comparison. Empty disables the
+	// regression check (set-completeness and allocs are still enforced).
+	Baseline string
+	// MaxRegress is the allowed relative increase of the normalized
+	// ns/event cost versus the committed record (e.g. 0.25 = 25%).
+	MaxRegress float64
+	// ZeroAlloc names benchmarks whose allocs/op must be exactly 0.
+	ZeroAlloc []string
+}
+
+// Check gates the current benchmark output against the latest committed
+// record. It returns every violation, not only the first, so a failing CI
+// run reports the full picture.
+func Check(current map[string]Metrics, committed *Record, opts CheckOptions) []error {
+	var errs []error
+
+	// Set completeness, both directions, over the gated family (the
+	// benchmarks sharing the baseline's path prefix when a baseline is
+	// set, every ns/event benchmark otherwise). A kernel added without a
+	// committed trajectory entry — or one that silently vanished from the
+	// build — fails here.
+	family := func(name string, m Metrics) bool {
+		if m.NsPerEvent == nil {
+			return false
+		}
+		if opts.Baseline == "" {
+			return true
+		}
+		prefix := opts.Baseline[:strings.LastIndex(opts.Baseline, "/")+1]
+		return strings.HasPrefix(name, prefix)
+	}
+	for name, m := range committed.Benchmarks {
+		if family(name, m) {
+			if _, ok := current[name]; !ok {
+				errs = append(errs, fmt.Errorf("%s: in committed trajectory but missing from current benchmarks", name))
+			}
+		}
+	}
+	for name, m := range current {
+		if family(name, m) {
+			if _, ok := committed.Benchmarks[name]; !ok {
+				errs = append(errs, fmt.Errorf("%s: benchmarked but absent from the committed trajectory — record it with benchgate -update", name))
+			}
+		}
+	}
+
+	if opts.Baseline != "" {
+		curBase, okC := nsPerEvent(current[opts.Baseline])
+		comBase, okR := nsPerEvent(committed.Benchmarks[opts.Baseline])
+		if !okC || !okR {
+			errs = append(errs, fmt.Errorf("baseline %s: ns/event missing (current %v, committed %v)", opts.Baseline, okC, okR))
+		} else {
+			names := make([]string, 0, len(current))
+			for name := range current {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if name == opts.Baseline || !family(name, current[name]) {
+					continue
+				}
+				cur, okC := nsPerEvent(current[name])
+				com, okR := nsPerEvent(committed.Benchmarks[name])
+				if !okC || !okR {
+					continue // completeness errors already reported
+				}
+				rel, relCommitted := cur/curBase, com/comBase
+				if rel > relCommitted*(1+opts.MaxRegress) {
+					errs = append(errs, fmt.Errorf(
+						"%s: %.2f ns/event = %.2fx of %s, committed trajectory has %.2fx (limit +%.0f%%)",
+						name, cur, rel, opts.Baseline, relCommitted, opts.MaxRegress*100))
+				}
+			}
+		}
+	}
+
+	for _, name := range opts.ZeroAlloc {
+		m, ok := current[name]
+		switch {
+		case !ok:
+			errs = append(errs, fmt.Errorf("%s: named in -zero-alloc but missing from current benchmarks", name))
+		case m.AllocsPerOp == nil:
+			errs = append(errs, fmt.Errorf("%s: no allocs/op reported; run the benchmark with -benchmem", name))
+		case *m.AllocsPerOp != 0:
+			errs = append(errs, fmt.Errorf("%s: %v allocs/op, want 0", name, *m.AllocsPerOp))
+		}
+	}
+	return errs
+}
+
+func nsPerEvent(m Metrics) (float64, bool) {
+	if m.NsPerEvent == nil {
+		return 0, false
+	}
+	return *m.NsPerEvent, true
+}

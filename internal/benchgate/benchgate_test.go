@@ -1,0 +1,203 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: lvmajority/internal/protocols
+cpu: AMD EPYC
+BenchmarkPopulationKernel/old-16         	      39	  31294021 ns/op	        27.40 ns/event	     120 B/op	       3 allocs/op
+BenchmarkPopulationKernel/batch-16       	     459	   2698116 ns/op	        12.49 ns/event	      58 B/op	       2 allocs/op
+BenchmarkPopulationKernel/lockstep-16    	       5	 275622152 ns/op	         8.36 ns/event	       0 B/op	       0 allocs/op
+BenchmarkThresholdSweep/cold-16          	       3	 700000000 ns/op
+PASS
+`
+
+func parseSample(t *testing.T) map[string]Metrics {
+	t.Helper()
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseStripsSuffixAndReadsMetrics(t *testing.T) {
+	got := parseSample(t)
+	ls, ok := got["BenchmarkPopulationKernel/lockstep"]
+	if !ok {
+		t.Fatalf("lockstep missing (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if ls.NsPerEvent == nil || *ls.NsPerEvent != 8.36 {
+		t.Errorf("lockstep ns/event = %v, want 8.36", ls.NsPerEvent)
+	}
+	if ls.AllocsPerOp == nil || *ls.AllocsPerOp != 0 {
+		t.Errorf("lockstep allocs/op = %v, want explicit 0", ls.AllocsPerOp)
+	}
+	if sweep := got["BenchmarkThresholdSweep/cold"]; sweep.NsPerOp == nil || *sweep.NsPerOp != 7e8 {
+		t.Errorf("sweep ns/op = %v, want 7e8", sweep.NsPerOp)
+	}
+	if sweep := got["BenchmarkThresholdSweep/cold"]; sweep.NsPerEvent != nil {
+		t.Errorf("sweep has ns/event %v, want none", *sweep.NsPerEvent)
+	}
+}
+
+func TestParseKeepsMinimumAcrossCounts(t *testing.T) {
+	in := `BenchmarkX/a-8   10  100 ns/op  5.0 ns/event
+BenchmarkX/a-8   10  90 ns/op  4.0 ns/event
+BenchmarkX/a-8   10  95 ns/op  4.5 ns/event
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got["BenchmarkX/a"].NsPerEvent != 4.0 {
+		t.Errorf("ns/event = %v, want min 4.0", *got["BenchmarkX/a"].NsPerEvent)
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func committedRecord() *Record {
+	return &Record{PR: 6, Benchmarks: map[string]Metrics{
+		"BenchmarkPopulationKernel/old":      {NsPerEvent: f(27.4)},
+		"BenchmarkPopulationKernel/batch":    {NsPerEvent: f(12.49)},
+		"BenchmarkPopulationKernel/lockstep": {NsPerEvent: f(8.36), AllocsPerOp: f(0)},
+	}}
+}
+
+func checkOpts() CheckOptions {
+	return CheckOptions{
+		Baseline:   "BenchmarkPopulationKernel/batch",
+		MaxRegress: 0.25,
+		ZeroAlloc:  []string{"BenchmarkPopulationKernel/lockstep"},
+	}
+}
+
+func TestCheckPassesWithinTrajectory(t *testing.T) {
+	if errs := Check(parseSample(t), committedRecord(), checkOpts()); len(errs) != 0 {
+		t.Fatalf("unexpected violations: %v", errs)
+	}
+}
+
+func TestCheckNormalizesByBaseline(t *testing.T) {
+	// Twice the absolute time everywhere (a slower CI machine) keeps the
+	// ratios intact and must pass.
+	current := map[string]Metrics{
+		"BenchmarkPopulationKernel/old":      {NsPerEvent: f(54.8)},
+		"BenchmarkPopulationKernel/batch":    {NsPerEvent: f(24.98)},
+		"BenchmarkPopulationKernel/lockstep": {NsPerEvent: f(16.72), AllocsPerOp: f(0)},
+	}
+	if errs := Check(current, committedRecord(), checkOpts()); len(errs) != 0 {
+		t.Fatalf("uniform slowdown flagged as regression: %v", errs)
+	}
+	// The lockstep kernel regressing relative to batch by more than 25%
+	// must fail even though its absolute number beats the committed one.
+	current["BenchmarkPopulationKernel/lockstep"] = Metrics{NsPerEvent: f(22.0), AllocsPerOp: f(0)}
+	errs := Check(current, committedRecord(), checkOpts())
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "lockstep") {
+		t.Fatalf("want one lockstep regression violation, got %v", errs)
+	}
+}
+
+func TestCheckFlagsMissingAndUnrecordedKernels(t *testing.T) {
+	current := parseSample(t)
+	delete(current, "BenchmarkPopulationKernel/old")
+	current["BenchmarkPopulationKernel/simd"] = Metrics{NsPerEvent: f(2.0)}
+	errs := Check(current, committedRecord(), checkOpts())
+	var missing, unrecorded bool
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "old") && strings.Contains(e.Error(), "missing from current") {
+			missing = true
+		}
+		if strings.Contains(e.Error(), "simd") && strings.Contains(e.Error(), "absent from the committed") {
+			unrecorded = true
+		}
+	}
+	if !missing || !unrecorded {
+		t.Fatalf("want missing-kernel and unrecorded-kernel violations, got %v", errs)
+	}
+}
+
+func TestCheckZeroAlloc(t *testing.T) {
+	current := parseSample(t)
+	m := current["BenchmarkPopulationKernel/lockstep"]
+	m.AllocsPerOp = f(2)
+	current["BenchmarkPopulationKernel/lockstep"] = m
+	errs := Check(current, committedRecord(), checkOpts())
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "allocs/op") {
+		t.Fatalf("want one allocs violation, got %v", errs)
+	}
+}
+
+func TestCheckIgnoresOtherFamilies(t *testing.T) {
+	// ns/event benchmarks outside the baseline's family (another package's
+	// kernel suite) are not gated by this trajectory file.
+	current := parseSample(t)
+	current["BenchmarkIncrementalSSA/new"] = Metrics{NsPerEvent: f(1.0)}
+	if errs := Check(current, committedRecord(), checkOpts()); len(errs) != 0 {
+		t.Fatalf("foreign family gated: %v", errs)
+	}
+}
+
+func TestMainUpdateThenCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	var out strings.Builder
+	err := Main([]string{"-update", path, "-pr", "6", "-note", "seed"},
+		strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Latest().PR != 6 || len(tr.Latest().Benchmarks) != 4 {
+		t.Fatalf("bad record: %+v", tr.Latest())
+	}
+
+	err = Main([]string{"-check", path,
+		"-baseline", "BenchmarkPopulationKernel/batch",
+		"-zero-alloc", "BenchmarkPopulationKernel/lockstep"},
+		strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatalf("self-check against the just-recorded trajectory: %v", err)
+	}
+
+	// A second -update appends rather than overwrites.
+	err = Main([]string{"-update", path, "-pr", "7"}, strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.History) != 2 || tr.Latest().PR != 7 {
+		t.Fatalf("append failed: %d records, latest PR %d", len(tr.History), tr.Latest().PR)
+	}
+}
+
+func TestMainCheckFailsOnViolation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	slow := strings.ReplaceAll(sampleOutput, "8.36 ns/event", "30.00 ns/event")
+	var out strings.Builder
+	if err := Main([]string{"-update", path, "-pr", "6"}, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	err := Main([]string{"-check", path, "-baseline", "BenchmarkPopulationKernel/batch"},
+		strings.NewReader(slow), &out)
+	if err == nil || !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("regression not flagged: err=%v out=%q", err, out.String())
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatal(statErr)
+	}
+}

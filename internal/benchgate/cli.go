@@ -1,0 +1,89 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the cmd/benchgate entry point, split out for testing.
+func Main(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		snapshot   = fs.String("snapshot", "", "write a standalone JSON snapshot of the parsed benchmarks to this file")
+		update     = fs.String("update", "", "append one record to this committed trajectory file")
+		pr         = fs.Int("pr", 0, "PR number stamped on the -update record")
+		note       = fs.String("note", "", "free-form note stamped on the -update record")
+		check      = fs.String("check", "", "gate the parsed benchmarks against this committed trajectory file")
+		baseline   = fs.String("baseline", "", "benchmark whose ns/event normalizes the regression comparison")
+		maxRegress = fs.Float64("max-regress", 0.25, "allowed relative increase of the normalized ns/event cost")
+		zeroAlloc  = fs.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	modes := 0
+	for _, m := range []string{*snapshot, *update, *check} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -snapshot, -update, or -check is required")
+	}
+
+	current, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *snapshot != "":
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*snapshot, append(data, '\n'), 0o644)
+
+	case *update != "":
+		if *pr <= 0 {
+			return fmt.Errorf("-update needs a positive -pr")
+		}
+		t, err := Load(*update)
+		if os.IsNotExist(err) {
+			t, err = &Trajectory{}, nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := t.Append(*update, Record{PR: *pr, Note: *note, Benchmarks: current}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded %d benchmarks as PR %d in %s (%d records)\n",
+			len(current), *pr, *update, len(t.History))
+		return nil
+
+	default:
+		t, err := Load(*check)
+		if err != nil {
+			return err
+		}
+		opts := CheckOptions{Baseline: *baseline, MaxRegress: *maxRegress}
+		if *zeroAlloc != "" {
+			opts.ZeroAlloc = strings.Split(*zeroAlloc, ",")
+		}
+		errs := Check(current, t.Latest(), opts)
+		for _, e := range errs {
+			fmt.Fprintln(stdout, "FAIL:", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d benchmark gate violation(s) against %s (PR %d record)", len(errs), *check, t.Latest().PR)
+		}
+		fmt.Fprintf(stdout, "ok: %d benchmarks within the committed trajectory (%s, PR %d record)\n",
+			len(current), *check, t.Latest().PR)
+		return nil
+	}
+}

@@ -1,0 +1,52 @@
+package consensus
+
+import (
+	"fmt"
+
+	"lvmajority/internal/mc"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// BlockTrialer is the optional capability of protocols whose engines can
+// advance many trials per call — the lockstep population kernel. When a
+// Protocol also implements BlockTrialer and TrialBlockLanes returns a
+// positive width, the estimators run it on the block pool: each worker
+// builds one block runner via NewTrialBlock and receives contiguous trial
+// ranges of that width. Trial rep of a block must draw only from
+// rng.NewStream(seed, rep) — the same stream the scalar Trial would use —
+// so a protocol's estimate is identical whether or not it opts in.
+type BlockTrialer interface {
+	Protocol
+	// TrialBlockLanes returns the preferred trials-per-call width, or 0
+	// when the protocol's current configuration wants trial-at-a-time.
+	TrialBlockLanes() int
+	// NewTrialBlock validates the (n, delta) configuration and returns a
+	// stateful single-goroutine block runner (see mc.BlockFunc).
+	NewTrialBlock(n, delta int) (func(seed uint64, lo, hi int, wins []bool) error, error)
+}
+
+// estimateBernoulli runs the protocol's trials under opts, dispatching to
+// the block pool when the protocol opts in via BlockTrialer. Both
+// EstimateWinProbability and EstimateWithEarlyStop funnel through here, so
+// the capability check lives in exactly one place.
+func estimateBernoulli(p Protocol, n, delta int, opts mc.BernoulliOptions) (stats.BernoulliEstimate, error) {
+	if bt, ok := p.(BlockTrialer); ok {
+		if lanes := bt.TrialBlockLanes(); lanes > 0 {
+			est, err := mc.EstimateBernoulliBlocks(opts, lanes, func() (mc.BlockFunc, error) {
+				return bt.NewTrialBlock(n, delta)
+			})
+			if err != nil {
+				return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial block failed: %w", err)
+			}
+			return est, nil
+		}
+	}
+	est, err := mc.EstimateBernoulli(opts, func(_ int, src *rng.Source) (bool, error) {
+		return p.Trial(n, delta, src)
+	})
+	if err != nil {
+		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", err)
+	}
+	return est, nil
+}

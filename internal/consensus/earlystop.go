@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"lvmajority/internal/mc"
-	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
 
@@ -33,16 +32,10 @@ func EstimateWithEarlyStop(p Protocol, n, delta int, target float64, opts Estima
 	if _, _, err := SplitInitial(n, delta); err != nil {
 		return stats.BernoulliEstimate{}, err
 	}
-	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+	return estimateBernoulli(p, n, delta, mc.BernoulliOptions{
 		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
 		Z:         opts.Z,
 		EarlyStop: true,
 		Target:    target,
-	}, func(_ int, src *rng.Source) (bool, error) {
-		return p.Trial(n, delta, src)
 	})
-	if err != nil {
-		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", err)
-	}
-	return est, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"lvmajority/internal/mc"
-	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
 
@@ -53,14 +52,8 @@ func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (sta
 	if _, _, err := SplitInitial(n, delta); err != nil {
 		return stats.BernoulliEstimate{}, err
 	}
-	est, err := mc.EstimateBernoulli(mc.BernoulliOptions{
+	return estimateBernoulli(p, n, delta, mc.BernoulliOptions{
 		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
 		Z:       opts.Z,
-	}, func(_ int, src *rng.Source) (bool, error) {
-		return p.Trial(n, delta, src)
 	})
-	if err != nil {
-		return stats.BernoulliEstimate{}, fmt.Errorf("consensus: trial failed: %w", err)
-	}
-	return est, nil
 }

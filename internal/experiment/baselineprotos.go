@@ -7,8 +7,13 @@ import (
 )
 
 // baselineProtocols returns every protocol compared in E-BASE, in
-// presentation order.
-func baselineProtocols() []consensus.Protocol {
+// presentation order. kernel selects the event loop of the population
+// protocols; the other entries have a single engine and ignore it.
+func baselineProtocols(kernel protocols.PopulationKernel) []consensus.Protocol {
+	am := protocols.NewThreeStateAM()
+	am.Kernel = kernel
+	exact := protocols.NewFourStateExact()
+	exact.Kernel = kernel
 	return []consensus.Protocol{
 		consensus.LVProtocol{
 			Params: lv.Neutral(1, 1, 1, 0, lv.SelfDestructive),
@@ -24,7 +29,7 @@ func baselineProtocols() []consensus.Protocol {
 		protocols.CondonProtocol{Variant: protocols.DoubleB},
 		protocols.CondonProtocol{Variant: protocols.HeavyB},
 		protocols.CondonProtocol{Variant: protocols.TriMajority},
-		protocols.NewThreeStateAM(),
-		protocols.NewFourStateExact(),
+		am,
+		exact,
 	}
 }

@@ -35,12 +35,23 @@ type BernoulliOptions struct {
 // batch boundaries are fixed, keeping the sequential path deterministic
 // too.
 func EstimateBernoulli(opts BernoulliOptions, trial func(rep int, src *rng.Source) (bool, error)) (stats.BernoulliEstimate, error) {
+	return estimateBernoulli(opts, func(lo, hi int, opts Options) (int, error) {
+		return countWins(lo, hi, opts, trial)
+	})
+}
+
+// estimateBernoulli is the estimator shared by the scalar and block trial
+// pools: count runs trials [lo, hi) and returns the number of successes.
+// Both the fixed-size and the sequential path depend on the trial source
+// only through count, so the batch boundaries the early-stop logic inspects
+// are identical however the trials are executed.
+func estimateBernoulli(opts BernoulliOptions, count func(lo, hi int, opts Options) (int, error)) (stats.BernoulliEstimate, error) {
 	opts.Options = opts.Options.normalized()
 	if opts.Z <= 0 {
 		opts.Z = stats.Z99
 	}
 	if !opts.EarlyStop {
-		wins, err := countWins(0, opts.Replicates, opts.Options, trial)
+		wins, err := count(0, opts.Replicates, opts.Options)
 		if err != nil {
 			return stats.BernoulliEstimate{}, err
 		}
@@ -66,7 +77,7 @@ func EstimateBernoulli(opts BernoulliOptions, trial func(rep int, src *rng.Sourc
 		if trials+size > opts.Replicates {
 			size = opts.Replicates - trials
 		}
-		wins, err := countWins(trials, trials+size, opts.Options, trial)
+		wins, err := count(trials, trials+size, opts.Options)
 		if err != nil {
 			return stats.BernoulliEstimate{}, err
 		}
@@ -100,11 +111,5 @@ func countWins(lo, hi int, opts Options, trial func(rep int, src *rng.Source) (b
 	if err != nil {
 		return 0, err
 	}
-	total := 0
-	for _, w := range wins {
-		if w {
-			total++
-		}
-	}
-	return total, nil
+	return countTrue(wins), nil
 }

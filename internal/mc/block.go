@@ -1,0 +1,137 @@
+package mc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lvmajority/internal/stats"
+)
+
+// BlockFunc advances one whole block of Bernoulli trials: indices [lo, hi)
+// of the run, writing trial rep's outcome to wins[rep-lo]. Trial rep must
+// draw its randomness only from rng.NewStream(seed, rep) — the same
+// index-keyed stream contract as the scalar pool — so block boundaries and
+// worker counts can never change results. A BlockFunc may be stateful (the
+// lockstep engines own their lane planes) and is never called concurrently;
+// the pool builds one per worker via newWorker.
+type BlockFunc func(seed uint64, lo, hi int, wins []bool) error
+
+// EstimateBernoulliBlocks is EstimateBernoulli for trial sources that
+// advance whole blocks of trials per call, such as the lockstep population
+// kernel. lanes is the preferred block width: the pool hands each worker
+// contiguous index ranges of size min(lanes, remaining), so every block but
+// the last is full-width.
+//
+// The block-size heuristic interacts with early stopping as follows: the
+// sequential estimator's batch boundaries are identical to the scalar
+// path's (they depend only on Replicates and BatchSize), and each batch is
+// subdivided into blocks of at most lanes trials. A batch therefore costs
+// at most ⌈size/lanes⌉ block calls, and the estimator still inspects the
+// Wilson interval at exactly the scalar batch boundaries — early stopping
+// terminates at the same trial count, with the same estimate, as the
+// scalar path, never more than one batch beyond the stopping point.
+func EstimateBernoulliBlocks(opts BernoulliOptions, lanes int, newWorker func() (BlockFunc, error)) (stats.BernoulliEstimate, error) {
+	if lanes <= 0 {
+		return stats.BernoulliEstimate{}, fmt.Errorf("mc: non-positive block width %d", lanes)
+	}
+	return estimateBernoulli(opts, func(lo, hi int, opts Options) (int, error) {
+		return countWinsBlocks(lo, hi, opts, lanes, newWorker)
+	})
+}
+
+// countWinsBlocks runs trials [lo, hi) in blocks of at most lanes trials
+// and counts successes. Like runPool, index ranges are handed out through
+// an atomic cursor, so the assignment of blocks to workers is
+// scheduling-dependent while results are not.
+func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (BlockFunc, error)) (int, error) {
+	n := hi - lo
+	if n <= 0 {
+		return 0, nil
+	}
+	wins := make([]bool, n)
+	interrupted := func() error {
+		if opts.Interrupt == nil {
+			return nil
+		}
+		return opts.Interrupt()
+	}
+	workers := opts.Workers
+	if blocks := (n + lanes - 1) / lanes; workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		fn, err := newWorker()
+		if err != nil {
+			return 0, err
+		}
+		for b := lo; b < hi; b += lanes {
+			if err := interrupted(); err != nil {
+				return 0, err
+			}
+			end := b + lanes
+			if end > hi {
+				end = hi
+			}
+			if err := fn(opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
+				return 0, err
+			}
+		}
+		return countTrue(wins), nil
+	}
+
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn, err := newWorker()
+			if err != nil {
+				errs[w] = err
+				failed.Store(true)
+				return
+			}
+			for !failed.Load() {
+				if err := interrupted(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				b := int(next.Add(int64(lanes))) - lanes
+				if b >= hi {
+					return
+				}
+				end := b + lanes
+				if end > hi {
+					end = hi
+				}
+				if err := fn(opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return countTrue(wins), nil
+}
+
+func countTrue(wins []bool) int {
+	total := 0
+	for _, w := range wins {
+		if w {
+			total++
+		}
+	}
+	return total
+}

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"fmt"
 	"testing"
 
 	"lvmajority/internal/rng"
@@ -49,4 +50,46 @@ func BenchmarkPopulationKernel(b *testing.B) {
 		p := NewThreeStateAM()
 		benchKernel(b, p.run)
 	})
+	b.Run("lockstep", func(b *testing.B) {
+		benchLockstep(b, DefaultLockstepLanes)
+	})
+}
+
+// benchLockstep prices the lockstep block engine on the same workload: one
+// op is a full block of `lanes` trials, and ns/event divides by the summed
+// per-lane interaction ticks the engine accounts — the same law (and,
+// lane for lane, the same byte-exact executions) as the batch kernel
+// above. The engine is built once; steady state must not allocate.
+func benchLockstep(b *testing.B, lanes int) {
+	b.Helper()
+	p := NewThreeStateAM()
+	p.Kernel = KernelLockstep
+	p.Lanes = lanes
+	e, err := p.newLockstep(10_000, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wins := make([]bool, lanes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.runBlock(1, i*lanes, (i+1)*lanes, wins); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if e.ticks == 0 {
+		b.Fatal("no interactions simulated")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(e.ticks), "ns/event")
+}
+
+// BenchmarkLockstepLanes prices the lane-width knob: ILP across per-lane
+// RNG chains saturates well below the maximum width, while wider blocks
+// retire stragglers more smoothly.
+func BenchmarkLockstepLanes(b *testing.B) {
+	for _, lanes := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("R%d", lanes), func(b *testing.B) {
+			benchLockstep(b, lanes)
+		})
+	}
 }

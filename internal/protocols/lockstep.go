@@ -1,0 +1,717 @@
+package protocols
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lvmajority/internal/rng"
+)
+
+// Lane widths of the lockstep kernel. The default is wide enough that the
+// out-of-order window always has several independent lanes' instruction
+// streams to overlap (the scalar batch kernel is latency-bound on one
+// serial generator chain) while the whole working set — count rows,
+// generator states, interaction counters — stays inside L1.
+const (
+	DefaultLockstepLanes = 128
+	MaxLockstepLanes     = 256
+)
+
+// Layout of a lane's record in lockstepEngine.rec: stride-8 uint64s,
+// words 0..3 generator state, word 4 the step counter with the dirty
+// flag in the top bit, word 5 the wins index.
+const (
+	recShift = 3 // record base = lane << recShift
+	recStep  = 4
+	recWin   = 5
+	dirtyBit = uint64(1) << 63
+	stepMask = dirtyBit - 1
+)
+
+// TrialBlockLanes implements the consensus.BlockTrialer capability: a
+// positive return asks the Monte-Carlo pool to hand this protocol whole
+// trial blocks of that width instead of single trials. Only the lockstep
+// kernel opts in; the other kernels run trial-at-a-time.
+func (p *PopulationProtocol) TrialBlockLanes() int {
+	if p.Kernel != KernelLockstep {
+		return 0
+	}
+	if p.Lanes != 0 {
+		return p.Lanes
+	}
+	return DefaultLockstepLanes
+}
+
+// NewTrialBlock validates the configuration once and returns a block
+// runner advancing up to TrialBlockLanes trials in lockstep. The runner is
+// stateful (it owns the lane planes) and not safe for concurrent use; the
+// pool builds one per worker. Replicate rep of a block draws only from
+// rng.NewStream(seed, rep) — exactly the stream and exactly the draw
+// sequence the batch kernel's scalar Trial would consume — so results are
+// byte-identical to KernelBatch, for every worker count and every lane
+// packing.
+func (p *PopulationProtocol) NewTrialBlock(n, delta int) (func(seed uint64, lo, hi int, wins []bool) error, error) {
+	e, err := p.newLockstep(n, delta)
+	if err != nil {
+		return nil, err
+	}
+	return e.runBlock, nil
+}
+
+// lockstepEngine is the structure-of-arrays block engine behind
+// KernelLockstep. All per-lane state lives in flat lane-major planes —
+// counts row, generator words, interaction counter — so one lane's whole
+// round touches two or three cache lines and the rest of the round runs
+// in registers.
+//
+// One round advances every active lane by exactly one effective
+// interaction (or retires it), replaying the scalar batch loop's phases
+// per lane: decide (budget, Done), weigh (the non-null pair pass), skip
+// nulls (tick-by-tick uniforms or one geometric draw), and fire (Lemire
+// bounded draw, integer-weight pair scan, count update). The phases are
+// fused into a single pass per lane: the generator state loads once per
+// round into registers and every tick draw is an inlined rng.Next4, so a
+// round costs four state loads and stores, a handful of count-row
+// accesses, and register arithmetic. The speedup over the scalar kernel
+// is instruction-level parallelism: consecutive lanes have no data
+// dependence, so the CPU overlaps their rounds — but only as far as it
+// can speculate past the round's branches. The tick loop's exit is
+// decided by the draw itself, which makes a naive "draw until effective"
+// loop mispredict on most rounds and flush exactly the cross-lane work
+// the layout exists to expose. runBlock therefore speculates in
+// software: each tick iteration draws two uniforms unconditionally,
+// classifies both with sign-bit arithmetic instead of compares-and-
+// branches, and selects the surviving generator state with a mask blend,
+// so the only data-dependent branch left is the loop-back when both
+// draws were nulls (~15% taken in the tick regime, cheap to predict).
+// The unconsumed second draw is discarded by keeping the one-draw state,
+// which preserves the scalar kernel's draw-for-draw stream consumption.
+//
+// Decided lanes retire immediately: their slot is refilled with the next
+// replicate of the block while any remain, then swap-compacted away, so
+// the tail of a block never serializes on stragglers.
+type lockstepEngine struct {
+	p   *PopulationProtocol
+	tab *popTable
+
+	n, a, b         int
+	states          int
+	maxInteractions int
+	total           int64
+	ftotal          float64
+	lanes           int // R: lane capacity
+
+	counts []uint32 // [lane*states + state]
+
+	// rec packs everything else a lane owns into one stride-8 record —
+	// words 0..3 the xoshiro256++ state, word 4 the interaction counter
+	// with the dirty flag in its top bit, word 5 the index into the
+	// block's wins slice. One slice header instead of four keeps the
+	// sweeps' register pressure down (the hot loop's live set is what
+	// spills), the base index is a shift, and a lane's whole record sits
+	// in one cache line.
+	rec []uint64
+
+	scratch []int // states; gathered counts for the Done closure fallback
+
+	// Flattened DoneWhenZero rules (empty → Done closure fallback):
+	// rule rI is decided when the counts of states
+	// ruleState[ruleStart[rI]:ruleStart[rI+1]] are all zero, and
+	// ruleWin[rI] names the winner.
+	ruleStart []int32
+	ruleState []int32
+	ruleWin   []int32
+
+	// Per-effective-pair tables, in compiled pair order. pairDadj is 1 on
+	// the diagonal (t == s, where one agent must not be counted twice)
+	// and 0 elsewhere, so cs·(ct − dadj) is the selection weight in both
+	// cases. deltaState/deltaVal hold each pair's net count update —
+	// commonly two entries, where the literal four ±1 updates of the
+	// scalar loop often cancel.
+	pairS, pairT []int32
+	pairDadj     []int64
+	deltaStart   []int32
+	deltaState   []int32
+	deltaVal     []uint32 // two's-complement ±k, added to uint32 counts
+	deltaPacked  []uint64 // deltaState<<32 | deltaVal: one load per update
+
+	// wv stages the current lane's per-pair weights between the weigh
+	// pass and the fire scan. One tiny row reused for every lane: the
+	// scan then subtracts staged values instead of redoing the count
+	// loads and multiplies on its serial remainder chain.
+	wv []int64
+
+	// fast4 selects the straight-line sweep specialized for the dominant
+	// compiled shape — exactly four effective off-diagonal pairs, two
+	// net count updates per pair, and DoneWhenZero rules — which every
+	// catalog protocol with three states compiles to. The generic
+	// sweep's tiny dynamic-trip loops (weigh, scan, deltas, rules) each
+	// retire a taken branch per iteration, and the front end redirects
+	// fetch on every one; the specialized sweep unrolls them into
+	// branch-free straight-line code and keeps the four pair weights in
+	// registers. wire4 byte-packs the four (s, t) state pairs so the
+	// whole wiring rides in one register.
+	fast4 bool
+	wire4 uint64
+
+	active  int
+	nextRep int
+	seed    uint64
+
+	// ticks accumulates the interaction ticks of every finished lane
+	// (including skipped nulls), the same accounting the scalar kernels
+	// report from run; benchmarks read it to price one simulated event.
+	ticks int64
+}
+
+// newLockstep validates the protocol and the (n, delta) configuration once
+// and allocates the lane planes. Everything runBlock touches afterwards is
+// preallocated here, so the steady state of a block run performs no
+// allocation at all.
+func (p *PopulationProtocol) newLockstep(n, delta int) (*lockstepEngine, error) {
+	tab, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("protocols: population %d too small", n)
+	}
+	if delta < 0 || (n-delta)%2 != 0 || delta > n-2 {
+		return nil, fmt.Errorf("protocols: infeasible gap %d for n=%d", delta, n)
+	}
+	if n > math.MaxUint32 {
+		return nil, fmt.Errorf("protocols: population %d overflows the lockstep count planes", n)
+	}
+	if p.Lanes < 0 || p.Lanes > MaxLockstepLanes {
+		return nil, fmt.Errorf("protocols: lockstep lane width %d outside 1..%d", p.Lanes, MaxLockstepLanes)
+	}
+	r := p.TrialBlockLanes()
+	if r == 0 {
+		// The engine is usable with any kernel setting (tests drive it
+		// directly); default the width when the capability is off.
+		r = DefaultLockstepLanes
+	}
+	states := p.NumStates
+	b := (n - delta) / 2
+	e := &lockstepEngine{
+		p: p, tab: tab,
+		n: n, a: n - b, b: b,
+		states:          states,
+		maxInteractions: p.maxInteractions(n),
+		total:           int64(n) * int64(n-1),
+		ftotal:          float64(int64(n) * int64(n-1)),
+		lanes:           r,
+		counts:          make([]uint32, r*states),
+		rec:             make([]uint64, r<<recShift),
+		scratch:         make([]int, states),
+	}
+	e.ruleStart = append(e.ruleStart, 0)
+	for _, rule := range tab.doneZero {
+		e.ruleState = append(e.ruleState, rule.zero...)
+		e.ruleStart = append(e.ruleStart, int32(len(e.ruleState)))
+		e.ruleWin = append(e.ruleWin, rule.winner)
+	}
+	e.deltaStart = append(e.deltaStart, 0)
+	delta4 := make([]int, states)
+	for i := range tab.eff {
+		s, t := tab.effS[i], tab.effT[i]
+		e.pairS = append(e.pairS, s)
+		e.pairT = append(e.pairT, t)
+		var dadj int64
+		if s == t {
+			dadj = 1
+		}
+		e.pairDadj = append(e.pairDadj, dadj)
+		for st := range delta4 {
+			delta4[st] = 0
+		}
+		delta4[s]--
+		delta4[t]--
+		delta4[tab.effNi[i]]++
+		delta4[tab.effNr[i]]++
+		for st, dv := range delta4 {
+			if dv != 0 {
+				e.deltaState = append(e.deltaState, int32(st))
+				e.deltaVal = append(e.deltaVal, uint32(int32(dv)))
+			}
+		}
+		e.deltaStart = append(e.deltaStart, int32(len(e.deltaState)))
+	}
+	for d := range e.deltaState {
+		e.deltaPacked = append(e.deltaPacked, uint64(uint32(e.deltaState[d]))<<32|uint64(e.deltaVal[d]))
+	}
+	e.wv = make([]int64, len(e.pairS))
+	e.fast4 = len(e.pairS) == 4 && len(tab.doneZero) > 0 && states <= math.MaxUint8
+	for i := 0; e.fast4 && i < 4; i++ {
+		if e.deltaStart[i+1]-e.deltaStart[i] != 2 || e.pairDadj[i] != 0 {
+			e.fast4 = false
+		}
+	}
+	if e.fast4 {
+		for i := 0; i < 4; i++ {
+			e.wire4 |= uint64(uint8(e.pairS[i]))<<(16*i) | uint64(uint8(e.pairT[i]))<<(16*i+8)
+		}
+	}
+	return e, nil
+}
+
+// initLane seeds lane li with replicate rep: the replicate's own
+// index-keyed stream, fresh initial counts, a zero interaction counter
+// marked dirty so the first round decides.
+func (e *lockstepEngine) initLane(li, rep, lo int) {
+	s0, s1, s2, s3 := rng.StreamState4(e.seed, uint64(rep))
+	b := li << recShift
+	e.rec[b], e.rec[b+1], e.rec[b+2], e.rec[b+3] = s0, s1, s2, s3
+	e.rec[b+recStep] = dirtyBit
+	e.rec[b+recWin] = uint64(rep - lo)
+	base := li * e.states
+	for s := 0; s < e.states; s++ {
+		e.counts[base+s] = 0
+	}
+	e.counts[base+e.p.MajorityState] += uint32(e.a)
+	e.counts[base+e.p.MinorityState] += uint32(e.b)
+}
+
+// finishLane records lane li's outcome and frees its slot: refilled with
+// the block's next replicate while any remain, otherwise swap-compacted
+// against the last active lane. The caller re-examines index li, which now
+// holds either the fresh replicate or the swapped-in lane.
+func (e *lockstepEngine) finishLane(li int, won bool, wins []bool, hi, lo int) {
+	b := li << recShift
+	wins[e.rec[b+recWin]] = won
+	e.ticks += int64(e.rec[b+recStep] & stepMask)
+	if e.nextRep < hi {
+		e.initLane(li, e.nextRep, lo)
+		e.nextRep++
+		return
+	}
+	e.active--
+	last := e.active
+	if li == last {
+		return
+	}
+	ns := e.states
+	copy(e.counts[li*ns:li*ns+ns], e.counts[last*ns:last*ns+ns])
+	copy(e.rec[b:b+6], e.rec[last<<recShift:last<<recShift+6])
+}
+
+// runBlock runs replicates [lo, hi), writing each outcome to wins[rep-lo].
+// Blocks wider than the lane capacity are handled by refilling retired
+// lanes, so any block size is accepted.
+func (e *lockstepEngine) runBlock(seed uint64, lo, hi int, wins []bool) error {
+	if hi < lo {
+		return fmt.Errorf("protocols: lockstep block [%d, %d) is inverted", lo, hi)
+	}
+	if len(wins) != hi-lo {
+		return fmt.Errorf("protocols: lockstep block [%d, %d) with %d result slots", lo, hi, len(wins))
+	}
+	e.seed = seed
+	e.active = hi - lo
+	if e.active > e.lanes {
+		e.active = e.lanes
+	}
+	e.nextRep = lo + e.active
+	for li := 0; li < e.active; li++ {
+		e.initLane(li, lo+li, lo)
+	}
+	if e.fast4 {
+		return e.sweep4(lo, hi, wins)
+	}
+	return e.sweepN(lo, hi, wins)
+}
+
+// sweepN is the generic round loop, correct for any compiled shape. It
+// decides every round (the Done closure fallback has no zero-crossing
+// structure to exploit) and walks the pair and delta tables with short
+// dynamic-trip loops.
+func (e *lockstepEngine) sweepN(lo, hi int, wins []bool) error {
+	ns := e.states
+	pairs := len(e.pairS)
+	maxI := e.maxInteractions
+	total, ftotal := e.total, e.ftotal
+	tscale := float64(1<<53) / ftotal
+	counts, rec := e.counts, e.rec
+	pairS, pairT, pairDadj, wv := e.pairS, e.pairT, e.pairDadj, e.wv
+	deltaStart, deltaState, deltaVal := e.deltaStart, e.deltaState, e.deltaVal
+	ruleStart, ruleState, ruleWin := e.ruleStart, e.ruleState, e.ruleWin
+	nRules := len(ruleWin)
+
+	for active := e.active; active > 0; active = e.active {
+		for li := 0; li < active; {
+			base := li * ns
+			rb := li << recShift
+			step := int(rec[rb+recStep] & stepMask)
+			// Budget before Done, matching the scalar loop — a lane whose
+			// final permitted interaction reaches consensus still scores
+			// as undecided, because it never observes the final state.
+			if step >= maxI {
+				e.finishLane(li, false, wins, hi, lo)
+				active = e.active
+				continue
+			}
+			// Decide. The flattened DoneWhenZero rules need a couple of
+			// loads from this lane's count row; the closure fallback
+			// gathers the row and pays an indirect call.
+			if nRules > 0 {
+				winner := int32(-2)
+				for rI := 0; rI < nRules; rI++ {
+					var acc uint32
+					for d := ruleStart[rI]; d < ruleStart[rI+1]; d++ {
+						acc |= counts[base+int(ruleState[d])]
+					}
+					if acc == 0 {
+						winner = ruleWin[rI]
+						break
+					}
+				}
+				if winner != -2 {
+					e.finishLane(li, winner == 0, wins, hi, lo)
+					active = e.active
+					continue
+				}
+			} else {
+				scratch := e.scratch
+				for s := 0; s < ns; s++ {
+					scratch[s] = int(counts[base+s])
+				}
+				if isDone, winner := e.p.Done(scratch); isDone {
+					e.finishLane(li, winner == 0, wins, hi, lo)
+					active = e.active
+					continue
+				}
+			}
+
+			// Weigh: total selection weight of the non-null pairs, staged
+			// per pair for the fire scan. The diagonal adjustment
+			// cs·(cs−1) is never negative, so the scalar kernel's clamp
+			// is implied.
+			var w int64
+			for i := 0; i < pairs; i++ {
+				cs := int64(counts[base+int(pairS[i])])
+				ct := int64(counts[base+int(pairT[i])])
+				wi := cs * (ct - pairDadj[i])
+				wv[i] = wi
+				w += wi
+			}
+			if w == 0 {
+				// No selectable effective pair: the counts can never
+				// change again, and the scalar loop would spin to the
+				// budget. Charge the full budget; the next decide pass
+				// retires the lane undecided.
+				rec[rb+recStep] = uint64(maxI)
+				li++
+				continue
+			}
+
+			// The lane's generator runs in registers for the rest of the
+			// round; every draw below is an inlined state-passing step.
+			s0, s1, s2, s3 := rec[rb], rec[rb+1], rec[rb+2], rec[rb+3]
+			var u uint64
+			if w < total {
+				if 8*w >= total {
+					// Moderate null fraction: skip nulls tick by tick,
+					// one uniform each, ending on the first effective
+					// tick — cheaper than the geometric's logarithm.
+					//
+					// Each iteration draws a speculative pair of
+					// uniforms and rolls the generator back to the
+					// one-draw state when the first tick was already
+					// effective, so the stream consumption matches the
+					// scalar draw-until-effective loop exactly while the
+					// loop body stays free of data-dependent branches:
+					// n1/n2 classify the two ticks with one integer
+					// subtract against thr, and the surviving state is
+					// a mask blend.
+					//
+					// thr approximates the integer form of the scalar
+					// Float64 compare: fl(k·2⁻⁵³·total) is monotone in
+					// the 53-bit draw k, so the compare is a threshold
+					// test on k. thr — the hoisted reciprocal scale
+					// 2⁵³/total times w, truncated — carries two
+					// roundings plus the truncation and the predicate's
+					// own rounding, so it sits within ±6 of the true
+					// boundary (each error ≤ 2⁻⁵³ relative on a value
+					// ≤ 2⁵³). Draws at least 9 away from thr classify
+					// with pure integer arithmetic; the window around
+					// it (hit with probability ~2⁻⁴⁹) falls back to
+					// the original predicate, keeping classification
+					// byte-identical to the scalar kernel.
+					fw := float64(w)
+					thr := uint64(fw * tscale)
+					blown := false
+					for {
+						var u1, u2 uint64
+						var t0, t1, t2, t3 uint64
+						u1, t0, t1, t2, t3 = rng.Next4(s0, s1, s2, s3)
+						u2, s0, s1, s2, s3 = rng.Next4(t0, t1, t2, t3)
+						k1 := u1 >> 11
+						k2 := u2 >> 11
+						n1 := ((k1 - thr) >> 63) ^ 1
+						n2 := ((k2 - thr) >> 63) ^ 1
+						if k1-thr+8 < 17 {
+							n1 = 1
+							if float64(k1)/(1<<53)*ftotal < fw {
+								n1 = 0
+							}
+						}
+						if k2-thr+8 < 17 {
+							n2 = 1
+							if float64(k2)/(1<<53)*ftotal < fw {
+								n2 = 0
+							}
+						}
+						m := -n1 // all ones when the first tick was a null
+						s0 = t0 ^ (m & (t0 ^ s0))
+						s1 = t1 ^ (m & (t1 ^ s1))
+						s2 = t2 ^ (m & (t2 ^ s2))
+						s3 = t3 ^ (m & (t3 ^ s3))
+						step += int(n1)
+						if step >= maxI {
+							// Budget blown on the first null: the scalar
+							// loop stops before drawing again, so only
+							// the first draw is consumed.
+							s0, s1, s2, s3 = t0, t1, t2, t3
+							blown = true
+							break
+						}
+						if n1&n2 == 0 {
+							break
+						}
+						step++
+						if step >= maxI {
+							blown = true
+							break
+						}
+					}
+					if blown {
+						rec[rb+recStep] = uint64(step)
+						rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+						li++
+						continue
+					}
+				} else {
+					// Null-dominated state: one geometric draw replaces
+					// the whole run of null ticks.
+					remaining := maxI - step
+					var nulls int
+					nulls, s0, s1, s2, s3 = rng.GeometricCapped4(s0, s1, s2, s3, float64(w)/ftotal, remaining)
+					if nulls >= remaining {
+						rec[rb+recStep] = uint64(maxI)
+						rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+						li++
+						continue
+					}
+					step += nulls
+				}
+			}
+			// The effective interaction itself consumes one tick.
+			step++
+
+			// Fire: Lemire bounded draw (fast path inline, rejection out
+			// of line), then the integer-weight pair scan over the staged
+			// weights. The scan is branch-free over all compiled pairs:
+			// once the running remainder goes negative it stays negative,
+			// so counting the non-negative prefixes (the inverted sign
+			// bit) names the sampled pair.
+			u, s0, s1, s2, s3 = rng.Next4(s0, s1, s2, s3)
+			mhi, mlo := bits.Mul64(u, uint64(w))
+			if mlo < uint64(w) {
+				mhi, s0, s1, s2, s3 = rng.Uint64NRetry4(s0, s1, s2, s3, mhi, mlo, uint64(w))
+			}
+			// The draw lies under one of the staged weights (mhi < w), so
+			// the last pair needs no subtraction: reaching it non-negative
+			// already names it.
+			v := int64(mhi)
+			pair := 0
+			for i := 0; i < pairs-1; i++ {
+				v -= wv[i]
+				pair += int(^uint64(v) >> 63)
+			}
+			for d := deltaStart[pair]; d < deltaStart[pair+1]; d++ {
+				counts[base+int(deltaState[d])] += deltaVal[d]
+			}
+			rec[rb+recStep] = uint64(step)
+			rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+			li++
+		}
+	}
+	return nil
+}
+
+// sweep4 is the round loop specialized for the fast4 shape: four
+// effective pairs, two net count updates per pair, DoneWhenZero rules.
+// It is byte-for-byte the same computation as sweepN — every draw, every
+// comparison, every count update in the same order — with the dynamic
+// pair loops unrolled into straight-line code, the four pair weights
+// held in registers end to end, and the decide pass gated on the dirty
+// flag so it runs only on rounds that follow a zero-crossing count
+// update (or open a fresh replicate).
+func (e *lockstepEngine) sweep4(lo, hi int, wins []bool) error {
+	ns := e.states
+	maxI := e.maxInteractions
+	total, ftotal := e.total, e.ftotal
+	tscale := float64(1<<53) / ftotal
+	counts, rec := e.counts, e.rec
+	deltaPk := e.deltaPacked
+	// The pair wiring rides in one register; the rule tables load inside
+	// the cold dirty branch. Everything the hot path keeps live has to
+	// fit the register file, or the loop head turns into stack reloads.
+	wire := e.wire4
+
+	for active := e.active; active > 0; active = e.active {
+		for li := 0; li < active; {
+			base := li * ns
+			rb := li << recShift
+			sd := rec[rb+recStep]
+			step := int(sd & stepMask)
+			if step >= maxI {
+				e.finishLane(li, false, wins, hi, lo)
+				active = e.active
+				continue
+			}
+			if sd >= dirtyBit {
+				rec[rb+recStep] = sd &^ dirtyBit
+				ruleStart, ruleState, ruleWin := e.ruleStart, e.ruleState, e.ruleWin
+				winner := int32(-2)
+				for rI := 0; rI < len(ruleWin); rI++ {
+					var acc uint32
+					for d := ruleStart[rI]; d < ruleStart[rI+1]; d++ {
+						acc |= counts[base+int(ruleState[d])]
+					}
+					if acc == 0 {
+						winner = ruleWin[rI]
+						break
+					}
+				}
+				if winner != -2 {
+					e.finishLane(li, winner == 0, wins, hi, lo)
+					active = e.active
+					continue
+				}
+			}
+
+			w0 := int64(counts[base+int(wire&0xff)]) * int64(counts[base+int(wire>>8&0xff)])
+			w1 := int64(counts[base+int(wire>>16&0xff)]) * int64(counts[base+int(wire>>24&0xff)])
+			w2 := int64(counts[base+int(wire>>32&0xff)]) * int64(counts[base+int(wire>>40&0xff)])
+			w3 := int64(counts[base+int(wire>>48&0xff)]) * int64(counts[base+int(wire>>56)])
+			w := w0 + w1 + w2 + w3
+			if w == 0 {
+				rec[rb+recStep] = uint64(maxI)
+				li++
+				continue
+			}
+
+			s0, s1, s2, s3 := rec[rb], rec[rb+1], rec[rb+2], rec[rb+3]
+			var u uint64
+			if w < total {
+				if 8*w >= total {
+					// The speculative two-draw tick loop of sweepN,
+					// verbatim; see the comments there.
+					fw := float64(w)
+					thr := uint64(fw * tscale)
+					blown := false
+					for {
+						var u1, u2 uint64
+						var t0, t1, t2, t3 uint64
+						u1, t0, t1, t2, t3 = rng.Next4(s0, s1, s2, s3)
+						u2, s0, s1, s2, s3 = rng.Next4(t0, t1, t2, t3)
+						k1 := u1 >> 11
+						k2 := u2 >> 11
+						n1 := ((k1 - thr) >> 63) ^ 1
+						n2 := ((k2 - thr) >> 63) ^ 1
+						if k1-thr+8 < 17 {
+							n1 = 1
+							if float64(k1)/(1<<53)*ftotal < fw {
+								n1 = 0
+							}
+						}
+						if k2-thr+8 < 17 {
+							n2 = 1
+							if float64(k2)/(1<<53)*ftotal < fw {
+								n2 = 0
+							}
+						}
+						m := -n1
+						s0 = t0 ^ (m & (t0 ^ s0))
+						s1 = t1 ^ (m & (t1 ^ s1))
+						s2 = t2 ^ (m & (t2 ^ s2))
+						s3 = t3 ^ (m & (t3 ^ s3))
+						step += int(n1)
+						if step >= maxI {
+							s0, s1, s2, s3 = t0, t1, t2, t3
+							blown = true
+							break
+						}
+						if n1&n2 == 0 {
+							break
+						}
+						step++
+						if step >= maxI {
+							blown = true
+							break
+						}
+					}
+					if blown {
+						rec[rb+recStep] = uint64(step)
+						rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+						li++
+						continue
+					}
+				} else {
+					remaining := maxI - step
+					var nulls int
+					nulls, s0, s1, s2, s3 = rng.GeometricCapped4(s0, s1, s2, s3, float64(w)/ftotal, remaining)
+					if nulls >= remaining {
+						rec[rb+recStep] = uint64(maxI)
+						rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+						li++
+						continue
+					}
+					step += nulls
+				}
+			}
+			step++
+
+			u, s0, s1, s2, s3 = rng.Next4(s0, s1, s2, s3)
+			mhi, mlo := bits.Mul64(u, uint64(w))
+			if mlo < uint64(w) {
+				mhi, s0, s1, s2, s3 = rng.Uint64NRetry4(s0, s1, s2, s3, mhi, mlo, uint64(w))
+			}
+			// Unrolled non-negative-prefix scan over the register weights;
+			// the last pair needs no subtraction (mhi < w).
+			v := int64(mhi)
+			v -= w0
+			pair := int(^uint64(v) >> 63)
+			v -= w1
+			pair += int(^uint64(v) >> 63)
+			v -= w2
+			pair += int(^uint64(v) >> 63)
+
+			// Two net updates per pair at a fixed stride; a result of
+			// zero is a potential DoneWhenZero trigger and marks the
+			// lane for the decide pass.
+			d := pair * 2
+			e0 := deltaPk[d]
+			e1 := deltaPk[d+1]
+			ia := base + int(e0>>32)
+			ib := base + int(e1>>32)
+			na := counts[ia] + uint32(e0)
+			counts[ia] = na
+			nb := counts[ib] + uint32(e1)
+			counts[ib] = nb
+			var dz uint64
+			if na == 0 {
+				dz = dirtyBit
+			}
+			if nb == 0 {
+				dz = dirtyBit
+			}
+
+			rec[rb+recStep] = uint64(step) | dz
+			rec[rb], rec[rb+1], rec[rb+2], rec[rb+3] = s0, s1, s2, s3
+			li++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/rng"
+	"lvmajority/internal/stats"
+)
+
+// runBatchOracle runs replicate rep the way the scalar batch kernel would
+// inside the Monte-Carlo pool: on its own index-keyed stream.
+func runBatchOracle(t *testing.T, p *PopulationProtocol, n, delta int, seed uint64, rep int) (bool, int) {
+	t.Helper()
+	won, steps, err := p.run(n, delta, rng.NewStream(seed, uint64(rep)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return won, steps
+}
+
+// TestLockstepByteIdenticalToBatch is the engine's ground truth: every
+// lane of a lockstep block must reproduce the scalar batch kernel's
+// outcome for the same replicate stream, byte for byte, on every protocol
+// shape in the repository — including blocks larger than the lane width
+// (exercising refill) and blocks smaller than it (exercising
+// swap-compaction of a partially filled engine).
+func TestLockstepByteIdenticalToBatch(t *testing.T) {
+	makers := []func() *PopulationProtocol{NewThreeStateAM, NewFourStateExact, NewTernarySignaling, newVoterProtocol}
+	for _, mk := range makers {
+		oracle := mk()
+		p := mk()
+		p.Kernel = KernelLockstep
+		p.Lanes = 8
+		for _, tc := range []struct{ n, delta int }{{16, 2}, {40, 4}, {61, 3}, {50, 0}} {
+			for _, span := range []struct{ lo, hi int }{{0, 3}, {0, 8}, {5, 32}} {
+				block, err := p.NewTrialBlock(tc.n, tc.delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wins := make([]bool, span.hi-span.lo)
+				if err := block(9, span.lo, span.hi, wins); err != nil {
+					t.Fatal(err)
+				}
+				for rep := span.lo; rep < span.hi; rep++ {
+					want, _ := runBatchOracle(t, oracle, tc.n, tc.delta, 9, rep)
+					if wins[rep-span.lo] != want {
+						t.Fatalf("%s n=%d delta=%d rep=%d block [%d,%d): lockstep %v, batch %v",
+							p.Name(), tc.n, tc.delta, rep, span.lo, span.hi, wins[rep-span.lo], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepTickAccounting checks that the engine's interaction-tick
+// accounting (the benchmark denominator) equals the scalar kernel's
+// reported interaction counts summed over the block.
+func TestLockstepTickAccounting(t *testing.T) {
+	p := NewThreeStateAM()
+	p.Kernel = KernelLockstep
+	p.Lanes = 16
+	e, err := p.newLockstep(60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 0, 40
+	wins := make([]bool, hi-lo)
+	if err := e.runBlock(33, lo, hi, wins); err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewThreeStateAM()
+	var want int64
+	for rep := lo; rep < hi; rep++ {
+		_, steps := runBatchOracle(t, oracle, 60, 4, 33, rep)
+		want += int64(steps)
+	}
+	if e.ticks != want {
+		t.Fatalf("lockstep accounted %d ticks, scalar batch kernel %d", e.ticks, want)
+	}
+}
+
+// TestLockstepLaneCountInvariance pins the ISSUE's determinism contract:
+// R = 1, 64, and 256 produce byte-identical per-trial outcomes, because
+// every lane draws only from its replicate's index-keyed stream — the lane
+// width decides packing, never randomness.
+func TestLockstepLaneCountInvariance(t *testing.T) {
+	const n, delta, seed = 80, 4, 17
+	const reps = 300
+	var baseline []bool
+	for _, lanes := range []int{1, 64, 256} {
+		p := NewThreeStateAM()
+		p.Kernel = KernelLockstep
+		p.Lanes = lanes
+		block, err := p.NewTrialBlock(n, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins := make([]bool, reps)
+		if err := block(seed, 0, reps, wins); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = wins
+			continue
+		}
+		for rep := range wins {
+			if wins[rep] != baseline[rep] {
+				t.Fatalf("lanes=%d rep=%d: outcome %v differs from lanes=1 outcome %v",
+					lanes, rep, wins[rep], baseline[rep])
+			}
+		}
+	}
+}
+
+// TestLockstepRetirementExactlyOnce drives a protocol with wildly varying
+// per-trial lengths through blocks that force both refill and compaction,
+// and checks every replicate contributes exactly once and in its own slot:
+// each outcome equals its scalar oracle, and re-running the same engine
+// reproduces the block exactly (no state leaks between blocks).
+func TestLockstepRetirementExactlyOnce(t *testing.T) {
+	p := newVoterProtocol() // absorption time varies over orders of magnitude
+	p.Kernel = KernelLockstep
+	p.Lanes = 8
+	e, err := p.newLockstep(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 3, 3 + 3*8 + 5 // refill across several generations, ragged tail
+	first := make([]bool, hi-lo)
+	if err := e.runBlock(77, lo, hi, first); err != nil {
+		t.Fatal(err)
+	}
+	oracle := newVoterProtocol()
+	for rep := lo; rep < hi; rep++ {
+		want, _ := runBatchOracle(t, oracle, 30, 2, 77, rep)
+		if first[rep-lo] != want {
+			t.Fatalf("rep %d: lockstep %v, scalar oracle %v", rep, first[rep-lo], want)
+		}
+	}
+	second := make([]bool, hi-lo)
+	if err := e.runBlock(77, lo, hi, second); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("rep %d: engine reuse changed the outcome", lo+i)
+		}
+	}
+}
+
+// TestLockstepInteractionBudgetLaw mirrors the batch kernel's budget test
+// through the block path: an all-null protocol exhausts its budget
+// undecided in every lane and charges exactly the full budget to the tick
+// accounting, and a one-shot protocol decides every lane.
+func TestLockstepInteractionBudgetLaw(t *testing.T) {
+	stuck := &PopulationProtocol{
+		ProtocolName:       "all-null",
+		NumStates:          2,
+		Rule:               func(a, b int) (int, int) { return a, b },
+		MajorityState:      0,
+		MinorityState:      1,
+		Done:               func([]int) (bool, int) { return false, -1 },
+		MaxInteractionsFor: func(int) int { return 1000 },
+		Kernel:             KernelLockstep,
+		Lanes:              4,
+	}
+	e, err := stuck.newLockstep(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := make([]bool, 6)
+	if err := e.runBlock(1, 0, 6, wins); err != nil {
+		t.Fatal(err)
+	}
+	for rep, won := range wins {
+		if won {
+			t.Errorf("all-null protocol won replicate %d", rep)
+		}
+	}
+	if want := int64(6 * 1000); e.ticks != want {
+		t.Errorf("all-null block accounted %d ticks, want the full budgets %d", e.ticks, want)
+	}
+
+	oneShot := &PopulationProtocol{
+		ProtocolName:  "one-shot",
+		NumStates:     2,
+		Rule:          func(a, b int) (int, int) { return 0, 0 },
+		MajorityState: 0,
+		MinorityState: 1,
+		Done: func(counts []int) (bool, int) {
+			if counts[1] == 0 {
+				return true, 0
+			}
+			return false, -1
+		},
+		Kernel: KernelLockstep,
+		Lanes:  4,
+	}
+	e, err = oneShot.newLockstep(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins = make([]bool, 9)
+	if err := e.runBlock(5, 0, 9, wins); err != nil {
+		t.Fatal(err)
+	}
+	for rep, won := range wins {
+		if !won {
+			t.Errorf("one-shot protocol lost replicate %d", rep)
+		}
+	}
+	if e.ticks < 9 {
+		t.Errorf("one-shot block accounted %d ticks, want at least one per replicate", e.ticks)
+	}
+}
+
+// TestLockstepKernelThroughEstimator checks the full dispatch stack:
+// consensus.EstimateWinProbability must route a lockstep-kernel protocol
+// through the block path and — because lanes replay the batch kernel byte
+// for byte — return the batch kernel's estimate exactly, for every worker
+// and lane count.
+func TestLockstepKernelThroughEstimator(t *testing.T) {
+	batch := NewThreeStateAM()
+	want, err := consensus.EstimateWinProbability(batch, 100, 10, consensus.EstimateOptions{Trials: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		for _, lanes := range []int{1, 64, 256} {
+			p := NewThreeStateAM()
+			p.Kernel = KernelLockstep
+			p.Lanes = lanes
+			got, err := consensus.EstimateWinProbability(p, 100, 10, consensus.EstimateOptions{
+				Trials:  500,
+				Workers: workers,
+				Seed:    13,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("workers=%d lanes=%d: lockstep estimate %+v, batch estimate %+v",
+					workers, lanes, got, want)
+			}
+		}
+	}
+}
+
+// TestLockstepKernelMatchesClosedFormVoter extends PR 4's distributional
+// suite to the lockstep kernel: the block engine must leave the voter
+// model's exact absorption law ρ = a/(a+b) untouched.
+func TestLockstepKernelMatchesClosedFormVoter(t *testing.T) {
+	for _, tc := range []struct{ n, delta int }{{30, 10}, {24, 4}, {21, 7}} {
+		p := newVoterProtocol()
+		p.Kernel = KernelLockstep
+		est, err := consensus.EstimateWinProbability(p, tc.n, tc.delta, consensus.EstimateOptions{
+			Trials: 6000,
+			Seed:   101,
+			Z:      stats.Z999,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := (tc.n + tc.delta) / 2
+		want := float64(a) / float64(tc.n)
+		if want < est.Lo || want > est.Hi {
+			t.Errorf("voter n=%d delta=%d: lockstep estimate [%v, %v] excludes exact %v",
+				tc.n, tc.delta, est.Lo, est.Hi, want)
+		}
+	}
+}
+
+// TestLockstepDistributionallyMatchesPerEvent closes the loop against the
+// replay oracle kernel with the same two-proportion z-test the
+// batch-vs-per-event suite uses.
+func TestLockstepDistributionallyMatchesPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional comparison is slow")
+	}
+	const trials = 4000
+	for _, tc := range []struct{ n, delta int }{{60, 2}, {60, 8}} {
+		wins := [2]int{}
+		for k, kernel := range []PopulationKernel{KernelPerEvent, KernelLockstep} {
+			p := NewThreeStateAM()
+			p.Kernel = kernel
+			est, err := consensus.EstimateWinProbability(p, tc.n, tc.delta, consensus.EstimateOptions{
+				Trials: trials,
+				Seed:   31,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wins[k] = int(math.Round(est.P() * trials))
+		}
+		p1 := float64(wins[0]) / trials
+		p2 := float64(wins[1]) / trials
+		pool := (p1 + p2) / 2
+		se := math.Sqrt(2 * pool * (1 - pool) / trials)
+		if se == 0 {
+			if wins[0] != wins[1] {
+				t.Errorf("n=%d delta=%d: degenerate but unequal win counts %v", tc.n, tc.delta, wins)
+			}
+			continue
+		}
+		if z := math.Abs(p1-p2) / se; z > 4 {
+			t.Errorf("n=%d delta=%d: per-event %.4f vs lockstep %.4f (z=%.2f > 4)",
+				tc.n, tc.delta, p1, p2, z)
+		}
+	}
+}
+
+// TestLockstepLaneWidthValidation pins the Lanes contract: zero defaults,
+// the maximum is accepted, and out-of-range widths are configuration
+// errors, not silent clamps.
+func TestLockstepLaneWidthValidation(t *testing.T) {
+	p := NewThreeStateAM()
+	p.Kernel = KernelLockstep
+	if got := p.TrialBlockLanes(); got != DefaultLockstepLanes {
+		t.Errorf("default lane width %d, want %d", got, DefaultLockstepLanes)
+	}
+	p.Lanes = MaxLockstepLanes
+	if _, err := p.NewTrialBlock(20, 2); err != nil {
+		t.Errorf("maximum lane width rejected: %v", err)
+	}
+	p.Lanes = MaxLockstepLanes + 1
+	if _, err := p.NewTrialBlock(20, 2); err == nil {
+		t.Error("lane width above the maximum accepted")
+	}
+	batch := NewThreeStateAM()
+	if got := batch.TrialBlockLanes(); got != 0 {
+		t.Errorf("batch kernel advertises block width %d, want 0", got)
+	}
+}

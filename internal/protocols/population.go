@@ -47,6 +47,16 @@ const (
 	// the initiator and responder per tick. It is byte-for-byte identical
 	// to the historical event loop for a given random stream.
 	KernelPerEvent
+	// KernelLockstep is the structure-of-arrays block engine: it advances
+	// up to MaxLockstepLanes replicates of the same protocol in lockstep
+	// against one shared compiled rule table, with per-lane counts in
+	// flat planes and per-lane null-skip draws (see lockstep.go). Each
+	// lane consumes its own index-keyed stream in exactly the order the
+	// batch kernel would, so per-trial outcomes are byte-identical to
+	// KernelBatch and independent of how trials are packed into lanes. A
+	// plain Trial call therefore runs the scalar batch loop; the block
+	// path is reached through NewTrialBlock (consensus.BlockTrialer).
+	KernelLockstep
 )
 
 // String returns the kernel name.
@@ -56,8 +66,27 @@ func (k PopulationKernel) String() string {
 		return "batch"
 	case KernelPerEvent:
 		return "per-event"
+	case KernelLockstep:
+		return "lockstep"
 	default:
 		return fmt.Sprintf("PopulationKernel(%d)", int(k))
+	}
+}
+
+// ParseKernel maps a kernel name — "", "batch", "per-event", or
+// "lockstep" — to its PopulationKernel; the empty string selects the
+// default batch kernel. It is the inverse of String and the one parser
+// shared by the spec layer and the experiment harness.
+func ParseKernel(name string) (PopulationKernel, error) {
+	switch name {
+	case "", "batch":
+		return KernelBatch, nil
+	case "per-event":
+		return KernelPerEvent, nil
+	case "lockstep":
+		return KernelLockstep, nil
+	default:
+		return 0, fmt.Errorf("protocols: unknown kernel %q (want batch, per-event, or lockstep)", name)
 	}
 }
 
@@ -83,12 +112,30 @@ type PopulationProtocol struct {
 	// execution has stabilized, and if so which opinion won (0 for the
 	// initial majority's opinion, 1 for the minority's, −1 for neither).
 	Done func(counts []int) (done bool, winner int)
+	// DoneWhenZero, when non-empty, restates Done in compiled form: the
+	// execution is decided the first time every state in some rule's
+	// Zero set has count zero, and the first matching rule (in order)
+	// names the winner. The lockstep kernel checks these rules with a
+	// handful of loads per lane instead of gathering counts and making
+	// an indirect Done call — which would otherwise be a third of its
+	// per-round budget. The scalar kernels deliberately keep calling
+	// Done, so the kernel-equivalence suite cross-checks the two forms
+	// on every reachable trajectory; TestDoneWhenZeroMatchesDone checks
+	// them against each other directly.
+	DoneWhenZero []DoneRule
 	// MaxInteractionsFor bounds the trial length as a function of n;
 	// nil uses 400·n·(log₂ n + 1), generous for protocols converging in
 	// O(n log n) interactions.
 	MaxInteractionsFor func(n int) int
 	// Kernel selects the trial event loop (default KernelBatch).
 	Kernel PopulationKernel
+	// Lanes is the lane width R of the lockstep kernel: how many
+	// replicates one block engine advances per instruction stream. Zero
+	// selects DefaultLockstepLanes; valid values are 1..MaxLockstepLanes.
+	// Because every lane consumes its own index-keyed stream, the lane
+	// width never changes any trial outcome — it is a throughput knob
+	// only, which is why it does not appear in CacheKey.
+	Lanes int
 
 	// compileOnce guards the one-time validate-and-compile step; all
 	// per-pair work (validation, Rule evaluation, range checks, null
@@ -98,6 +145,18 @@ type PopulationProtocol struct {
 	compileErr  error
 	// compileCalls counts executions of the compile step, for tests.
 	compileCalls int
+}
+
+// DoneRule is one clause of a compiled decision predicate: the execution
+// is decided with winner Winner once every state listed in Zero has count
+// zero. See PopulationProtocol.DoneWhenZero.
+type DoneRule struct {
+	// Zero lists the states whose counts must all be zero.
+	Zero []int
+	// Winner is the decided opinion when the clause fires: 0 for the
+	// initial majority, 1 for the minority, −1 for a stuck undecided
+	// execution.
+	Winner int
 }
 
 // Name implements consensus.Protocol.
@@ -123,6 +182,16 @@ func (p *PopulationProtocol) validate() error {
 		p.MinorityState < 0 || p.MinorityState >= p.NumStates {
 		return fmt.Errorf("protocols: %q has out-of-range initial states", p.ProtocolName)
 	}
+	for _, rule := range p.DoneWhenZero {
+		if len(rule.Zero) == 0 {
+			return fmt.Errorf("protocols: %q has a DoneWhenZero rule with an empty zero set", p.ProtocolName)
+		}
+		for _, s := range rule.Zero {
+			if s < 0 || s >= p.NumStates {
+				return fmt.Errorf("protocols: %q DoneWhenZero references out-of-range state %d", p.ProtocolName, s)
+			}
+		}
+	}
 	return nil
 }
 
@@ -142,6 +211,21 @@ type popTable struct {
 	// the hot loop.
 	eff        []int32
 	effS, effT []int32
+	// effNi and effNr are ni and nr re-indexed by effective-pair position,
+	// so the lockstep fire path applies a sampled transition without the
+	// second indirection through eff.
+	effNi, effNr []int32
+	// doneZero is the compiled DoneWhenZero predicate in rule order, each
+	// rule its zero set plus winner; empty when the protocol declares
+	// none, in which case kernels must call the Done closure.
+	doneZero []compiledDoneRule
+}
+
+// compiledDoneRule is DoneRule with the state set in the int32 form the
+// lockstep decide loop indexes count planes with.
+type compiledDoneRule struct {
+	zero   []int32
+	winner int32
 }
 
 // compile validates the protocol and builds the transition table, once.
@@ -175,8 +259,17 @@ func (p *PopulationProtocol) compile() (*popTable, error) {
 					tab.eff = append(tab.eff, int32(k))
 					tab.effS = append(tab.effS, int32(a))
 					tab.effT = append(tab.effT, int32(b))
+					tab.effNi = append(tab.effNi, int32(na))
+					tab.effNr = append(tab.effNr, int32(nb))
 				}
 			}
+		}
+		for _, rule := range p.DoneWhenZero {
+			zero := make([]int32, len(rule.Zero))
+			for i, st := range rule.Zero {
+				zero[i] = int32(st)
+			}
+			tab.doneZero = append(tab.doneZero, compiledDoneRule{zero: zero, winner: int32(rule.Winner)})
 		}
 		p.compiled = tab
 	})
@@ -228,6 +321,9 @@ func (p *PopulationProtocol) run(n, delta int, src *rng.Source) (won bool, inter
 	if p.Kernel == KernelPerEvent {
 		return p.runPerEvent(tab, counts, n, src)
 	}
+	// KernelLockstep deliberately shares this path: one lockstep lane
+	// consumes its stream exactly as runBatch does, so a single Trial is
+	// the scalar replay of what the block engine computes for that lane.
 	return p.runBatch(tab, counts, n, src)
 }
 
@@ -436,6 +532,10 @@ func NewThreeStateAM() *PopulationProtocol {
 				return false, -1
 			}
 		},
+		DoneWhenZero: []DoneRule{
+			{Zero: []int{amY, amBlank}, Winner: 0},
+			{Zero: []int{amX, amBlank}, Winner: 1},
+		},
 	}
 }
 
@@ -500,6 +600,11 @@ func NewFourStateExact() *PopulationProtocol {
 			default:
 				return false, -1
 			}
+		},
+		DoneWhenZero: []DoneRule{
+			{Zero: []int{exS1, exW1}, Winner: 0},
+			{Zero: []int{exS0, exW0}, Winner: 1},
+			{Zero: []int{exS0, exS1}, Winner: -1},
 		},
 		// Exact majority needs Θ(n²) interactions for small gaps.
 		MaxInteractionsFor: func(n int) int { return 200 * n * n },

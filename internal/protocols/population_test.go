@@ -193,3 +193,53 @@ func TestThreeStateAMWithEstimator(t *testing.T) {
 		t.Errorf("estimate %v unexpectedly low", est)
 	}
 }
+
+// TestDoneWhenZeroMatchesDone cross-checks the compiled DoneWhenZero rules
+// against the Done closure they restate, exhaustively over every count
+// vector of small populations — a superset of the reachable states, which
+// is fine because the two forms are meant to agree as functions, not just
+// along trajectories.
+func TestDoneWhenZeroMatchesDone(t *testing.T) {
+	evalRules := func(p *PopulationProtocol, counts []int) (bool, int) {
+		for _, rule := range p.DoneWhenZero {
+			zero := true
+			for _, s := range rule.Zero {
+				if counts[s] != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				return true, rule.Winner
+			}
+		}
+		return false, -1
+	}
+	var visit func(counts []int, state, left int, f func([]int))
+	visit = func(counts []int, state, left int, f func([]int)) {
+		if state == len(counts)-1 {
+			counts[state] = left
+			f(counts)
+			return
+		}
+		for c := 0; c <= left; c++ {
+			counts[state] = c
+			visit(counts, state+1, left-c, f)
+		}
+	}
+	for _, p := range []*PopulationProtocol{NewThreeStateAM(), NewFourStateExact(), NewTernarySignaling()} {
+		if len(p.DoneWhenZero) == 0 {
+			t.Fatalf("%s: no DoneWhenZero rules", p.Name())
+		}
+		for _, n := range []int{1, 2, 3, 7} {
+			visit(make([]int, p.NumStates), 0, n, func(counts []int) {
+				wantDone, wantWinner := p.Done(counts)
+				gotDone, gotWinner := evalRules(p, counts)
+				if wantDone != gotDone || (wantDone && wantWinner != gotWinner) {
+					t.Errorf("%s counts=%v: Done=(%v,%d), rules=(%v,%d)",
+						p.Name(), counts, wantDone, wantWinner, gotDone, gotWinner)
+				}
+			})
+		}
+	}
+}

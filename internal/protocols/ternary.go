@@ -51,5 +51,10 @@ func NewTernarySignaling() *PopulationProtocol {
 				return false, -1
 			}
 		},
+		DoneWhenZero: []DoneRule{
+			{Zero: []int{ts1, tsE}, Winner: 0},
+			{Zero: []int{ts0, tsE}, Winner: 1},
+			{Zero: []int{ts0, ts1}, Winner: -1},
+		},
 	}
 }

@@ -1,0 +1,57 @@
+package rng
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestLaneStateMatchesScalar pins the state-passing primitives to the
+// scalar methods bit for bit: seeding, the raw step, the geometric
+// sampler, and the bounded draw including its Lemire rejection path.
+func TestLaneStateMatchesScalar(t *testing.T) {
+	for stream := uint64(0); stream < 25; stream++ {
+		s0, s1, s2, s3 := StreamState4(7, stream)
+		oracle := NewStream(7, stream)
+		if [4]uint64{s0, s1, s2, s3} != oracle.s {
+			t.Fatalf("stream %d: StreamState4 %v, NewStream %v", stream, [4]uint64{s0, s1, s2, s3}, oracle.s)
+		}
+
+		for i := 0; i < 100; i++ {
+			var u uint64
+			u, s0, s1, s2, s3 = Next4(s0, s1, s2, s3)
+			if want := oracle.Uint64(); u != want {
+				t.Fatalf("stream %d draw %d: Next4 %d, Uint64 %d", stream, i, u, want)
+			}
+		}
+
+		for i := 0; i < 50; i++ {
+			p := 1.0 / float64(2+i%17)
+			var n int
+			n, s0, s1, s2, s3 = GeometricCapped4(s0, s1, s2, s3, p, 1000)
+			if want := oracle.GeometricCapped(p, 1000); n != want {
+				t.Fatalf("stream %d geo %d: GeometricCapped4 %d, scalar %d", stream, i, n, want)
+			}
+		}
+
+		// Bounded draws with huge bounds make Lemire's quick accept fail
+		// with probability ~1/2, exercising Uint64NRetry4 many times.
+		bounds := []uint64{1, 2, 3, 7, 1 << 40, ^uint64(0), ^uint64(0) - 5}
+		for i := 0; i < 200; i++ {
+			bound := bounds[i%len(bounds)]
+			var u, v uint64
+			u, s0, s1, s2, s3 = Next4(s0, s1, s2, s3)
+			hi, lo := bits.Mul64(u, bound)
+			if lo < bound {
+				hi, s0, s1, s2, s3 = Uint64NRetry4(s0, s1, s2, s3, hi, lo, bound)
+			}
+			v = hi
+			if want := oracle.Uint64N(bound); v != want {
+				t.Fatalf("stream %d bounded %d (n=%d): got %d, scalar %d", stream, i, bound, v, want)
+			}
+		}
+
+		if [4]uint64{s0, s1, s2, s3} != oracle.s {
+			t.Fatalf("stream %d: final state %v diverged from scalar %v", stream, [4]uint64{s0, s1, s2, s3}, oracle.s)
+		}
+	}
+}

@@ -65,6 +65,12 @@ func (src *Source) Reseed(seed uint64) {
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+// The body is above the compiler's inlining budget, so every call pays
+// call overhead; scalar simulation loops are additionally latency-bound on
+// the serial state recurrence. The lane helpers in lanes.go spell this
+// same step inline over banks of Sources for the kernels that need to
+// overlap many independent chains.
 func (src *Source) Uint64() uint64 {
 	s := &src.s
 	result := bits.RotateLeft64(s[0]+s[3], 23) + s[0]

@@ -38,6 +38,7 @@ const (
 const (
 	KernelBatch    = "batch"
 	KernelPerEvent = "per-event"
+	KernelLockstep = "lockstep"
 )
 
 // validate checks the model's internal consistency.
@@ -68,7 +69,7 @@ func (m *Model) validate() error {
 		}
 		switch m.Protocol.Kernel {
 		case "":
-		case KernelBatch, KernelPerEvent:
+		case KernelBatch, KernelPerEvent, KernelLockstep:
 			// A kernel only means something for population protocols;
 			// rejecting the mismatch here keeps the contract that a
 			// Validate-clean spec is executable (the server answers 400,
@@ -77,7 +78,7 @@ func (m *Model) validate() error {
 				return fmt.Errorf("scenario: protocol %q is not a population protocol; it has no kernel", m.Protocol.Name)
 			}
 		default:
-			return fmt.Errorf("scenario: unknown kernel %q (want batch or per-event)", m.Protocol.Kernel)
+			return fmt.Errorf("scenario: unknown kernel %q (want batch, per-event, or lockstep)", m.Protocol.Kernel)
 		}
 	case ModelCRN:
 		if m.CRN == nil || m.LV != nil || m.Protocol != nil {
@@ -165,11 +166,11 @@ func (m *Model) protocol() (consensus.Protocol, error) {
 			if !ok {
 				return nil, fmt.Errorf("scenario: protocol %q is not a population protocol; it has no kernel", m.Protocol.Name)
 			}
-			if m.Protocol.Kernel == KernelPerEvent {
-				pop.Kernel = protocols.KernelPerEvent
-			} else {
-				pop.Kernel = protocols.KernelBatch
+			kernel, err := protocols.ParseKernel(m.Protocol.Kernel)
+			if err != nil {
+				return nil, err
 			}
+			pop.Kernel = kernel
 		}
 		return p, nil
 	case ModelCRN:

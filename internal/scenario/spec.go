@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"lvmajority/internal/protocols"
 )
 
 // SpecVersion is the Spec schema version. Parse rejects specs written by an
@@ -270,6 +272,10 @@ type ExperimentSpec struct {
 	CSVDir string `json:"csv_dir,omitempty"`
 	// ReportDir, when non-empty, also writes the JSON run manifest there.
 	ReportDir string `json:"report_dir,omitempty"`
+	// Kernel overrides the event loop of the population protocols the
+	// experiment measures: "" (default batch), "batch", "per-event", or
+	// "lockstep". A performance knob only — the kernels agree in law.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // ReportSpec parameterizes TaskReport: documentation generation and
@@ -443,6 +449,9 @@ func (s *Spec) Validate() error {
 	case TaskExperiment:
 		if s.Experiment.ID == "" {
 			return fmt.Errorf("scenario: experiment spec without an id")
+		}
+		if _, err := protocols.ParseKernel(s.Experiment.Kernel); err != nil {
+			return err
 		}
 	case TaskReport:
 		r := s.Report
