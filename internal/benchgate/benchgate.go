@@ -162,15 +162,15 @@ func Check(current map[string]Metrics, committed *Record, opts CheckOptions) []e
 		prefix := opts.Baseline[:strings.LastIndex(opts.Baseline, "/")+1]
 		return strings.HasPrefix(name, prefix)
 	}
-	for name, m := range committed.Benchmarks {
-		if family(name, m) {
+	for _, name := range sortedNames(committed.Benchmarks) {
+		if family(name, committed.Benchmarks[name]) {
 			if _, ok := current[name]; !ok {
 				errs = append(errs, fmt.Errorf("%s: in committed trajectory but missing from current benchmarks", name))
 			}
 		}
 	}
-	for name, m := range current {
-		if family(name, m) {
+	for _, name := range sortedNames(current) {
+		if family(name, current[name]) {
 			if _, ok := committed.Benchmarks[name]; !ok {
 				errs = append(errs, fmt.Errorf("%s: benchmarked but absent from the committed trajectory — record it with benchgate -update", name))
 			}
@@ -226,4 +226,15 @@ func nsPerEvent(m Metrics) (float64, bool) {
 		return 0, false
 	}
 	return *m.NsPerEvent, true
+}
+
+// sortedNames returns the benchmark names in sorted order, so gate errors
+// list in the same order every run.
+func sortedNames(m map[string]Metrics) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -144,6 +144,8 @@ func (sim *Simulator) Steps() int { return sim.steps }
 // pick samples the next reaction index proportionally to the cached
 // propensities, or returns ErrExhausted when the total propensity is zero.
 // It also returns the total propensity for holding-time draws.
+//
+//lint:hotpath
 func (sim *Simulator) pick() (int, float64, error) {
 	if sim.dense {
 		// Resumming the cached array in index order reproduces the
@@ -180,6 +182,8 @@ func (sim *Simulator) pick() (int, float64, error) {
 
 // fire applies reaction r and incrementally refreshes the propensities of
 // the channels it may have changed.
+//
+//lint:hotpath
 func (sim *Simulator) fire(r int) error {
 	if err := sim.net.Apply(r, sim.state); err != nil {
 		return err

@@ -1,0 +1,234 @@
+// Package analysistest runs the lint suite over fixture packages and
+// checks the reported diagnostics against `// want` expectation comments,
+// in the style of golang.org/x/tools/go/analysis/analysistest (which the
+// hermetic build cannot depend on — see internal/lint/analysis).
+//
+// Fixture packages live under a testdata root as src/<import-path>/*.go.
+// An expectation is written on the line the diagnostic lands on:
+//
+//	names = append(names, name) // want `append inside map iteration`
+//
+// The backquoted (or double-quoted) text is a regular expression matched
+// against the diagnostic message; one comment may carry several, one per
+// expected diagnostic on that line. Every diagnostic must match an
+// expectation and every expectation must be matched, so fixtures double as
+// negative tests: a line without a `// want` asserts silence.
+//
+// Fixtures are type-checked against real gc export data obtained from
+// `go list -deps -export`, so stdlib imports (context, fmt, time, ...)
+// resolve exactly as they do under go vet.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"lvmajority/internal/lint"
+	"lvmajority/internal/lint/analysis"
+	"lvmajority/internal/lint/loader"
+)
+
+// Run analyzes each fixture package testdata/src/<pkgPath> with the given
+// suite (through lint.RunPackage, so //lint:ignore suppression and
+// directive hygiene apply exactly as in production) and reports every
+// mismatch between diagnostics and `// want` comments as a test error.
+func Run(t *testing.T, testdata string, suite []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		t.Run(filepath.Base(pkgPath), func(t *testing.T) {
+			runPackage(t, testdata, suite, pkgPath)
+		})
+	}
+}
+
+func runPackage(t *testing.T, testdata string, suite []*analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	exports, err := exportData(dir, imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := loader.NewInfo()
+	conf := &types.Config{
+		Importer: loader.ExportImporter(fset, nil, exports),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	diags, err := lint.RunPackage(fset, files, pkg, info, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// A want is one expectation: a regexp a diagnostic on its line must match.
+type want struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantPatternRE extracts the backquoted or double-quoted patterns following
+// a "// want" marker.
+var wantPatternRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every comment for "// want" markers and indexes the
+// expectations by "filename:line".
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantPatternRE.FindAllStringSubmatch(rest, -1) {
+					pattern := m[1]
+					if pattern == "" {
+						pattern = strings.ReplaceAll(m[2], `\"`, `"`)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx, raw: pattern})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Export-data discovery is memoized across fixtures: most share the same
+// handful of stdlib imports, and `go list` dominates the harness runtime.
+var (
+	exportMu    sync.Mutex
+	exportFiles = make(map[string]string)
+	exportSeen  = make(map[string]bool)
+)
+
+// exportData returns gc export-data files covering imports and their
+// transitive dependencies, shelling out to `go list -deps -export` for any
+// not yet seen. dir anchors the go invocation (any module directory works;
+// fixtures resolve only stdlib imports).
+func exportData(dir string, imports map[string]bool) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range imports {
+		if !exportSeen[p] {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: go list: %w\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var lp struct{ ImportPath, Export string }
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("analysistest: parsing go list output: %w", err)
+			}
+			exportSeen[lp.ImportPath] = true
+			if lp.Export != "" {
+				exportFiles[lp.ImportPath] = lp.Export
+			}
+		}
+		for _, p := range missing {
+			exportSeen[p] = true
+		}
+	}
+	out := make(map[string]string, len(exportFiles))
+	for k, v := range exportFiles {
+		out[k] = v
+	}
+	return out, nil
+}

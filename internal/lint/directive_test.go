@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"lvmajority/internal/lint"
+	"lvmajority/internal/lint/loader"
+)
+
+// hygieneSrc collects every malformed //lint: directive shape. The final
+// case pairs a bare //lint:ignore with a well-formed directive on the line
+// above, proving hygiene findings cannot themselves be suppressed.
+const hygieneSrc = `package fixture
+
+//lint:ignore
+func a() {}
+
+//lint:ignore detrand
+func b() {}
+
+//lint:ignore nosuch because reasons
+func c() {}
+
+//lint:frobnicate
+func d() {}
+
+//lint:ignore detrand trying to hush the bare directive below
+//lint:ignore
+func e() {}
+`
+
+func TestDirectiveHygiene(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", hygieneSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	info := loader.NewInfo()
+	pkg, err := (&types.Config{}).Check("example/fixture", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunPackage(fset, files, pkg, info, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"bare //lint:ignore directive",
+		"without a reason",
+		"unknown analyzer nosuch",
+		"unknown //lint: directive frobnicate",
+		"bare //lint:ignore directive",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		if d.Analyzer != lint.DirectiveAnalyzer {
+			t.Errorf("diag %d reported under %q, want %q", i, d.Analyzer, lint.DirectiveAnalyzer)
+		}
+		if !strings.Contains(d.Message, want[i]) {
+			t.Errorf("diag %d = %q, want substring %q", i, d.Message, want[i])
+		}
+	}
+}

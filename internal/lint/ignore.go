@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. The full form is
+// `//lint:ignore <analyzer>[,<analyzer>...] <reason>`, written on the
+// flagged line or on its own line directly above.
+const ignorePrefix = "//lint:ignore"
+
+// hotpathDirective marks a function or loop as an allocation-free hot
+// region for the hotpath analyzer (see hotpath.go).
+const hotpathDirective = "//lint:hotpath"
+
+// ignoreIndex records well-formed suppressions by file and line.
+type ignoreIndex map[string]map[int][]string // filename -> line -> analyzers
+
+// suppressed reports whether a diagnostic from analyzer at pos is covered
+// by a directive on the same line or the line above.
+func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment for //lint: directives, returning the
+// suppression index and hygiene diagnostics for malformed ones: a bare
+// //lint:ignore, one without a reason, one naming an unknown analyzer, or
+// an unknown //lint: verb. Hygiene findings are reported under
+// DirectiveAnalyzer and are themselves unsuppressable.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreIndex, []Diag) {
+	ix := make(ignoreIndex)
+	var hygiene []Diag
+	report := func(pos token.Pos, msg string) {
+		hygiene = append(hygiene, Diag{
+			Position: fset.Position(pos),
+			Analyzer: DirectiveAnalyzer,
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//lint:") {
+					continue
+				}
+				if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+					continue // consumed by the hotpath analyzer
+				}
+				if !strings.HasPrefix(text, ignorePrefix) {
+					verb := strings.TrimPrefix(text, "//lint:")
+					if i := strings.IndexAny(verb, " \t"); i >= 0 {
+						verb = verb[:i]
+					}
+					report(c.Pos(), "unknown //lint: directive "+verb+" (want ignore or hotpath)")
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) == 0 {
+					report(c.Pos(), "bare "+ignorePrefix+" directive: want //lint:ignore <analyzer> <reason>")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), ignorePrefix+" "+fields[0]+" without a reason — every suppression must say why")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := false
+				for _, name := range names {
+					if !known[name] {
+						report(c.Pos(), "unknown analyzer "+name+" in "+ignorePrefix+" directive")
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ix[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return ix, hygiene
+}
+
+// directiveOn reports whether the comment group carries the given //lint:
+// directive (exactly, or followed by a note).
+func directiveOn(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lvmajority/internal/lint/analysis"
+)
+
+// Interrupt flags composite literals of option types that carry an
+// `Interrupt func() error` field — mc.Options, sweep.Options,
+// consensus.EstimateOptions/ThresholdOptions, experiment.Config and
+// friends — constructed in a function where an interrupt source is plainly
+// available (a context.Context, an interrupt-named func() error, or a
+// parameter whose struct type carries an Interrupt field) but the field is
+// left unset. Dropping the interrupt silently makes a run uncancellable —
+// the exact bug class PR 5 had to fix by hand-audit when it threaded
+// cancellation through every CLI and the server.
+//
+// A literal whose variable is assigned an Interrupt later in the same
+// function (`opts := mc.Options{...}; opts.Interrupt = f`) is not flagged.
+var Interrupt = &analysis.Analyzer{
+	Name: "interrupt",
+	Doc: "flag option literals that drop an available Interrupt\n\n" +
+		"A composite literal of an options struct with an Interrupt field\n" +
+		"must set it whenever the enclosing function has an interrupt\n" +
+		"source in scope, so cancellation reaches every nested run.",
+	Run: runInterrupt,
+}
+
+func runInterrupt(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkInterruptFunc(pass, fn.Type, fn.Recv, fn.Body)
+				return false // checkInterruptFunc descends into nested literals itself
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkInterruptFunc scans one function (and, with inherited sources, its
+// nested function literals) for unset-Interrupt option literals.
+func checkInterruptFunc(pass *analysis.Pass, ft *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
+	sources := interruptSources(pass, ft, recv, nil)
+	checkInterruptBody(pass, body, sources)
+}
+
+func checkInterruptBody(pass *analysis.Pass, body *ast.BlockStmt, sources []string) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			nested := interruptSources(pass, n.Type, nil, sources)
+			checkInterruptBody(pass, n.Body, nested)
+			return false
+		case *ast.CompositeLit:
+			checkOptionLit(pass, body, n, sources)
+		}
+		return true
+	})
+}
+
+// interruptSources collects the interrupt carriers visible from a
+// function's receiver and parameters, plus any inherited from an enclosing
+// function (closure capture). Each entry is a human-readable name for the
+// diagnostic.
+func interruptSources(pass *analysis.Pass, ft *ast.FuncType, recv *ast.FieldList, inherited []string) []string {
+	sources := append([]string(nil), inherited...)
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			names := field.Names
+			if len(names) == 0 {
+				continue // unnamed parameter cannot be used anyway
+			}
+			for _, name := range names {
+				if name.Name == "_" {
+					continue
+				}
+				switch {
+				case isContext(t):
+					sources = append(sources, name.Name)
+				case isInterruptFunc(t) && strings.Contains(strings.ToLower(name.Name), "interrupt"):
+					sources = append(sources, name.Name)
+				case hasInterruptField(t):
+					sources = append(sources, name.Name+".Interrupt")
+				}
+			}
+		}
+	}
+	addField(recv)
+	if ft != nil {
+		addField(ft.Params)
+	}
+	return sources
+}
+
+// checkOptionLit flags lit if its type has an Interrupt field the literal
+// leaves unset while sources are available, unless the literal's variable
+// gains an Interrupt by assignment later in the function.
+func checkOptionLit(pass *analysis.Pass, funcBody *ast.BlockStmt, lit *ast.CompositeLit, sources []string) {
+	if len(sources) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || !structHasInterrupt(st) {
+		return
+	}
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			return // positional literal sets every field, Interrupt included
+		}
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Interrupt" {
+				return
+			}
+		}
+	}
+	if interruptAssignedLater(pass, funcBody, lit) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "%s literal leaves Interrupt unset while %s is available in scope — thread the interrupt so the run stays cancellable",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), strings.Join(sources, ", "))
+}
+
+// interruptAssignedLater reports whether the literal initializes a variable
+// whose Interrupt field is assigned somewhere in the enclosing function.
+func interruptAssignedLater(pass *analysis.Pass, funcBody *ast.BlockStmt, lit *ast.CompositeLit) bool {
+	var target types.Object
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || target != nil {
+			return target == nil
+		}
+		for i, rhs := range as.Rhs {
+			r := rhs
+			if u, ok := r.(*ast.UnaryExpr); ok {
+				r = u.X
+			}
+			if r != ast.Expr(lit) || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					target = obj
+				} else {
+					target = pass.TypesInfo.Uses[id]
+				}
+			}
+		}
+		return target == nil
+	})
+	if target == nil {
+		return false
+	}
+	assigned := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || assigned {
+			return !assigned
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Interrupt" {
+				continue
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+				assigned = true
+			}
+		}
+		return !assigned
+	})
+	return assigned
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isInterruptFunc reports whether t is func() error.
+func isInterruptFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// hasInterruptField reports whether t (possibly a pointer) is a struct with
+// an exported Interrupt field of type func() error.
+func hasInterruptField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && structHasInterrupt(st)
+}
+
+func structHasInterrupt(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Interrupt" && isInterruptFunc(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

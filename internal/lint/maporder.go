@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lvmajority/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose loop body feeds an
+// order-sensitive sink: appending to a slice, writing output (Write*,
+// fmt.Print*/Fprint*), building a table row (AddRow), feeding a hash, or
+// accumulating a string. Go map iteration order is deliberately
+// randomized, so each of these silently produces a different artifact per
+// run — the classic determinism killer in manifests, tables, and cache
+// keys.
+//
+// The canonical fix — collecting the keys and sorting them before the real
+// iteration — is recognized: an append whose slice is later passed to a
+// sort.* or slices.* call in the same function is not flagged.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding order-sensitive sinks\n\n" +
+		"Iterating a map while appending, writing, hashing, or building a\n" +
+		"table produces a different result every run. Iterate sorted keys\n" +
+		"instead.",
+	Run: runMapOrder,
+}
+
+// sinkMethods are method names whose call inside a map-range body is
+// order-sensitive regardless of receiver: byte/string writers (including
+// hash.Hash.Write — hashing map order breaks cache keys) and table rows.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"AddRow":      true,
+}
+
+// sinkFmtFuncs are the fmt output functions.
+var sinkFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Collect the enclosing function body for each map-range so the
+		// sorted-later exemption can see past the loop.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function containing
+// the top of stack, or nil at file scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// A nested map-range reports on its own; a nested
+				// slice-range body still belongs to this map's iteration
+				// order, so keep descending.
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, funcBody, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkMapRangeCall(pass, rs, call)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive assignments inside a map-range
+// body: string accumulation and slice appends that are not sorted later.
+func checkMapRangeAssign(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN {
+		if t := pass.TypesInfo.TypeOf(as.Lhs[0]); t != nil && isString(t) {
+			pass.Reportf(as.Pos(), "string built up inside map iteration has a random order every run; iterate sorted keys instead")
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.TypesInfo, call) {
+			continue
+		}
+		if i < len(as.Lhs) && funcBody != nil && sortedLater(pass, funcBody, as.Lhs[i]) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append inside map iteration produces a randomly ordered slice; iterate sorted keys, or sort the slice afterwards")
+	}
+}
+
+// checkMapRangeCall flags order-sensitive call statements: writer and table
+// methods, and fmt output functions.
+func checkMapRangeCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if path := pkgPathOf(pass.TypesInfo, sel.X); path != "" {
+		if path == "fmt" && sinkFmtFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration writes output in a random order every run; iterate sorted keys instead", sel.Sel.Name)
+		}
+		return
+	}
+	if sinkMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "%s inside map iteration feeds an order-sensitive sink in a random order every run; iterate sorted keys instead", sel.Sel.Name)
+	}
+}
+
+// sortedLater reports whether slice (an append target) is an argument of a
+// sort.* or slices.* call anywhere in the enclosing function — the
+// collect-then-sort idiom.
+func sortedLater(pass *analysis.Pass, funcBody *ast.BlockStmt, slice ast.Expr) bool {
+	obj := exprObject(pass.TypesInfo, slice)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgPathOf(pass.TypesInfo, sel.X) {
+		case "sort", "slices", "maps":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			argFound := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					argFound = true
+				}
+				return !argFound
+			})
+			if argFound {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprObject resolves the variable object behind an append target: a plain
+// identifier or the root identifier of a selector chain.
+func exprObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"lvmajority/internal/lint/analysis"
+)
+
+// specLockGolden is the committed golden spec exercising every Spec field,
+// relative to the scenario package directory. The scenario round-trip test
+// (TestSpecLockGolden) keeps the file strictly parseable and valid; this
+// analyzer keeps it complete.
+const specLockGolden = "testdata/speclock_golden.json"
+
+// SpecLock guards the strict-JSON schema of the declarative run API: in a
+// package named scenario that defines a struct type Spec, every exported
+// field of Spec and of every struct reachable from it must carry an
+// explicit json tag (no implicit field names, no json:"-") and its tag name
+// must appear in the committed golden spec file
+// testdata/speclock_golden.json. A field added without a tag, or without a
+// golden-spec entry, is a diagnostic — so schema v1 cannot drift silently
+// and the round-trip guarantee ("a spec never silently means less than it
+// says") stays mechanical.
+var SpecLock = &analysis.Analyzer{
+	Name: "speclock",
+	Doc: "lock the scenario.Spec JSON schema to the golden spec\n\n" +
+		"Every exported field reachable from scenario.Spec needs an\n" +
+		"explicit json tag and an entry in testdata/speclock_golden.json;\n" +
+		"regenerate or extend the golden spec on intentional schema\n" +
+		"changes.",
+	Run: runSpecLock,
+}
+
+func runSpecLock(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() != "scenario" {
+		return nil, nil
+	}
+	specObj := pass.Pkg.Scope().Lookup("Spec")
+	if specObj == nil {
+		return nil, nil
+	}
+	tn, ok := specObj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	root, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if _, ok := root.Underlying().(*types.Struct); !ok {
+		return nil, nil
+	}
+
+	goldenKeys, goldenErr := loadGoldenKeys(pass, specObj)
+
+	seen := map[*types.Named]bool{}
+	queue := []*types.Named{root}
+	for len(queue) > 0 {
+		named := queue[0]
+		queue = queue[1:]
+		if seen[named] {
+			continue
+		}
+		seen[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !field.Exported() {
+				continue
+			}
+			if next := reachableStruct(pass.Pkg, field.Type()); next != nil {
+				queue = append(queue, next)
+			}
+			tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+			name := strings.Split(tag, ",")[0]
+			switch {
+			case !ok || name == "":
+				pass.Reportf(field.Pos(), "%s.%s has no json tag: every Spec field must name its wire key explicitly", named.Obj().Name(), field.Name())
+				continue
+			case name == "-":
+				pass.Reportf(field.Pos(), "%s.%s is excluded from JSON (json:\"-\"): Spec fields must round-trip losslessly", named.Obj().Name(), field.Name())
+				continue
+			}
+			if goldenErr == nil && !goldenKeys[name] {
+				pass.Reportf(field.Pos(), "%s.%s (json %q) is not exercised by %s: add it to the golden spec so the schema cannot drift silently",
+					named.Obj().Name(), field.Name(), name, specLockGolden)
+			}
+		}
+	}
+	if goldenErr != nil {
+		pass.Reportf(specObj.Pos(), "cannot read %s: %v (the golden spec is the schema lock — commit one covering every field)", specLockGolden, goldenErr)
+	}
+	return nil, nil
+}
+
+// loadGoldenKeys reads the golden spec next to the file declaring Spec and
+// returns the set of every JSON object key appearing anywhere in it.
+func loadGoldenKeys(pass *analysis.Pass, specObj types.Object) (map[string]bool, error) {
+	dir := filepath.Dir(pass.Fset.Position(specObj.Pos()).Filename)
+	data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(specLockGolden)))
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool)
+	collectKeys(v, keys)
+	return keys, nil
+}
+
+func collectKeys(v any, keys map[string]bool) {
+	switch v := v.(type) {
+	case map[string]any:
+		for k, val := range v {
+			keys[k] = true
+			collectKeys(val, keys)
+		}
+	case []any:
+		for _, val := range v {
+			collectKeys(val, keys)
+		}
+	}
+}
+
+// reachableStruct unwraps pointers, slices, arrays, and map values to the
+// named struct type behind a field, when it belongs to the same package.
+func reachableStruct(pkg *types.Package, t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); !ok {
+				return nil
+			}
+			if u.Obj().Pkg() != pkg {
+				return nil
+			}
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lvmajority/internal/lint"
+	"lvmajority/internal/lint/analysistest"
+)
+
+// Each analyzer runs over fixture packages under testdata/src through the
+// full suite (so //lint:ignore suppression behaves as in production). The
+// fixtures pair every firing case with a suppressed or out-of-scope one.
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, testdata(t), lint.Suite(),
+		"lvmajority/internal/mc/detrandfix",
+		"lvmajority/internal/report/detrandok",
+	)
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, testdata(t), lint.Suite(), "example/maporderfix")
+}
+
+func TestInterrupt(t *testing.T) {
+	analysistest.Run(t, testdata(t), lint.Suite(), "example/interruptfix")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, testdata(t), lint.Suite(), "example/hotpathfix")
+}
+
+func TestSpecLock(t *testing.T) {
+	analysistest.Run(t, testdata(t), lint.Suite(),
+		"example/scenario",
+		"example/scenariomissing",
+	)
+}

@@ -1,0 +1,73 @@
+// Package hotpathfix exercises the hotpath analyzer: allocation-prone
+// constructs inside //lint:hotpath regions fire, code outside the marked
+// region and a justified //lint:ignore do not.
+package hotpathfix
+
+import "fmt"
+
+// kernel is a marked hot function: the whole body is the region.
+//
+//lint:hotpath
+func kernel(events []int, out []int) []int {
+	for _, e := range events {
+		out = append(out, e) // want `append in hot path`
+	}
+	defer fmt.Println("done") // want `defer in hot path` `call into fmt in hot path`
+	return out
+}
+
+//lint:hotpath
+func closures(events []int) int {
+	total := 0
+	f := func() { total++ } // want `closure literal in hot path`
+	f()
+	return total
+}
+
+//lint:hotpath
+func allocates(n int) []int {
+	return make([]int, n) // want `make in hot path allocates`
+}
+
+//lint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation in hot path allocates`
+}
+
+//lint:hotpath
+func literal(x int) []int {
+	return []int{x} // want `slice or map literal in hot path`
+}
+
+type counter int
+
+func consume(v any) {}
+
+//lint:hotpath
+func boxes(events []counter) {
+	for _, e := range events {
+		consume(e) // want `argument converts counter to interface`
+	}
+}
+
+// loopMarked marks only its loop: the make above the directive is setup
+// and stays legal.
+func loopMarked(events []int, sink *int) {
+	buf := make([]int, 0, len(events))
+	//lint:hotpath
+	for _, e := range events {
+		buf = append(buf, e) // want `append in hot path`
+	}
+	*sink = len(buf)
+}
+
+//lint:hotpath
+func guarded(events []int) error {
+	for _, e := range events {
+		if e < 0 {
+			//lint:ignore hotpath unreachable guard, inputs are validated upstream
+			return fmt.Errorf("negative event %d", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package interruptfix exercises the interrupt analyzer: an option
+// literal dropping an available interrupt source fires; threading it,
+// assigning it later, positional construction, having no source in scope,
+// and a justified //lint:ignore do not.
+package interruptfix
+
+import "context"
+
+// Options mimics the engine option structs: any struct carrying an
+// Interrupt func() error field is in scope for the analyzer.
+type Options struct {
+	Trials    int
+	Interrupt func() error
+}
+
+func run(opts Options) int { return opts.Trials }
+
+func dropsContext(ctx context.Context) int {
+	_ = ctx
+	return run(Options{Trials: 10}) // want `Options literal leaves Interrupt unset while ctx is available`
+}
+
+func threads(ctx context.Context) int {
+	return run(Options{Trials: 10, Interrupt: func() error { return ctx.Err() }})
+}
+
+func assignedLater(interrupt func() error) int {
+	opts := Options{Trials: 10}
+	opts.Interrupt = interrupt
+	return run(opts)
+}
+
+func positional(ctx context.Context) int {
+	return run(Options{10, func() error { return ctx.Err() }})
+}
+
+func noSource() int {
+	return run(Options{Trials: 10})
+}
+
+func suppressedDrop(ctx context.Context) int {
+	_ = ctx
+	//lint:ignore interrupt this probe is bounded to microseconds
+	return run(Options{Trials: 1})
+}

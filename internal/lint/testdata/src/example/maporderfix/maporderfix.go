@@ -1,0 +1,56 @@
+// Package maporderfix exercises the maporder analyzer: map iteration
+// feeding order-sensitive sinks fires, the collect-then-sort idiom and a
+// justified //lint:ignore do not.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want `append inside map iteration`
+	}
+	return names
+}
+
+func appendSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map iteration`
+	}
+}
+
+func write(m map[string]int, w *strings.Builder) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString inside map iteration`
+	}
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built up inside map iteration`
+	}
+	return s
+}
+
+func suppressed(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		//lint:ignore maporder order is re-established by the caller
+		names = append(names, name)
+	}
+	return names
+}

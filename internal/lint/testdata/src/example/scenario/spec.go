@@ -1,0 +1,20 @@
+// Package scenario mimics the real spec package for the speclock
+// analyzer: the package name and the Spec root struct put it in scope.
+// Untagged and json:"-" fields fire, as does a tagged field whose key the
+// golden spec does not exercise; a justified //lint:ignore suppresses one.
+package scenario
+
+// Spec is the root config struct.
+type Spec struct {
+	Run      string    `json:"run"`
+	Estimate *Estimate `json:"estimate,omitempty"`
+	Untagged int       // want `Spec\.Untagged has no json tag`
+	Hidden   string    `json:"-"` // want `Spec\.Hidden is excluded from JSON`
+}
+
+// Estimate is a sub-spec reachable from Spec, so its fields are locked too.
+type Estimate struct {
+	Trials int `json:"trials"`
+	Fresh  int `json:"fresh_knob"` // want `Estimate\.Fresh .json .fresh_knob.. is not exercised`
+	Legacy int `json:"legacy"`     //lint:ignore speclock retired knob kept for old specs, deliberately unexercised
+}

@@ -1,0 +1,8 @@
+// Package scenario without a committed golden spec: the analyzer reports
+// the missing schema lock at the Spec declaration, because the golden file
+// is what makes the lock mechanical.
+package scenario
+
+type Spec struct { // want `cannot read testdata/speclock_golden\.json`
+	Run string `json:"run"`
+}

@@ -1,0 +1,22 @@
+// Package detrandfix exercises the detrand analyzer inside engine scope
+// (the import path contains internal/mc): math/rand and wall-clock reads
+// are diagnostics, and a justified //lint:ignore suppresses one.
+package detrandfix
+
+import (
+	"math/rand" // want `engine package imports math/rand`
+	"time"
+)
+
+func entropy() float64 {
+	return rand.Float64() // want `use of math/rand\.Float64 in an engine package`
+}
+
+func now() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in an engine package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	//lint:ignore detrand progress display only, never feeds an estimate
+	return time.Since(t0)
+}

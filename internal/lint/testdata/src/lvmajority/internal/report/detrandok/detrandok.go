@@ -1,0 +1,14 @@
+// Package detrandok shows detrand is scoped: a package outside the engine
+// subtrees (internal/report here) may use math/rand and the wall clock
+// freely — no line in this file carries an expectation.
+package detrandok
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}

@@ -305,6 +305,8 @@ func (c *Chain) RunToConsensus(maxSteps int) Outcome {
 }
 
 // runToConsensus is the fused event kernel behind Run and RunToConsensus.
+//
+//lint:hotpath
 func (c *Chain) runToConsensus(maxSteps int) Outcome {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps

@@ -325,6 +325,8 @@ func (e *lockstepEngine) runBlock(seed uint64, lo, hi int, wins []bool) error {
 // decides every round (the Done closure fallback has no zero-crossing
 // structure to exploit) and walks the pair and delta tables with short
 // dynamic-trip loops.
+//
+//lint:hotpath
 func (e *lockstepEngine) sweepN(lo, hi int, wins []bool) error {
 	ns := e.states
 	pairs := len(e.pairS)
@@ -547,6 +549,8 @@ func (e *lockstepEngine) sweepN(lo, hi int, wins []bool) error {
 // held in registers end to end, and the decide pass gated on the dirty
 // flag so it runs only on rounds that follow a zero-crossing count
 // update (or open a fresh replicate).
+//
+//lint:hotpath
 func (e *lockstepEngine) sweep4(lo, hi int, wins []bool) error {
 	ns := e.states
 	maxI := e.maxInteractions

@@ -333,6 +333,8 @@ func (p *PopulationProtocol) run(n, delta int, src *rng.Source) (won bool, inter
 // interaction, null or not. Done is only re-evaluated after an interaction
 // actually changed a count — it is a pure function of the counts, so
 // skipping it on null interactions cannot change the stopping time.
+//
+//lint:hotpath
 func (p *PopulationProtocol) runPerEvent(tab *popTable, counts []int, n int, src *rng.Source) (bool, int, error) {
 	maxInteractions := p.maxInteractions(n)
 	changed := true
@@ -386,6 +388,7 @@ func (p *PopulationProtocol) runBatch(tab *popTable, counts []int, n int, src *r
 	// Per-effective-pair weights, in tab.eff order.
 	weights := make([]int64, len(tab.eff))
 	step := 0
+	//lint:hotpath
 	for {
 		// Budget before Done, matching the per-event loop: a trial whose
 		// final permitted interaction reaches consensus still scores as
@@ -460,6 +463,7 @@ func (p *PopulationProtocol) runBatch(tab *popTable, counts []int, n int, src *r
 		}
 		// Unreachable: the weights sum to exactly w. Guard anyway.
 		if pair < 0 {
+			//lint:ignore hotpath unreachable guard — this return never executes, so its allocation cannot cost an event
 			return false, step, fmt.Errorf("protocols: %q effective-pair sampling overran its weight", p.ProtocolName)
 		}
 

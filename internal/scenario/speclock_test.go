@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSpecLockGolden keeps the speclock analyzer's schema lock honest from
+// the other side: every spec in testdata/speclock_golden.json must parse
+// strictly (unknown fields rejected), validate, and survive a
+// marshal/parse round trip to the same value. The speclock analyzer
+// (internal/lint) checks the converse — that every exported Spec field is
+// exercised by this file — so the pair pins schema v1 in both directions.
+func TestSpecLockGolden(t *testing.T) {
+	path := filepath.Join("testdata", "speclock_golden.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatalf("golden spec must parse strictly and validate: %v", err)
+	}
+	if len(specs) < 2 {
+		t.Fatalf("golden spec has %d entries; want the full task coverage set", len(specs))
+	}
+	for i, s := range specs {
+		out, err := s.MarshalIndent()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("spec %d: re-parsing marshalled spec: %v", i, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Errorf("spec %d: round trip changed the value:\nhave %+v\nwant %+v", i, back, s)
+		}
+	}
+
+	// Every key written in the golden file must be a key the schema still
+	// produces: marshal the parsed specs and diff the key sets. A stale
+	// key in the golden file would otherwise shadow a renamed field.
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]bool{}
+	collectJSONKeys(raw, golden)
+	remarshalled, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt any
+	if err := json.Unmarshal(remarshalled, &rt); err != nil {
+		t.Fatal(err)
+	}
+	current := map[string]bool{}
+	collectJSONKeys(rt, current)
+	for key := range golden {
+		if !current[key] {
+			t.Errorf("golden key %q no longer appears after a parse/marshal round trip: stale schema key?", key)
+		}
+	}
+}
+
+func collectJSONKeys(v any, keys map[string]bool) {
+	switch v := v.(type) {
+	case map[string]any:
+		for k, val := range v {
+			keys[k] = true
+			collectJSONKeys(val, keys)
+		}
+	case []any:
+		for _, val := range v {
+			collectJSONKeys(val, keys)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"lvmajority/internal/stats"
@@ -30,6 +31,27 @@ type Key struct {
 	Trials    int     `json:"trials"`
 	Target    float64 `json:"target"`
 	EarlyStop bool    `json:"early_stop"`
+}
+
+// less orders keys for the on-disk encoding: protocol, then the numeric
+// knobs. Any total order would do; this one keeps related probes adjacent.
+func (k Key) less(o Key) bool {
+	switch {
+	case k.Protocol != o.Protocol:
+		return k.Protocol < o.Protocol
+	case k.N != o.N:
+		return k.N < o.N
+	case k.Delta != o.Delta:
+		return k.Delta < o.Delta
+	case k.Seed != o.Seed:
+		return k.Seed < o.Seed
+	case k.Trials != o.Trials:
+		return k.Trials < o.Trials
+	case k.Target != o.Target:
+		return k.Target < o.Target
+	default:
+		return !k.EarlyStop && o.EarlyStop
+	}
 }
 
 // cacheEntry pairs a key with its settled estimate in the on-disk encoding.
@@ -149,6 +171,9 @@ func (c *Cache) Save() error {
 	for k, est := range c.entries {
 		file.Entries = append(file.Entries, cacheEntry{Key: k, Estimate: est})
 	}
+	// Map order would leak into the persisted JSON, making the cache file
+	// byte-different on every save; sorted entries keep it content-stable.
+	sort.Slice(file.Entries, func(i, j int) bool { return file.Entries[i].Key.less(file.Entries[j].Key) })
 	data, err := json.Marshal(file)
 	if err != nil {
 		return fmt.Errorf("sweep: encoding cache: %w", err)

@@ -50,6 +50,7 @@ func coldReference(t *testing.T, p consensus.Protocol, opts Options) []consensus
 			Workers:   1,
 			Seed:      opts.seedFor(n),
 			EarlyStop: !opts.NoEarlyStop,
+			Interrupt: opts.Interrupt,
 		})
 		if err != nil {
 			t.Fatal(err)
