@@ -25,6 +25,7 @@
 //	experiments -cache probes.json T1-SD   # replay settled threshold probes
 //	experiments -report results/manifests  # also write run manifests
 //	experiments -dump-spec T1-SD > run.json; experiments -spec run.json
+//	experiments -progress T1-NSD      # stream live trial/probe progress to stderr
 //	experiments -cpuprofile cpu.pprof T1-NSD   # profile a heavy run
 package main
 
@@ -35,8 +36,10 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/report"
 	"lvmajority/internal/scenario"
 )
@@ -57,6 +60,7 @@ func run(args []string, w io.Writer) error {
 		csvDir    = fs.String("csv", "", "directory to also write per-table CSV files into")
 		reportDir = fs.String("report", "", "directory to write one JSON run manifest per experiment into")
 		quiet     = fs.Bool("q", false, "suppress progress logging")
+		progFlag  = fs.Bool("progress", false, "stream live progress (trials, estimates, sweep probes) to stderr")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the selected runs to this file")
 	)
 	common := scenario.RegisterRun(fs, 20240506)
@@ -117,7 +121,7 @@ func run(args []string, w io.Writer) error {
 			specs = append(specs, spec)
 		}
 		return specs, nil
-	}, "q", "cpuprofile")
+	}, "q", "progress", "cpuprofile")
 	if err != nil {
 		return err
 	}
@@ -140,6 +144,12 @@ func run(args []string, w io.Writer) error {
 	runner := &scenario.Runner{}
 	if !*quiet {
 		runner.Log = os.Stderr
+	}
+	if *progFlag {
+		// Observation-only by contract: the hook changes zero result bytes
+		// (held to that by the scenario golden tests), so -progress is safe
+		// on reproduction runs. Throttled keeps trial lines readable.
+		runner.Progress = progress.Throttled(progress.Renderer(os.Stderr), 250*time.Millisecond)
 	}
 	for _, spec := range specs {
 		if spec.Task != scenario.TaskExperiment {

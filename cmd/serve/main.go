@@ -5,12 +5,14 @@
 // returns typed results embedding full run-manifest provenance — so a run
 // over HTTP is exactly as reproducible as a run in a shell.
 //
-//	POST   /v1/runs         submit a Spec; returns {id, status} (202)
-//	GET    /v1/runs         list run summaries
-//	GET    /v1/runs/{id}    status, the spec, and (when done) the result
-//	DELETE /v1/runs/{id}    cancel a queued or running run
-//	GET    /v1/experiments  the experiment registry
-//	GET    /v1/healthz      liveness, build version, queue and cache stats
+//	POST   /v1/runs              submit a Spec; returns {id, status} (202)
+//	GET    /v1/runs              list run summaries
+//	GET    /v1/runs/{id}         status, the spec, and (when done) the result
+//	GET    /v1/runs/{id}/events  live progress as Server-Sent Events
+//	DELETE /v1/runs/{id}         cancel a queued or running run (409 once finished)
+//	GET    /v1/experiments       the experiment registry
+//	GET    /v1/healthz           liveness, build version, queue and cache stats
+//	GET    /metrics              Prometheus text exposition
 //
 // Specs that touch the server's filesystem (file cache policies, CSV or
 // manifest output directories, the report task) are rejected with 422 —
@@ -44,7 +46,9 @@ import (
 	"time"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/scenario"
+	"lvmajority/internal/stats"
 	"lvmajority/internal/sweep"
 )
 
@@ -56,6 +60,7 @@ func main() {
 		queue    = fs.Int("queue", 64, "maximum queued (not yet running) runs; further submissions get 503")
 		history  = fs.Int("history", 1024, "finished runs retained for GET /v1/runs/{id}; the oldest are evicted beyond this")
 		maxBody  = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		bench    = fs.String("bench-trajectory", "results/bench/BENCH_kernel.json", "benchmark trajectory backing the kernel ns/event gauges on /metrics; missing file disables them")
 		showVers = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -69,6 +74,7 @@ func main() {
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	srv := newServer(*runners, *queue, *maxBody, logger)
 	srv.history = *history
+	srv.kernelBench = loadKernelBench(*bench)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -118,6 +124,11 @@ type run struct {
 	Finished  string `json:"finished,omitempty"`
 
 	cancel context.CancelFunc
+	// events carries the run's progress stream from submission to terminal
+	// state; SSE subscribers attach to it at any point in the lifecycle and
+	// get the bounded replay plus live events. It is created at submission
+	// and closed exactly once, when the run reaches a terminal status.
+	events *progress.Broadcaster
 }
 
 // summary is the list-endpoint view of a run.
@@ -149,6 +160,18 @@ type server struct {
 	baseCtx  context.Context
 	stopBase context.CancelFunc
 	workers  sync.WaitGroup
+
+	// heartbeat is the SSE idle-tick interval and throttle the minimum gap
+	// between forwarded trial snapshots per stream; tests shrink both.
+	heartbeat time.Duration
+	throttle  time.Duration
+	// durations sketches the wall time of finished runs for the /metrics
+	// summary; durSum tracks the exact total alongside it. Guarded by mu.
+	durations *stats.QuantileSketch
+	durSum    float64
+	// kernelBench is the per-kernel ns/event gauge set, loaded once at
+	// startup from the committed benchmark trajectory (may be empty).
+	kernelBench map[string]float64
 }
 
 // newServer builds a server with its worker pool started.
@@ -173,6 +196,10 @@ func newServer(runners, queueDepth int, maxBody int64, logger *log.Logger) *serv
 		queue:    make(chan *run, queueDepth),
 		baseCtx:  baseCtx,
 		stopBase: stopBase,
+
+		heartbeat: 15 * time.Second,
+		throttle:  100 * time.Millisecond,
+		durations: stats.NewQuantileSketch(0),
 	}
 	for i := 0; i < runners; i++ {
 		s.workers.Add(1)
@@ -210,11 +237,15 @@ func (s *server) execute(r *run) {
 	spec := r.Spec
 	s.mu.Unlock()
 	defer cancel()
+	r.events.Publish(progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusRunning)})
 
-	res, err := s.runner.Run(ctx, spec)
+	// Engine events flow into the run's broadcaster through a throttle so
+	// every SSE subscriber sees strictly increasing trial counters.
+	started := time.Now()
+	res, err := s.runner.RunWithProgress(ctx, spec, progress.Throttled(r.events.Publish, s.throttle))
+	elapsed := time.Since(started).Seconds()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r.Finished = now()
 	r.cancel = nil
 	switch {
@@ -228,8 +259,14 @@ func (s *server) execute(r *run) {
 		r.Status = statusFailed
 		r.Error = err.Error()
 	}
+	terminal := progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(r.Status), Err: r.Error}
+	s.durations.Add(elapsed)
+	s.durSum += elapsed
 	s.evictLocked()
 	s.logger.Printf("run %d %s (%s task)", r.ID, r.Status, r.Spec.Task)
+	s.mu.Unlock()
+	r.events.Publish(terminal)
+	r.events.Close()
 }
 
 // evictLocked drops the oldest finished runs beyond the history bound so
@@ -266,9 +303,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -309,7 +348,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	// Registration and the non-blocking enqueue happen under one lock so a
 	// worker can never observe (or mutate) a run the submitter still reads.
 	s.mu.Lock()
-	r := &run{ID: s.nextID, Status: statusQueued, Spec: spec, Submitted: now()}
+	r := &run{ID: s.nextID, Status: statusQueued, Spec: spec, Submitted: now(), events: progress.NewBroadcaster()}
 	select {
 	case s.queue <- r:
 	default:
@@ -321,6 +360,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	s.runs[r.ID] = r
 	s.order = append(s.order, r.ID)
 	id := r.ID
+	// Published before the lock is released: a worker that dequeues the run
+	// publishes "running" only after it takes s.mu, so the stream always
+	// opens with the queued phase.
+	r.events.Publish(progress.Event{Kind: progress.KindPhase, Scope: runScope(id), Phase: string(statusQueued)})
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     id,
@@ -370,24 +413,39 @@ func (s *server) handleGet(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, &view)
 }
 
+// handleCancel cancels a live run. The lifecycle matrix is strict: unknown
+// runs are 404 (from lookup), finished runs — done, failed, already
+// cancelled — are 409 so a caller can distinguish "I stopped it" from "it
+// was already over", and only queued or running runs answer 200.
 func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
 	r := s.lookup(w, req)
 	if r == nil {
 		return
 	}
 	s.mu.Lock()
+	var terminal *progress.Event
 	switch r.Status {
 	case statusQueued:
 		r.Status = statusCancelled
 		r.Finished = now()
+		terminal = &progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusCancelled)}
 		s.evictLocked()
 	case statusRunning:
 		if r.cancel != nil {
 			r.cancel()
 		}
+	default: // done, failed, cancelled: nothing left to cancel
+		st := r.Status
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "run %d already %s", r.ID, st)
+		return
 	}
 	view := *r
 	s.mu.Unlock()
+	if terminal != nil {
+		r.events.Publish(*terminal)
+		r.events.Close()
+	}
 	writeJSON(w, http.StatusOK, &view)
 }
 

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"lvmajority/internal/benchgate"
+	"lvmajority/internal/progress"
+	"lvmajority/internal/scenario"
+)
+
+// This file is the server's observability surface: the per-run SSE event
+// stream and the Prometheus /metrics endpoint. Both read the same
+// progress.Broadcaster the run's execution publishes into, so what an
+// operator watches is exactly what the engines emitted — and because hooks
+// are observation-only by construction, watching a run cannot change it.
+
+// runScope names a run's lifecycle events in the stream.
+func runScope(id int) string { return fmt.Sprintf("run-%d", id) }
+
+// terminalStatus reports whether st ends a run's lifecycle.
+func terminalStatus(st runStatus) bool {
+	return st == statusDone || st == statusFailed || st == statusCancelled
+}
+
+// handleEvents streams a run's progress as Server-Sent Events: first the
+// broadcaster's bounded replay (so a subscriber joining mid-run sees the
+// lifecycle so far), then live events, with heartbeats while idle. Each SSE
+// message's event field is the progress kind and its data field the Event as
+// JSON. Trial counters are strictly increasing per (scope, n, delta) stream
+// — the publisher is throttled — and the stream always ends with a terminal
+// phase event (done, failed, or cancelled) matching GET /v1/runs/{id}, even
+// if the subscriber's buffer overflowed: the handler synthesizes it from the
+// run record when the broadcaster closes without one.
+func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(w, req)
+	if r == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	s.mu.Lock()
+	b := r.events
+	id := r.ID
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancelSub := b.Subscribe()
+	defer cancelSub()
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+
+	sawTerminal := false
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				if !sawTerminal {
+					s.mu.Lock()
+					st := r.Status
+					errMsg := r.Error
+					s.mu.Unlock()
+					writeSSE(w, progress.Event{
+						Kind: progress.KindPhase, Scope: runScope(id),
+						Phase: string(st), Err: errMsg,
+					})
+					fl.Flush()
+				}
+				return
+			}
+			if e.Kind == progress.KindPhase && e.Scope == runScope(id) && terminalStatus(runStatus(e.Phase)) {
+				sawTerminal = true
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-heartbeat.C:
+			writeSSE(w, progress.Event{Kind: progress.KindHeartbeat, Scope: runScope(id)})
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE writes one Server-Sent Event frame.
+func writeSSE(w http.ResponseWriter, e progress.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+}
+
+// handleMetrics exposes fleet health in the Prometheus text format, written
+// by hand since the server takes no dependencies beyond the standard
+// library: build info, queue depth against capacity, runs by state, sweep
+// probe-cache traffic, run-duration quantiles from the merging digest, and
+// per-kernel ns/event from the committed benchmark trajectory.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := map[runStatus]int{}
+	for _, r := range s.runs {
+		counts[r.Status]++
+	}
+	type q struct {
+		label string
+		value float64
+	}
+	var quantiles []q
+	for _, p := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+		if v, err := s.durations.Quantile(p.v); err == nil {
+			quantiles = append(quantiles, q{p.label, v})
+		}
+	}
+	durSum, durCount := s.durSum, int64(s.durations.N())
+	s.mu.Unlock()
+	hits, misses := s.runner.Cache.Counters()
+
+	var sb strings.Builder
+	family := func(name, help, typ string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	family("lvmajority_build_info", "Build metadata; constant 1.", "gauge")
+	fmt.Fprintf(&sb, "lvmajority_build_info{version=%q,go=%q} 1\n", scenario.Version(), runtime.Version())
+
+	family("lvmajority_queue_depth", "Runs queued and not yet started.", "gauge")
+	fmt.Fprintf(&sb, "lvmajority_queue_depth %d\n", counts[statusQueued])
+	family("lvmajority_queue_capacity", "Maximum queued runs before submissions get 503.", "gauge")
+	fmt.Fprintf(&sb, "lvmajority_queue_capacity %d\n", cap(s.queue))
+
+	family("lvmajority_runs", "Retained runs by lifecycle state.", "gauge")
+	for _, st := range []runStatus{statusQueued, statusRunning, statusDone, statusFailed, statusCancelled} {
+		fmt.Fprintf(&sb, "lvmajority_runs{status=%q} %d\n", st, counts[st])
+	}
+
+	family("lvmajority_sweep_cache_hits_total", "Threshold probes served from the shared probe cache.", "counter")
+	fmt.Fprintf(&sb, "lvmajority_sweep_cache_hits_total %d\n", hits)
+	family("lvmajority_sweep_cache_misses_total", "Threshold probes that ran fresh trials.", "counter")
+	fmt.Fprintf(&sb, "lvmajority_sweep_cache_misses_total %d\n", misses)
+	family("lvmajority_sweep_cache_entries", "Settled probes retained in the shared probe cache.", "gauge")
+	fmt.Fprintf(&sb, "lvmajority_sweep_cache_entries %d\n", s.runner.Cache.Len())
+
+	family("lvmajority_run_duration_seconds", "Wall time of finished runs (merging quantile sketch).", "summary")
+	for _, p := range quantiles {
+		fmt.Fprintf(&sb, "lvmajority_run_duration_seconds{quantile=%q} %g\n", p.label, p.value)
+	}
+	fmt.Fprintf(&sb, "lvmajority_run_duration_seconds_sum %g\n", durSum)
+	fmt.Fprintf(&sb, "lvmajority_run_duration_seconds_count %d\n", durCount)
+
+	if len(s.kernelBench) > 0 {
+		family("lvmajority_kernel_ns_per_event", "Per-event cost of the population kernels from the committed benchmark trajectory.", "gauge")
+		names := make([]string, 0, len(s.kernelBench))
+		for name := range s.kernelBench {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "lvmajority_kernel_ns_per_event{kernel=%q} %g\n", name, s.kernelBench[name])
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}
+
+// loadKernelBench maps the newest benchmark-trajectory record to metric
+// labels: "BenchmarkPopulationKernel/batch" becomes kernel="batch". A
+// missing or malformed trajectory yields no kernel family — the server must
+// come up on machines that never ran the benchmarks.
+func loadKernelBench(path string) map[string]float64 {
+	t, err := benchgate.Load(path)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for name, m := range t.Latest().Benchmarks {
+		if m.NsPerEvent == nil {
+			continue
+		}
+		label := name
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			label = name[i+1:]
+		}
+		out[label] = *m.NsPerEvent
+	}
+	return out
+}

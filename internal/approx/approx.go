@@ -21,6 +21,7 @@ import (
 
 	"lvmajority/internal/lv"
 	"lvmajority/internal/mc"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -84,6 +85,9 @@ type CalibrateOptions struct {
 	// Interrupt, when non-nil, is polled between pilots; a non-nil return
 	// aborts the calibration with that error (see mc.Options.Interrupt).
 	Interrupt func() error
+	// Progress, when non-nil, receives pilot-completion snapshots (see
+	// mc.Options.Progress). Observation-only.
+	Progress progress.Hook
 }
 
 // Calibrate estimates σ = sd(F) from pilot runs of the given system started
@@ -114,6 +118,7 @@ func Calibrate(params lv.Params, n int, src *rng.Source, opts CalibrateOptions) 
 		Workers:    opts.Workers,
 		Seed:       src.Uint64(),
 		Interrupt:  opts.Interrupt,
+		Progress:   opts.Progress,
 	}, func(i int, src *rng.Source) (float64, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{MaxSteps: opts.MaxSteps})
 		if err != nil {

@@ -33,7 +33,7 @@ func EstimateWithEarlyStop(p Protocol, n, delta int, target float64, opts Estima
 		return stats.BernoulliEstimate{}, err
 	}
 	return estimateBernoulli(p, n, delta, mc.BernoulliOptions{
-		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
+		Options:   mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt, Progress: opts.Progress},
 		Z:         opts.Z,
 		EarlyStop: true,
 		Target:    target,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lvmajority/internal/mc"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/stats"
 )
 
@@ -25,6 +26,10 @@ type EstimateOptions struct {
 	// aborts the estimate with that error (see mc.Options.Interrupt). It
 	// never affects results while it returns nil.
 	Interrupt func() error
+	// Progress, when non-nil, receives trial and estimate snapshots from
+	// the underlying pool (see mc.Options.Progress). Observation-only:
+	// attaching a hook never changes the estimate.
+	Progress progress.Hook
 }
 
 func (o *EstimateOptions) normalize() {
@@ -53,7 +58,7 @@ func EstimateWinProbability(p Protocol, n, delta int, opts EstimateOptions) (sta
 		return stats.BernoulliEstimate{}, err
 	}
 	return estimateBernoulli(p, n, delta, mc.BernoulliOptions{
-		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt},
+		Options: mc.Options{Replicates: opts.Trials, Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt, Progress: opts.Progress},
 		Z:       opts.Z,
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lvmajority/internal/progress"
 	"lvmajority/internal/stats"
 )
 
@@ -49,6 +50,11 @@ type ThresholdOptions struct {
 	// non-nil return aborts the search with that error. It never affects
 	// results while it returns nil.
 	Interrupt func() error
+	// Progress, when non-nil, is forwarded into every probe's estimator
+	// options so trial and estimate snapshots flow out of the search.
+	// Probe-level events (start, settle, cache provenance) are emitted by
+	// internal/sweep, which owns the cache. Observation-only.
+	Progress progress.Hook
 }
 
 // ProbeEstimator evaluates one gap during a threshold search. The options

@@ -78,6 +78,7 @@ func runExactSolver(cfg Config) ([]*Table, error) {
 					Replicates: trials,
 					Workers:    cfg.workers(),
 					Interrupt:  cfg.Interrupt,
+					Progress:   cfg.Progress,
 					Seed:       cfg.Seed ^ uint64(st.X0*131+st.X1) ^ uint64(tc.params.Competition),
 				},
 				Z: stats.Z999,
@@ -124,6 +125,7 @@ func runNoiseDecomposition(cfg Config) ([]*Table, error) {
 				Replicates: trials,
 				Workers:    cfg.workers(),
 				Interrupt:  cfg.Interrupt,
+				Progress:   cfg.Progress,
 				Seed:       cfg.Seed ^ 0xabcdef ^ uint64(n) ^ uint64(comp)<<48,
 			}, func(_ int, src *rng.Source) ([2]float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -183,14 +185,14 @@ func runGammaTransition(cfg Config) ([]*Table, error) {
 		}
 		p := consensus.LVProtocol{Params: params}
 		estLog, err := consensus.EstimateWinProbability(p, n, logGap, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 			Seed: cfg.Seed ^ uint64(math.Float64bits(ratio)),
 		})
 		if err != nil {
 			return nil, err
 		}
 		estSqrt, err := consensus.EstimateWinProbability(p, n, sqrtGap, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 			Seed: cfg.Seed ^ uint64(math.Float64bits(ratio)) ^ 0xffff,
 		})
 		if err != nil {

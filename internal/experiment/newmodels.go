@@ -54,7 +54,7 @@ func runGossip(cfg Config) ([]*Table, error) {
 	for _, frac := range []float64{0.125, 0.25, 0.5} {
 		delta := consensus.MatchParity(n, int(frac*float64(n)))
 		est, err := consensus.EstimateWinProbability(&gossip.Protocol{Dynamics: gossip.Voter{}}, n, delta,
-			consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Seed: cfg.Seed + uint64(delta)})
+			consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress, Seed: cfg.Seed + uint64(delta)})
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func runMoran(cfg Config) ([]*Table, error) {
 				a := n - (n-delta)/2
 				exact := moran.FixationProbability(r, n, a)
 				est, err := consensus.EstimateWinProbability(&moran.Protocol{Fitness: r}, n, delta,
-					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 						Seed: cfg.Seed + uint64(n)*31 + uint64(delta)})
 				if err != nil {
 					return nil, err
@@ -147,7 +147,7 @@ func runExploit(cfg Config) ([]*Table, error) {
 	} {
 		for _, gap := range []int{logGap, sqrtGap, linGap} {
 			est, err := consensus.EstimateWinProbability(&exploit.Protocol{Params: tc.params}, n, gap,
-				consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+				consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 					Seed: cfg.Seed + uint64(gap)*131})
 			if err != nil {
 				return nil, err
@@ -186,7 +186,7 @@ func runDiffusion(cfg Config) ([]*Table, error) {
 		params := lv.Neutral(1, 1, 1, 0, comp)
 		for _, n := range ns {
 			src := rng.New(cfg.Seed + uint64(n) + uint64(comp)<<40)
-			model, err := approx.Calibrate(params, n, src, approx.CalibrateOptions{Pilots: pilots, Workers: cfg.workers(), Interrupt: cfg.Interrupt})
+			model, err := approx.Calibrate(params, n, src, approx.CalibrateOptions{Pilots: pilots, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress})
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +194,7 @@ func runDiffusion(cfg Config) ([]*Table, error) {
 			for _, mult := range []float64{0.5, 1, 2} {
 				delta := consensus.MatchParity(n, int(math.Max(1, model.Sigma*mult)))
 				est, err := consensus.EstimateWinProbability(proto, n, delta,
-					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 						Seed: cfg.Seed + uint64(n)*7 + uint64(delta)})
 				if err != nil {
 					return nil, err
@@ -257,7 +257,7 @@ func runFitness(cfg Config) ([]*Table, error) {
 				params.Beta[1] = beta1
 				est, err := consensus.EstimateWinProbability(
 					&protocols.GeneralLVProtocol{Params: params}, n, probe.gap,
-					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt,
+					consensus.EstimateOptions{Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress,
 						Seed: cfg.Seed + uint64(comp)<<16 + uint64(probe.gap)<<24 + uint64(beta1*1000)})
 				if err != nil {
 					return nil, err

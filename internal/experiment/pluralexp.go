@@ -50,6 +50,7 @@ func runPlurality(cfg Config) ([]*Table, error) {
 				Trials:    trials,
 				Workers:   cfg.workers(),
 				Interrupt: cfg.Interrupt,
+				Progress:  cfg.Progress,
 				Seed:      cfg.Seed + uint64(k)*97 + uint64(tc.comp),
 			})
 			if err != nil {

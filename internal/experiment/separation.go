@@ -40,13 +40,13 @@ func runSeparation(cfg Config) ([]*Table, error) {
 	for gap := 2; gap <= n/2; gap *= 2 {
 		delta := consensus.MatchParity(n, gap)
 		estSD, err := consensus.EstimateWinProbability(sd, n, delta, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Seed: cfg.Seed + uint64(gap),
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress, Seed: cfg.Seed + uint64(gap),
 		})
 		if err != nil {
 			return nil, err
 		}
 		estNSD, err := consensus.EstimateWinProbability(nsd, n, delta, consensus.EstimateOptions{
-			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Seed: cfg.Seed + uint64(gap) + 1<<20,
+			Trials: trials, Workers: cfg.workers(), Interrupt: cfg.Interrupt, Progress: cfg.Progress, Seed: cfg.Seed + uint64(gap) + 1<<20,
 		})
 		if err != nil {
 			return nil, err
@@ -111,6 +111,7 @@ func runODEComparison(cfg Config) ([]*Table, error) {
 				Replicates: trials,
 				Workers:    cfg.workers(),
 				Interrupt:  cfg.Interrupt,
+				Progress:   cfg.Progress,
 				Seed:       cfg.Seed + uint64(n)*17,
 			},
 			Z: stats.Z999,
@@ -157,6 +158,7 @@ func runBaselines(cfg Config) ([]*Table, error) {
 			Trials:    trials,
 			Workers:   cfg.workers(),
 			Interrupt: cfg.Interrupt,
+			Progress:  cfg.Progress,
 			Seed:      seed,
 			SeedFor:   func(int) uint64 { return seed }, // historical per-protocol seed, independent of n
 			Cache:     cfg.Cache,
@@ -229,6 +231,7 @@ func runAsymmetric(cfg Config) ([]*Table, error) {
 			Trials:    trials,
 			Workers:   cfg.workers(),
 			Interrupt: cfg.Interrupt,
+			Progress:  cfg.Progress,
 			Seed:      cfg.Seed,
 			SeedFor:   func(n int) uint64 { return cfg.Seed + uint64(n) + uint64(math.Float64bits(ratio)) },
 			Cache:     cfg.Cache,

@@ -66,6 +66,7 @@ func runSpatial(cfg Config) ([]*Table, error) {
 			Trials:    trials,
 			Workers:   cfg.workers(),
 			Interrupt: cfg.Interrupt,
+			Progress:  cfg.Progress,
 			Seed:      cfg.Seed + uint64(i)*7919,
 		})
 		if err != nil {

@@ -52,6 +52,7 @@ func thresholdCurve(cfg Config, p consensus.Protocol, title, caption string, sha
 		TrialsFor: func(n int) int { return trialsFor(cfg, n) },
 		Workers:   cfg.workers(),
 		Interrupt: cfg.Interrupt,
+		Progress:  cfg.Progress,
 		Seed:      cfg.Seed, // per-n seed defaults to Seed + n, the historical policy
 		Cache:     cfg.Cache,
 		Log:       cfg.logf,
@@ -228,6 +229,7 @@ func estimateBothScorings(cfg Config, params lv.Params, initial lv.State, trials
 		Replicates: trials,
 		Workers:    cfg.workers(),
 		Interrupt:  cfg.Interrupt,
+		Progress:   cfg.Progress,
 		Seed:       cfg.Seed ^ uint64(initial.X0*1000003+initial.X1),
 	}, func(_ int, src *rng.Source) (scoring, error) {
 		out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -289,6 +291,7 @@ func runTable1Intra(cfg Config) ([]*Table, error) {
 				Trials:    trials,
 				Workers:   cfg.workers(),
 				Interrupt: cfg.Interrupt,
+				Progress:  cfg.Progress,
 				Seed:      cfg.Seed + uint64(n*1000+delta),
 			})
 			if err != nil {

@@ -32,6 +32,7 @@ func runConsensusTime(cfg Config) ([]*Table, error) {
 				Replicates: trials,
 				Workers:    cfg.workers(),
 				Interrupt:  cfg.Interrupt,
+				Progress:   cfg.Progress,
 				Seed:       cfg.Seed + uint64(n) + uint64(comp)<<32,
 			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -82,6 +83,7 @@ func runBadEvents(cfg Config) ([]*Table, error) {
 				Replicates: trials,
 				Workers:    cfg.workers(),
 				Interrupt:  cfg.Interrupt,
+				Progress:   cfg.Progress,
 				Seed:       cfg.Seed ^ (uint64(n) * 31) ^ uint64(comp)<<40,
 			}, func(_ int, src *rng.Source) (float64, error) {
 				out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -151,6 +153,7 @@ func runNiceChain(cfg Config) ([]*Table, error) {
 			Replicates: trials,
 			Workers:    cfg.workers(),
 			Interrupt:  cfg.Interrupt,
+			Progress:   cfg.Progress,
 			Seed:       cfg.Seed + 7*uint64(n),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			res, err := chain.RunToExtinction(n, src, 0)
@@ -223,6 +226,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 			Replicates: runs,
 			Workers:    cfg.workers(),
 			Interrupt:  cfg.Interrupt,
+			Progress:   cfg.Progress,
 			Seed:       cfg.Seed ^ 0xd0d0 ^ uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]int, error) {
 			b := 5 + src.Intn(25)
@@ -260,6 +264,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 			Replicates: trials,
 			Workers:    cfg.workers(),
 			Interrupt:  cfg.Interrupt,
+			Progress:   cfg.Progress,
 			Seed:       cfg.Seed + 11 + uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			out, err := lv.Run(params, initial, src, lv.RunOptions{})
@@ -275,6 +280,7 @@ func runDomination(cfg Config) ([]*Table, error) {
 			Replicates: trials,
 			Workers:    cfg.workers(),
 			Interrupt:  cfg.Interrupt,
+			Progress:   cfg.Progress,
 			Seed:       cfg.Seed + 13 + uint64(comp),
 		}, func(_ int, src *rng.Source) ([2]float64, error) {
 			res, err := dom.RunToExtinction(initial.Min(), src, 0)

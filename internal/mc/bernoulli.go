@@ -2,7 +2,9 @@ package mc
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"lvmajority/internal/progress"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/stats"
 )
@@ -55,7 +57,11 @@ func estimateBernoulli(opts BernoulliOptions, count func(lo, hi int, opts Option
 		if err != nil {
 			return stats.BernoulliEstimate{}, err
 		}
-		return stats.WilsonInterval(wins, opts.Replicates, opts.Z)
+		est, err := stats.WilsonInterval(wins, opts.Replicates, opts.Z)
+		if err == nil {
+			emitEstimate(opts.Progress, est, opts.Replicates, opts.Replicates)
+		}
+		return est, err
 	}
 
 	if opts.Target <= 0 || opts.Target >= 1 {
@@ -77,7 +83,19 @@ func estimateBernoulli(opts BernoulliOptions, count func(lo, hi int, opts Option
 		if trials+size > opts.Replicates {
 			size = opts.Replicates - trials
 		}
-		wins, err := count(trials, trials+size, opts.Options)
+		batchOpts := opts.Options
+		if h := opts.Progress; h != nil && successes > 0 {
+			// Trial snapshots inside this batch carry only the batch's own
+			// win counter; re-base them so observers see cumulative wins.
+			base := int64(successes)
+			batchOpts.Progress = func(e progress.Event) {
+				if e.Kind == progress.KindTrials {
+					e.Wins += base
+				}
+				h(e)
+			}
+		}
+		wins, err := count(trials, trials+size, batchOpts)
 		if err != nil {
 			return stats.BernoulliEstimate{}, err
 		}
@@ -88,6 +106,7 @@ func estimateBernoulli(opts BernoulliOptions, count func(lo, hi int, opts Option
 		if err != nil {
 			return stats.BernoulliEstimate{}, err
 		}
+		emitEstimate(opts.Progress, combined, trials, opts.Replicates)
 		if combined.Lo > opts.Target || combined.Hi < opts.Target {
 			return combined, nil
 		}
@@ -95,9 +114,38 @@ func estimateBernoulli(opts BernoulliOptions, count func(lo, hi int, opts Option
 	return stats.WilsonInterval(successes, trials, opts.Z)
 }
 
-// countWins runs trials [lo, hi) on the pool and counts successes.
+// emitEstimate publishes one running-estimate snapshot at a batch boundary.
+func emitEstimate(h progress.Hook, est stats.BernoulliEstimate, done, total int) {
+	if h == nil {
+		return
+	}
+	e := est // copy: the Event must not alias the estimator's value
+	h(progress.Event{
+		Kind:     progress.KindEstimate,
+		Done:     int64(done),
+		Total:    int64(total),
+		Wins:     int64(est.Successes),
+		Estimate: &e,
+	})
+}
+
+// countWins runs trials [lo, hi) on the pool and counts successes. With a
+// hook attached it additionally mirrors the win count into an atomic so the
+// pool's trial snapshots can carry it; the mirror is observation-only — the
+// returned count still comes from the wins slice alone.
 func countWins(lo, hi int, opts Options, trial func(rep int, src *rng.Source) (bool, error)) (int, error) {
 	wins := make([]bool, hi-lo)
+	var winCount atomic.Int64
+	observed := opts.Progress != nil
+	if observed {
+		h := opts.Progress
+		opts.Progress = func(e progress.Event) {
+			if e.Kind == progress.KindTrials {
+				e.Wins = winCount.Load()
+			}
+			h(e)
+		}
+	}
 	err := runPool(lo, hi, opts, func() (replicateFunc, error) {
 		return func(rep int, src *rng.Source) error {
 			won, err := trial(rep, src)
@@ -105,6 +153,9 @@ func countWins(lo, hi int, opts Options, trial func(rep int, src *rng.Source) (b
 				return err
 			}
 			wins[rep-lo] = won
+			if won && observed {
+				winCount.Add(1)
+			}
 			return nil
 		}, nil
 	})

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lvmajority/internal/progress"
 	"lvmajority/internal/stats"
 )
 
@@ -56,6 +57,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 		}
 		return opts.Interrupt()
 	}
+	report := blockReporter(lo, n, opts, wins)
 	workers := opts.Workers
 	if blocks := (n + lanes - 1) / lanes; workers > blocks {
 		workers = blocks
@@ -76,6 +78,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 			if err := fn(opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
 				return 0, err
 			}
+			report(b, end)
 		}
 		return countTrue(wins), nil
 	}
@@ -114,6 +117,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 					failed.Store(true)
 					return
 				}
+				report(b, end)
 			}
 		}(w)
 	}
@@ -124,6 +128,34 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 		}
 	}
 	return countTrue(wins), nil
+}
+
+// blockReporter returns the per-block completion callback: it publishes one
+// trials snapshot per settled block, counting that block's wins into an
+// atomic so the snapshot carries a running success count. Blocks are coarse
+// enough that no stride is needed. Observation-only: the pool's return value
+// never reads the atomic.
+func blockReporter(lo, n int, opts Options, wins []bool) func(b, end int) {
+	if opts.Progress == nil {
+		return func(int, int) {}
+	}
+	var done, won atomic.Int64
+	return func(b, end int) {
+		blockWins := 0
+		for _, w := range wins[b-lo : end-lo] {
+			if w {
+				blockWins++
+			}
+		}
+		d := done.Add(int64(end - b))
+		wn := won.Add(int64(blockWins))
+		opts.Progress(progress.Event{
+			Kind:  progress.KindTrials,
+			Done:  int64(lo) + d,
+			Total: int64(opts.Replicates),
+			Wins:  wn,
+		})
+	}
 }
 
 func countTrue(wins []bool) int {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lvmajority/internal/progress"
 	"lvmajority/internal/rng"
 	"lvmajority/internal/sim"
 )
@@ -33,6 +34,13 @@ type Options struct {
 	// nil it never affects results — replicates still draw only from their
 	// index-keyed streams.
 	Interrupt func() error
+	// Progress, when non-nil, receives progress.KindTrials snapshots as
+	// replicates complete. Like Interrupt, it is observation-only: events
+	// carry copies of counters the pool already maintains, emission sits
+	// outside replicate execution, and nothing a hook does can reach the
+	// index-keyed streams — so attaching one never changes results. The
+	// hook is called concurrently from worker goroutines.
+	Progress progress.Hook
 }
 
 func (o Options) normalized() Options {
@@ -130,6 +138,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 		}
 		return opts.Interrupt()
 	}
+	report := trialReporter(lo, n, opts)
 	if workers <= 1 {
 		fn, err := newWorker()
 		if err != nil {
@@ -144,6 +153,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 			if err := fn(rep, &src); err != nil {
 				return err
 			}
+			report(1)
 		}
 		return nil
 	}
@@ -180,6 +190,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 					failed.Store(true)
 					return
 				}
+				report(1)
 			}
 		}(w)
 	}
@@ -190,4 +201,30 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 		}
 	}
 	return nil
+}
+
+// trialReporter returns the pool's completion callback: workers call it with
+// the number of replicates they just finished and it publishes a
+// progress.KindTrials snapshot roughly every 1/64th of the span (always at
+// completion), built from one atomic counter. With a nil hook it collapses
+// to a no-op so the pools pay a single nil check.
+func trialReporter(lo, n int, opts Options) func(delta int) {
+	if opts.Progress == nil {
+		return func(int) {}
+	}
+	stride := int64(n / 64)
+	if stride < 1 {
+		stride = 1
+	}
+	var done atomic.Int64
+	return func(delta int) {
+		d := done.Add(int64(delta))
+		if d/stride != (d-int64(delta))/stride || d == int64(n) {
+			opts.Progress(progress.Event{
+				Kind:  progress.KindTrials,
+				Done:  int64(lo) + d,
+				Total: int64(opts.Replicates),
+			})
+		}
+	}
 }

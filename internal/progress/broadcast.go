@@ -1,0 +1,117 @@
+package progress
+
+import "sync"
+
+// historyLimit bounds the replay buffer of a Broadcaster: a late subscriber
+// receives at most this many recent events before the live stream. Recent
+// events summarize the run state (running estimates and counters supersede
+// older ones), so a bounded tail loses only superseded snapshots.
+const historyLimit = 128
+
+// subscriber is one live subscription: delivery channel plus identity for
+// cancellation.
+type subscriber struct {
+	id int
+	ch chan Event
+}
+
+// Broadcaster fans one event stream out to any number of subscribers. The
+// server keeps one per run: the run's Progress hook publishes into it and
+// each SSE client subscribes. Publish never blocks — a subscriber whose
+// buffer is full misses that event (progress events are snapshots, so a
+// later event supersedes it) — and Close terminates every subscription, so
+// a finished run cannot leak goroutines waiting on it.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    []subscriber
+	nextID  int
+	history []Event
+	closed  bool
+}
+
+// NewBroadcaster returns an open Broadcaster with no subscribers.
+func NewBroadcaster() *Broadcaster { return &Broadcaster{} }
+
+// Publish delivers e to every subscriber and appends it to the bounded
+// replay history. It is a valid Hook (`hook := b.Publish`), safe for
+// concurrent use, and never blocks: slow subscribers skip events instead of
+// stalling the publisher. Publishing to a closed Broadcaster is a no-op.
+func (b *Broadcaster) Publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if len(b.history) >= historyLimit {
+		// Drop the oldest half in one copy instead of sliding every
+		// event, keeping Publish amortized O(1).
+		b.history = append(b.history[:0], b.history[historyLimit/2:]...)
+	}
+	b.history = append(b.history, e)
+	for _, s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a new subscriber and returns its delivery channel
+// plus a cancel function. The channel first replays the bounded history,
+// then streams live events; it is closed when the Broadcaster closes (or
+// immediately after the replay when it already has). cancel is idempotent
+// and safe to call concurrently with Publish and Close; the channel is
+// closed in all paths, so ranging over it always terminates.
+func (b *Broadcaster) Subscribe() (<-chan Event, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Size the buffer to hold the full replay plus a live cushion so the
+	// replay loop below can never block while holding the lock.
+	ch := make(chan Event, len(b.history)+historyLimit)
+	for _, e := range b.history {
+		ch <- e
+	}
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs = append(b.subs, subscriber{id: id, ch: ch})
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for i, s := range b.subs {
+			if s.id == id {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				close(s.ch)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// Close terminates the stream: every subscriber's channel is closed after
+// the events already delivered, and future Publish and Subscribe calls see
+// a closed Broadcaster. Close is idempotent.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, s := range b.subs {
+		close(s.ch)
+	}
+	b.subs = nil
+}
+
+// Subscribers reports the current number of live subscriptions; tests use
+// it to assert disconnected clients are reaped.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

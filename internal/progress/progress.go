@@ -1,0 +1,251 @@
+// Package progress is the observation layer of the run pipeline: engines
+// report what they are doing — trial completion, running estimates, sweep
+// probes, task phases — through a Hook, and sinks (a stderr renderer, the
+// server's SSE broadcaster, tests) consume the resulting Events.
+//
+// The contract that makes the layer safe to thread everywhere is that hooks
+// are observation-only by construction: an Event carries copies of values
+// the emitting computation already produced, emission happens outside
+// kernel inner loops (at trial, block, batch, probe, and phase boundaries),
+// and nothing an observer does can flow back into an estimate. The
+// determinism regression tests (internal/mc, internal/scenario) hold the
+// layer to that contract: every committed manifest reproduces byte-for-byte
+// with a maximally chatty hook attached.
+//
+// Emission is lock-cheap by design. Engine packages never read the wall
+// clock or take locks to emit — they publish snapshots built from atomic
+// counters, which means events from concurrent workers may arrive slightly
+// out of order. Sinks that need monotone counters (the SSE stream, the
+// renderer) wrap themselves with Throttled, which serializes, rate-limits,
+// and drops stale snapshots.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lvmajority/internal/stats"
+)
+
+// Kind classifies an Event.
+type Kind string
+
+const (
+	// KindPhase marks a lifecycle transition: the scenario runner emits
+	// one per task start and completion, and the server emits one per run
+	// state change (queued, running, done, failed, cancelled).
+	KindPhase Kind = "phase"
+	// KindTrials reports Monte-Carlo trial completion: Done of Total
+	// trials finished, with the running success count in Wins when the
+	// trials are Bernoulli.
+	KindTrials Kind = "trials"
+	// KindEstimate carries a running Bernoulli estimate with its Wilson
+	// interval, emitted at the estimator's batch boundaries.
+	KindEstimate Kind = "estimate"
+	// KindProbeStart marks the start of one threshold-search probe at
+	// (N, Delta).
+	KindProbeStart Kind = "probe-start"
+	// KindProbe marks a settled probe: Estimate holds its result and
+	// Cached reports whether it was replayed from the probe cache.
+	KindProbe Kind = "probe"
+	// KindPoint marks a settled sweep point: the threshold found (or not)
+	// at population size N.
+	KindPoint Kind = "point"
+	// KindHeartbeat is a liveness tick. Engines never emit it; sinks with
+	// idle-timeout consumers (the SSE stream) synthesize it.
+	KindHeartbeat Kind = "heartbeat"
+)
+
+// Event is one observation from a running computation. Only the fields
+// meaningful for the Kind are set; every field is a copy, so holding an
+// Event cannot alias live engine state.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Phase is the lifecycle stage for KindPhase events ("start", "done",
+	// or a server run state).
+	Phase string `json:"phase,omitempty"`
+	// Scope names the emitting computation: a task name, an experiment
+	// ID, or the server's run identifier.
+	Scope string `json:"scope,omitempty"`
+	// N and Delta identify the population size and initial gap of the
+	// sweep point or probe the event belongs to, when known.
+	N     int `json:"n,omitempty"`
+	Delta int `json:"delta,omitempty"`
+	// Done and Total count completed trials against the configured
+	// budget. Early stopping may finish a run with Done < Total.
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// Wins is the running Bernoulli success count over the Done trials.
+	// It is a concurrent snapshot: it may lag Done by in-flight trials.
+	Wins int64 `json:"wins,omitempty"`
+	// Estimate is the running (KindEstimate) or settled (KindProbe)
+	// Bernoulli estimate with its confidence interval.
+	Estimate *stats.BernoulliEstimate `json:"estimate,omitempty"`
+	// Cached reports that a KindProbe result was replayed from the probe
+	// cache without spending trials.
+	Cached bool `json:"cached,omitempty"`
+	// Threshold and Found carry a settled sweep point's result.
+	Threshold int  `json:"threshold,omitempty"`
+	Found     bool `json:"found,omitempty"`
+	// Err carries a failure message on terminal KindPhase events.
+	Err string `json:"error,omitempty"`
+}
+
+// Hook receives Events. A nil Hook is valid everywhere and costs one nil
+// check. Hooks threaded into replicated engines (internal/mc and above) are
+// called concurrently from worker goroutines and must be safe for
+// concurrent use; Throttled and Broadcaster both are.
+type Hook func(Event)
+
+// Emit calls the hook if it is non-nil. It is the nil-safe emission helper
+// every engine uses.
+func (h Hook) Emit(e Event) {
+	if h != nil {
+		h(e)
+	}
+}
+
+// Tee fans every event out to each non-nil hook in order. It returns nil
+// when no hook survives, so the result stays free to thread.
+func Tee(hooks ...Hook) Hook {
+	live := make([]Hook, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, h := range live {
+			h(e)
+		}
+	}
+}
+
+// scopeKey identifies the progress stream an event belongs to for
+// throttling and monotonicity: one per (kind, scope, point, probe).
+type scopeKey struct {
+	kind     Kind
+	scope    string
+	n, delta int
+}
+
+// throttleState is the per-stream memory of a Throttled hook.
+type throttleState struct {
+	lastDone int64
+	lastEmit time.Time
+}
+
+// Throttled wraps h with the serialization engines deliberately omit: it
+// takes one mutex per event, drops KindTrials snapshots that are stale
+// (Done not above the last emitted Done of the same stream) or too frequent
+// (within min of the last emission, unless the snapshot completes the
+// budget), and passes every other kind through unchanged. Downstream of a
+// Throttled hook, trial counters are strictly increasing per stream — the
+// property the SSE endpoint documents and its tests assert.
+func Throttled(h Hook, min time.Duration) Hook {
+	if h == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	streams := make(map[scopeKey]*throttleState)
+	return func(e Event) {
+		if e.Kind != KindTrials {
+			h(e)
+			return
+		}
+		key := scopeKey{kind: e.Kind, scope: e.Scope, n: e.N, delta: e.Delta}
+		mu.Lock()
+		st := streams[key]
+		if st == nil {
+			st = &throttleState{}
+			streams[key] = st
+		}
+		if e.Done <= st.lastDone {
+			mu.Unlock()
+			return
+		}
+		now := time.Now()
+		final := e.Total > 0 && e.Done >= e.Total
+		if !final && now.Sub(st.lastEmit) < min {
+			mu.Unlock()
+			return
+		}
+		st.lastDone = e.Done
+		st.lastEmit = now
+		mu.Unlock()
+		h(e)
+	}
+}
+
+// Renderer returns a hook that writes one human-readable line per event to
+// w, serialized by an internal mutex so engines can call it concurrently.
+// It is what `cmd/experiments -progress` attaches to stderr; wrap it with
+// Throttled to keep high-frequency trial events readable.
+func Renderer(w io.Writer) Hook {
+	var mu sync.Mutex
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintln(w, renderLine(e))
+	}
+}
+
+// renderLine formats one event the way the stderr renderer prints it.
+func renderLine(e Event) string {
+	prefix := "progress"
+	if e.Scope != "" {
+		prefix = e.Scope
+	}
+	switch e.Kind {
+	case KindPhase:
+		if e.Err != "" {
+			return fmt.Sprintf("%s: %s (%s)", prefix, e.Phase, e.Err)
+		}
+		return fmt.Sprintf("%s: %s", prefix, e.Phase)
+	case KindTrials:
+		at := where(e)
+		if e.Wins > 0 && e.Done > 0 {
+			return fmt.Sprintf("%s:%s trials %d/%d (running p=%.4f)",
+				prefix, at, e.Done, e.Total, float64(e.Wins)/float64(e.Done))
+		}
+		return fmt.Sprintf("%s:%s trials %d/%d", prefix, at, e.Done, e.Total)
+	case KindEstimate:
+		return fmt.Sprintf("%s:%s estimate %v after %d/%d trials", prefix, where(e), e.Estimate, e.Done, e.Total)
+	case KindProbeStart:
+		return fmt.Sprintf("%s: probe n=%d delta=%d", prefix, e.N, e.Delta)
+	case KindProbe:
+		src := "fresh"
+		if e.Cached {
+			src = "cached"
+		}
+		return fmt.Sprintf("%s: probe n=%d delta=%d settled %v (%s)", prefix, e.N, e.Delta, e.Estimate, src)
+	case KindPoint:
+		if !e.Found {
+			return fmt.Sprintf("%s: point n=%d threshold not found", prefix, e.N)
+		}
+		return fmt.Sprintf("%s: point n=%d threshold=%d", prefix, e.N, e.Threshold)
+	case KindHeartbeat:
+		return fmt.Sprintf("%s: heartbeat", prefix)
+	}
+	return fmt.Sprintf("%s: %s event", prefix, e.Kind)
+}
+
+// where renders the point/probe coordinates of a trial-level event, or ""
+// when the event is not attached to a sweep point.
+func where(e Event) string {
+	switch {
+	case e.N > 0 && e.Delta > 0:
+		return fmt.Sprintf(" n=%d delta=%d", e.N, e.Delta)
+	case e.N > 0:
+		return fmt.Sprintf(" n=%d", e.N)
+	}
+	return ""
+}

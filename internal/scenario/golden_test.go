@@ -7,9 +7,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/report"
 )
 
@@ -77,12 +80,33 @@ func TestGoldenSpecs(t *testing.T) {
 // This is the all-IDs acceptance test tying `experiments <id>` and
 // scenario.Runner together; it re-runs the whole quick grid (~1 minute),
 // so -short skips it.
+//
+// The Runner carries a maximally chatty progress hook throughout, making
+// this doubly a determinism regression: every committed manifest must
+// reproduce byte-for-byte while every trial, estimate, probe, and phase
+// event is being observed. A hook that perturbed one RNG draw or reordered
+// one probe would surface here as a table diff.
 func TestRunnerReproducesCommittedManifests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-runs every quick-grid experiment; skipped with -short")
 	}
 	manifestDir := filepath.Join("..", "..", "results", "manifests")
-	r := &Runner{Now: zeroNow}
+	var observed atomic.Int64
+	kinds := sync.Map{}
+	r := &Runner{Now: zeroNow, Progress: func(e progress.Event) {
+		observed.Add(1)
+		kinds.Store(e.Kind, true)
+	}}
+	defer func() {
+		if observed.Load() == 0 {
+			t.Error("chatty hook observed no events: the regression asserts nothing")
+		}
+		for _, k := range []progress.Kind{progress.KindPhase, progress.KindTrials, progress.KindEstimate, progress.KindProbe} {
+			if _, ok := kinds.Load(k); !ok {
+				t.Errorf("chatty hook never saw a %s event", k)
+			}
+		}
+	}()
 	for _, e := range experiment.All() {
 		t.Run(e.ID, func(t *testing.T) {
 			recorded, err := report.Load(filepath.Join(manifestDir, report.Filename(e.ID)))

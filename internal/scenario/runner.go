@@ -15,6 +15,7 @@ import (
 	"lvmajority/internal/experiment"
 	"lvmajority/internal/lv"
 	"lvmajority/internal/mc"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/protocols"
 	"lvmajority/internal/report"
 	"lvmajority/internal/rng"
@@ -37,6 +38,14 @@ type Runner struct {
 	// returns the zero time leaves manifests unstamped, which is what
 	// byte-identity comparisons want.
 	Now func() time.Time
+	// Progress, when non-nil, receives the observation stream of every
+	// run this Runner executes: a phase event per task start and
+	// completion, plus the trial, estimate, probe, and point events of the
+	// engines underneath, each annotated with the task's scope (the task
+	// name, or the experiment ID for experiment tasks). It is the
+	// process-wide default; per-run hooks go through RunWithProgress.
+	// Observation-only: attaching a hook never changes results.
+	Progress progress.Hook
 
 	mu sync.Mutex // guards lazy creation of Cache
 }
@@ -176,6 +185,15 @@ func (r *Runner) cacheFor(spec *Spec) (cache *sweep.Cache, save bool, err error)
 // — between trials; the exact and report tasks (no Monte Carlo) are
 // checked at task boundaries only.
 func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return r.RunWithProgress(ctx, spec, nil)
+}
+
+// RunWithProgress is Run with a per-run observation hook layered over the
+// Runner's process-wide one: the server attaches each run's broadcaster
+// here while cmd/experiments-style front-ends set Runner.Progress once.
+// Events are annotated with the task's scope before they reach either hook.
+// Observation-only: results are byte-identical with any hook attached.
+func (r *Runner) RunWithProgress(ctx context.Context, spec Spec, hook progress.Hook) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,28 +210,33 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	start := time.Now()
 
+	hook = scoped(progress.Tee(r.Progress, hook), scopeOf(&spec))
+	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "start"})
+
 	res := &Result{Spec: spec}
 	switch spec.Task {
 	case TaskEstimate:
-		err = r.runEstimate(ctx, &spec, res)
+		err = r.runEstimate(ctx, &spec, res, hook)
 	case TaskThreshold:
-		err = r.runThreshold(ctx, &spec, res)
+		err = r.runThreshold(ctx, &spec, res, hook)
 	case TaskSweep:
-		err = r.runSweep(ctx, &spec, cache, res)
+		err = r.runSweep(ctx, &spec, cache, res, hook)
 	case TaskSimulate:
-		err = r.runSimulate(ctx, &spec, res)
+		err = r.runSimulate(ctx, &spec, res, hook)
 	case TaskExact:
 		err = r.runExact(&spec, res)
 	case TaskExperiment:
-		err = r.runExperiment(ctx, &spec, cache, res)
+		err = r.runExperiment(ctx, &spec, cache, res, hook)
 	case TaskReport:
 		err = r.runReport(&spec, res)
 	default:
 		err = fmt.Errorf("scenario: unknown task %q", spec.Task)
 	}
 	if err != nil {
+		hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "failed", Err: err.Error()})
 		return nil, err
 	}
+	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "done"})
 
 	// Stamp provenance on every manifest the task assembled.
 	for _, m := range res.Manifests {
@@ -231,6 +254,29 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 	return res, nil
 }
 
+// scopeOf names a spec's observation stream: the experiment ID for
+// experiment tasks, else the task name.
+func scopeOf(spec *Spec) string {
+	if spec.Task == TaskExperiment && spec.Experiment != nil {
+		return spec.Experiment.ID
+	}
+	return string(spec.Task)
+}
+
+// scoped annotates every event that has no scope yet with the task's scope.
+// It returns nil for a nil hook, preserving the zero-cost path.
+func scoped(h progress.Hook, scope string) progress.Hook {
+	if h == nil {
+		return nil
+	}
+	return func(e progress.Event) {
+		if e.Scope == "" {
+			e.Scope = scope
+		}
+		h(e)
+	}
+}
+
 // manifest assembles the provenance record of a scenario task. Wall time
 // and cache counters are filled in by Run after the task returns.
 func (r *Runner) manifest(id, title, artifact string, spec *Spec, full bool, tables []*experiment.Table) *report.Manifest {
@@ -245,7 +291,7 @@ func interruptFrom(ctx context.Context) func() error {
 	return func() error { return ctx.Err() }
 }
 
-func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result) error {
+func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
 	p, err := spec.Model.protocol()
 	if err != nil {
 		return err
@@ -256,6 +302,7 @@ func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result) error
 		Workers:   spec.Workers,
 		Seed:      spec.Seed,
 		Interrupt: interruptFrom(ctx),
+		Progress:  hook,
 	}
 	var est stats.BernoulliEstimate
 	if e.EarlyStop {
@@ -280,7 +327,7 @@ func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result) error
 	return nil
 }
 
-func (r *Runner) runThreshold(ctx context.Context, spec *Spec, res *Result) error {
+func (r *Runner) runThreshold(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
 	p, err := spec.Model.protocol()
 	if err != nil {
 		return err
@@ -295,6 +342,7 @@ func (r *Runner) runThreshold(ctx context.Context, spec *Spec, res *Result) erro
 		EarlyStop: !th.NoEarlyStop,
 		Hint:      th.Hint,
 		Interrupt: interruptFrom(ctx),
+		Progress:  hook,
 	})
 	if err != nil {
 		return err
@@ -327,7 +375,7 @@ func DefaultSweepTrials(n int) int {
 	return tr
 }
 
-func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result) error {
+func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result, hook progress.Hook) error {
 	p, err := spec.Model.protocol()
 	if err != nil {
 		return err
@@ -345,6 +393,7 @@ func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, r
 		NoEarlyStop: sw.NoEarlyStop,
 		Cache:       cache,
 		Interrupt:   interruptFrom(ctx),
+		Progress:    hook,
 	}
 	if sw.Trials == 0 {
 		opts.TrialsFor = DefaultSweepTrials
@@ -384,18 +433,18 @@ func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, r
 	return nil
 }
 
-func (r *Runner) runSimulate(ctx context.Context, spec *Spec, res *Result) error {
+func (r *Runner) runSimulate(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
 	switch spec.Model.Kind {
 	case ModelLV:
-		return r.runSimulateLV(ctx, spec, res)
+		return r.runSimulateLV(ctx, spec, res, hook)
 	case ModelCRN:
-		return r.runSimulateCRN(ctx, spec, res)
+		return r.runSimulateCRN(ctx, spec, res, hook)
 	default:
 		return fmt.Errorf("scenario: simulate supports lv and crn models, not %q", spec.Model.Kind)
 	}
 }
 
-func (r *Runner) runSimulateLV(ctx context.Context, spec *Spec, res *Result) error {
+func (r *Runner) runSimulateLV(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
 	params, err := spec.Model.LV.Params()
 	if err != nil {
 		return err
@@ -407,7 +456,7 @@ func (r *Runner) runSimulateLV(ctx context.Context, spec *Spec, res *Result) err
 	}
 	outs, err := mc.Run(mc.Options{
 		Replicates: sm.Runs, Workers: spec.Workers, Seed: spec.Seed,
-		Interrupt: interruptFrom(ctx),
+		Interrupt: interruptFrom(ctx), Progress: hook,
 	}, func(_ int, src *rng.Source) (lv.Outcome, error) {
 		return lv.Run(params, initial, src, lv.RunOptions{MaxSteps: sm.MaxSteps})
 	})
@@ -452,7 +501,7 @@ func (r *Runner) runSimulateLV(ctx context.Context, spec *Spec, res *Result) err
 	return nil
 }
 
-func (r *Runner) runSimulateCRN(ctx context.Context, spec *Spec, res *Result) error {
+func (r *Runner) runSimulateCRN(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
 	m := spec.Model.CRN
 	net, err := crn.Parse(m.Text)
 	if err != nil {
@@ -470,7 +519,7 @@ func (r *Runner) runSimulateCRN(ctx context.Context, spec *Spec, res *Result) er
 	}
 	outs, err := mc.RunEngine(mc.Options{
 		Replicates: sm.Runs, Workers: spec.Workers, Seed: spec.Seed,
-		Interrupt: interruptFrom(ctx),
+		Interrupt: interruptFrom(ctx), Progress: hook,
 	},
 		func() (sim.Engine, error) { return newCRNEngine(net, initial, m.Engine, sm.MaxTime, rng.New(0)) },
 		func(_ int, e sim.Engine) (final, error) {
@@ -640,7 +689,7 @@ func (r *Runner) runExact(spec *Spec, res *Result) error {
 	return nil
 }
 
-func (r *Runner) runExperiment(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result) error {
+func (r *Runner) runExperiment(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result, hook progress.Hook) error {
 	ex, err := experiment.ByID(spec.Experiment.ID)
 	if err != nil {
 		return err
@@ -657,6 +706,7 @@ func (r *Runner) runExperiment(ctx context.Context, spec *Spec, cache *sweep.Cac
 		Cache:     cache,
 		Interrupt: interruptFrom(ctx),
 		Log:       r.Log,
+		Progress:  hook,
 	}
 	tables, err := ex.Run(cfg)
 	if err != nil {

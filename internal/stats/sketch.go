@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the online summary sketches behind the observability
+// layer: streaming estimates of order statistics that never materialize the
+// sample, so a million-trial run can report running quantiles in O(1)
+// memory. Two sketches with different trade-offs:
+//
+//   - P2 is the p² algorithm (Jain & Chlamtac 1985): one target quantile,
+//     five markers, no merging. The cheapest possible running quantile for
+//     a single stream.
+//   - QuantileSketch is a fixed-k merging digest: bounded centroids over
+//     the whole distribution, any quantile queryable, and sketches built on
+//     separate workers merge. The server's run-duration summaries use it.
+//
+// Like everything in this package, the sketches are deterministic: equal
+// insertion sequences produce equal states, so they never participate in
+// the seed-derivation contract.
+
+// P2 estimates a single quantile of a stream with the p² algorithm: five
+// markers (minimum, target quantile, the two intermediate quantiles, and
+// maximum) adjusted towards their desired positions after every
+// observation, using parabolic interpolation where the height stays
+// monotone and linear interpolation otherwise.
+//
+// The estimate is exact until five observations have arrived and heuristic
+// afterwards: the classic error analysis gives relative errors well under a
+// percent for smooth distributions, and the property tests in this package
+// pin the rank error — |F̂(estimate) − q| — below 0.05 at n = 10⁴ on
+// uniform, normal, bimodal, and adversarially sorted inputs. Callers that
+// need merging or multiple quantiles use QuantileSketch instead.
+type P2 struct {
+	q       float64    // target quantile in [0, 1]
+	n       int        // observations seen
+	heights [5]float64 // marker heights q0..q4 (ascending)
+	pos     [5]float64 // actual marker positions (1-based counts)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired-position increments per observation
+}
+
+// NewP2 returns a p² estimator of the q-quantile. It returns an error for q
+// outside [0, 1].
+func NewP2(q float64) (*P2, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("stats: NewP2 with q=%v outside [0, 1]", q)
+	}
+	p := &P2{q: q}
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// N returns the number of observations added.
+func (p *P2) N() int { return p.n }
+
+// Q returns the target quantile the estimator tracks.
+func (p *P2) Q() float64 { return p.q }
+
+// Add incorporates x into the estimate.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		p.heights[p.n] = x
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.heights[:])
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.incr[i]
+	}
+
+	// Nudge the three interior markers towards their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the p² piecewise-parabolic height prediction for moving
+// marker i by sign (±1) positions.
+func (p *P2) parabolic(i int, sign float64) float64 {
+	num1 := p.pos[i] - p.pos[i-1] + sign
+	num2 := p.pos[i+1] - p.pos[i] - sign
+	den := p.pos[i+1] - p.pos[i-1]
+	return p.heights[i] + sign/den*(num1*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+		num2*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction along the segment in direction
+// sign.
+func (p *P2) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return p.heights[i] + sign*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Quantile returns the current estimate of the target quantile, or an
+// error when no observations have been added. Below five observations the
+// estimate is the exact sample quantile.
+func (p *P2) Quantile() (float64, error) {
+	if p.n == 0 {
+		return 0, fmt.Errorf("stats: P2 quantile of an empty stream")
+	}
+	if p.n < 5 {
+		sorted := append([]float64(nil), p.heights[:p.n]...)
+		sort.Float64s(sorted)
+		return Quantile(sorted, p.q)
+	}
+	return p.heights[2], nil
+}
+
+// Min and Max return the extreme observations (markers 0 and 4).
+func (p *P2) Min() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		m := p.heights[0]
+		for _, h := range p.heights[1:p.n] {
+			m = math.Min(m, h)
+		}
+		return m
+	}
+	return p.heights[0]
+}
+
+// Max returns the largest observation added.
+func (p *P2) Max() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		m := p.heights[0]
+		for _, h := range p.heights[1:p.n] {
+			m = math.Max(m, h)
+		}
+		return m
+	}
+	return p.heights[4]
+}
+
+// centroid is one weighted point of a QuantileSketch.
+type centroid struct {
+	mean   float64
+	weight float64
+}
+
+// QuantileSketch is a fixed-size merging digest over a stream: at most k
+// centroids (weighted means, sorted) summarize the full distribution, any
+// quantile is queryable by interpolating the cumulative weights, and two
+// sketches merge by pooling their centroids — merge(a, b) approximates the
+// sketch of the concatenated stream, which is what lets per-worker sketches
+// combine into one fleet summary.
+//
+// Error bound: each compaction bins the pooled points into at most k
+// equal-weight groups, so one compaction moves any point's rank by at most
+// n/k — a rank error of 1/k. Compactions compose, so after the O(n/k)
+// compactions of a long stream (or an arbitrary merge tree) the practical
+// rank error stays a small multiple of 1/k; the property tests pin it below
+// 3/k on uniform, normal, bimodal, and adversarially sorted inputs, and the
+// default k = 128 keeps that under 2.5%. Quantile(0) and Quantile(1) are
+// exact (the extremes are tracked separately).
+//
+// The zero value is not ready to use; construct with NewQuantileSketch.
+type QuantileSketch struct {
+	k         int
+	centroids []centroid // sorted by mean, len <= k after compaction
+	buf       []centroid // pending points, compacted when full
+	n         float64    // total weight
+	min, max  float64
+}
+
+// DefaultSketchSize is the k used when NewQuantileSketch is given a
+// non-positive size: 128 centroids bound the rank error near 2%, in ~4 KB.
+const DefaultSketchSize = 128
+
+// NewQuantileSketch returns an empty digest with at most k centroids
+// (DefaultSketchSize when k <= 0; the minimum accepted k is 8).
+func NewQuantileSketch(k int) *QuantileSketch {
+	if k <= 0 {
+		k = DefaultSketchSize
+	}
+	if k < 8 {
+		k = 8
+	}
+	return &QuantileSketch{k: k}
+}
+
+// N returns the total weight added (the observation count when every
+// observation had weight 1).
+func (s *QuantileSketch) N() float64 { return s.n }
+
+// Min and Max return the exact extremes of the stream.
+func (s *QuantileSketch) Min() float64 { return s.min }
+
+// Max returns the largest observation added.
+func (s *QuantileSketch) Max() float64 { return s.max }
+
+// Add incorporates one observation.
+func (s *QuantileSketch) Add(x float64) { s.AddWeighted(x, 1) }
+
+// AddWeighted incorporates an observation with weight w (w <= 0 is
+// ignored). NaN observations are ignored: a sketch is an observability
+// surface and must not poison itself on one bad sample.
+func (s *QuantileSketch) AddWeighted(x, w float64) {
+	if w <= 0 || math.IsNaN(x) || math.IsNaN(w) {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	s.n += w
+	s.buf = append(s.buf, centroid{mean: x, weight: w})
+	if len(s.buf) >= 4*s.k {
+		s.compact()
+	}
+}
+
+// Merge incorporates other into s; other is unchanged. The result
+// approximates the sketch of the union stream within the documented error.
+func (s *QuantileSketch) Merge(other *QuantileSketch) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		s.min = math.Min(s.min, other.min)
+		s.max = math.Max(s.max, other.max)
+	}
+	s.n += other.n
+	s.buf = append(s.buf, other.centroids...)
+	s.buf = append(s.buf, other.buf...)
+	s.compact()
+}
+
+// compact pools the pending buffer with the existing centroids and re-bins
+// the result into at most k equal-weight centroids. Deterministic: equal
+// inputs produce equal states.
+func (s *QuantileSketch) compact() {
+	if len(s.buf) == 0 {
+		return
+	}
+	pool := append(s.centroids, s.buf...)
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].mean != pool[j].mean {
+			return pool[i].mean < pool[j].mean
+		}
+		return pool[i].weight < pool[j].weight
+	})
+	var total float64
+	for _, c := range pool {
+		total += c.weight
+	}
+	target := total / float64(s.k)
+	out := make([]centroid, 0, s.k)
+	var accMean, accWeight float64
+	flush := func() {
+		if accWeight > 0 {
+			out = append(out, centroid{mean: accMean / accWeight, weight: accWeight})
+			accMean, accWeight = 0, 0
+		}
+	}
+	for _, c := range pool {
+		accMean += c.mean * c.weight
+		accWeight += c.weight
+		if accWeight >= target && len(out) < s.k-1 {
+			flush()
+		}
+	}
+	flush()
+	s.centroids = out
+	s.buf = s.buf[:0]
+}
+
+// Quantile returns the estimated q-quantile. It returns an error for an
+// empty sketch or q outside [0, 1].
+func (s *QuantileSketch) Quantile(q float64) (float64, error) {
+	if s.n == 0 {
+		return 0, fmt.Errorf("stats: QuantileSketch quantile of an empty sketch")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: QuantileSketch quantile q=%v outside [0, 1]", q)
+	}
+	s.compact()
+	if q == 0 {
+		return s.min, nil
+	}
+	if q == 1 {
+		return s.max, nil
+	}
+	cs := s.centroids
+	rank := q * s.n
+	// Each centroid sits at the midpoint of its weight span; interpolate
+	// between neighbouring midpoints, anchored by the exact extremes.
+	var cum float64
+	prevMid, prevMean := 0.0, s.min
+	for _, c := range cs {
+		mid := cum + c.weight/2
+		if rank < mid {
+			frac := 0.0
+			if mid > prevMid {
+				frac = (rank - prevMid) / (mid - prevMid)
+			}
+			return prevMean + frac*(c.mean-prevMean), nil
+		}
+		cum += c.weight
+		prevMid, prevMean = mid, c.mean
+	}
+	frac := 0.0
+	if s.n > prevMid {
+		frac = (rank - prevMid) / (s.n - prevMid)
+	}
+	return prevMean + frac*(s.max-prevMean), nil
+}
+
+// Centroids reports the current summary size; tests use it to assert the
+// memory bound holds.
+func (s *QuantileSketch) Centroids() int { return len(s.centroids) + len(s.buf) }

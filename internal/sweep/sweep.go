@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"lvmajority/internal/consensus"
+	"lvmajority/internal/progress"
 	"lvmajority/internal/stats"
 )
 
@@ -97,6 +98,12 @@ type Options struct {
 	Interrupt func() error
 	// Log, when non-nil, receives one progress line per settled point.
 	Log func(format string, args ...any)
+	// Progress, when non-nil, receives the sweep's observation stream:
+	// probe-start and probe events around every threshold probe (with cache
+	// provenance), a point event per settled population size, and the trial
+	// and estimate snapshots of every fresh probe, all annotated with the
+	// point's N. Observation-only: attaching a hook never changes results.
+	Progress progress.Hook
 }
 
 // Point is the sweep result for one population size.
@@ -270,6 +277,21 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 	inner := consensus.DefaultEstimator(p, n, target, earlyStop)
 
 	identity := protocolIdentity(p)
+
+	// The sweep owns probe-level observation: it alone knows whether a
+	// probe was served by the cache. Nested trial/estimate snapshots from
+	// fresh probes are annotated with this point's N on the way out.
+	hook := opts.Progress
+	var pointHook progress.Hook
+	if hook != nil {
+		pointHook = func(e progress.Event) {
+			if e.N == 0 {
+				e.N = n
+			}
+			hook(e)
+		}
+	}
+
 	var fresh, hits int
 	estimator := func(delta int, eopts consensus.EstimateOptions) (stats.BernoulliEstimate, error) {
 		key := Key{
@@ -281,10 +303,12 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 			Target:    target,
 			EarlyStop: earlyStop,
 		}
+		pointHook.Emit(progress.Event{Kind: progress.KindProbeStart, N: n, Delta: delta})
 		if opts.Cache != nil {
 			if est, ok := opts.Cache.Get(key); ok {
 				hits++
 				cacheHits.Add(1)
+				emitProbe(pointHook, n, delta, est, true)
 				return est, nil
 			}
 		}
@@ -297,6 +321,7 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 		if opts.Cache != nil {
 			opts.Cache.Put(key, est)
 		}
+		emitProbe(pointHook, n, delta, est, false)
 		return est, nil
 	}
 
@@ -310,14 +335,25 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 		Hint:      hint,
 		Estimator: estimator,
 		Interrupt: opts.Interrupt,
+		Progress:  pointHook,
 	})
 	if err != nil {
 		return Point{}, err
 	}
+	pointHook.Emit(progress.Event{Kind: progress.KindPoint, N: n, Threshold: res.Threshold, Found: res.Found})
 	return Point{
 		ThresholdResult: res,
 		Probes:          len(res.Evaluations),
 		EstimatorCalls:  fresh,
 		CacheHits:       hits,
 	}, nil
+}
+
+// emitProbe publishes one settled-probe event with cache provenance.
+func emitProbe(h progress.Hook, n, delta int, est stats.BernoulliEstimate, cached bool) {
+	if h == nil {
+		return
+	}
+	e := est
+	h(progress.Event{Kind: progress.KindProbe, N: n, Delta: delta, Estimate: &e, Cached: cached})
 }
