@@ -124,14 +124,20 @@ func TestRunCacheFlag(t *testing.T) {
 	}
 }
 
+// TestRunCorruptCache: a corrupt probe cache is quarantined (*.corrupt)
+// and the run proceeds from an empty cache — persistence degrades, results
+// do not.
 func TestRunCorruptCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "probes.json")
 	if err := os.WriteFile(cache, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := run([]string{"-q", "-cache", cache, "E-DOM"}, &b); err == nil {
-		t.Error("corrupt cache accepted")
+	if err := run([]string{"-q", "-cache", cache, "E-DOM"}, &b); err != nil {
+		t.Errorf("corrupt cache failed the run: %v", err)
+	}
+	if _, err := os.Stat(cache + ".corrupt"); err != nil {
+		t.Errorf("corrupt cache not quarantined: %v", err)
 	}
 }
 

@@ -1,0 +1,210 @@
+// Journal: crash-safe accounting of queued and running runs.
+//
+// With -journal DIR, the server persists one small JSON file per live run
+// (run-<id>.json) from submission until the run reaches a terminal status.
+// On restart the directory is replayed: runs that were still queued are
+// re-enqueued with their original ID, spec and submission time; runs that
+// were mid-execution cannot be resumed (their engine state died with the
+// process) and are registered as failed with the "interrupted" detail, so a
+// client polling GET /v1/runs/{id} sees an honest terminal state instead of
+// a 404. Journal I/O is best-effort: a write failure is logged and the run
+// proceeds — the journal must never make a healthy server lose work.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/ioretry"
+	"lvmajority/internal/progress"
+	"lvmajority/internal/scenario"
+)
+
+// journalRetry is the backoff policy for journal writes. Deterministic seed,
+// like every other stream in the repository.
+var journalRetry = ioretry.Policy{Seed: 0x10a7a1}
+
+// journalEntry is the persisted view of a live run: exactly the fields needed
+// to re-register it after a restart.
+type journalEntry struct {
+	ID        int           `json:"id"`
+	Status    runStatus     `json:"status"`
+	Spec      scenario.Spec `json:"spec"`
+	Submitted string        `json:"submitted,omitempty"`
+	Started   string        `json:"started,omitempty"`
+}
+
+// journal persists live-run entries under one directory. A nil *journal is
+// the disabled state: record and remove are no-ops, so call sites never
+// branch on whether journaling is configured.
+type journal struct {
+	dir    string
+	logger *log.Logger
+}
+
+func (j *journal) path(id int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("run-%d.json", id))
+}
+
+// record persists (or refreshes) the entry for a live run. Callers hold the
+// server's mu, which serializes writes per run ID. Failures are logged, not
+// returned: journaling degrades, execution does not.
+func (j *journal) record(r *run) {
+	if j == nil {
+		return
+	}
+	data, err := json.MarshalIndent(journalEntry{
+		ID: r.ID, Status: r.Status, Spec: r.Spec,
+		Submitted: r.Submitted, Started: r.Started,
+	}, "", "  ")
+	if err != nil {
+		j.logger.Printf("journal: marshal run %d: %v", r.ID, err)
+		return
+	}
+	err = ioretry.Do(journalRetry, func() error {
+		if err := faultpoint.Hit(faultpoint.JournalWrite); err != nil {
+			return err
+		}
+		return writeFileAtomic(j.path(r.ID), data)
+	})
+	if err != nil {
+		j.logger.Printf("journal: record run %d: %v (run unaffected)", r.ID, err)
+	}
+}
+
+// remove deletes a run's entry once it reaches a terminal status.
+func (j *journal) remove(id int) {
+	if j == nil {
+		return
+	}
+	if err := os.Remove(j.path(id)); err != nil && !os.IsNotExist(err) {
+		j.logger.Printf("journal: remove run %d: %v", id, err)
+	}
+}
+
+// writeFileAtomic writes data via a temp file in the same directory, fsyncs,
+// and renames over the destination, so readers (and the recovery scan) only
+// ever see complete entries.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// attachJournal enables journaling under dir and replays any entries a
+// previous process left behind. It must be called after newServer and before
+// the listener accepts traffic: recovered queued runs go straight onto the
+// worker queue. Unreadable entries are quarantined (renamed *.corrupt) and
+// logged, never fatal — a half-written file from a crash mid-write must not
+// keep the server from starting.
+func (s *server) attachJournal(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j := &journal{dir: dir, logger: s.logger}
+
+	paths, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var entries []journalEntry
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		var e journalEntry
+		if err == nil {
+			err = json.Unmarshal(data, &e)
+		}
+		if err == nil && e.ID <= 0 {
+			err = fmt.Errorf("non-positive run id %d", e.ID)
+		}
+		if err != nil {
+			quarantined := path + ".corrupt"
+			os.Rename(path, quarantined)
+			s.logger.Printf("journal: quarantined unreadable entry %s: %v", filepath.Base(path), err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].ID < entries[b].ID })
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+	for _, e := range entries {
+		if _, exists := s.runs[e.ID]; exists {
+			s.logger.Printf("journal: entry for run %d collides with a live run; dropping", e.ID)
+			j.remove(e.ID)
+			continue
+		}
+		if e.ID >= s.nextID {
+			s.nextID = e.ID + 1
+		}
+		r := &run{ID: e.ID, Spec: e.Spec, Submitted: e.Submitted, Started: e.Started, events: progress.NewBroadcaster()}
+		switch e.Status {
+		case statusQueued:
+			// The previous process never started this run, so re-running it
+			// is safe and loses nothing: the spec is deterministic in itself.
+			r.Status = statusQueued
+			select {
+			case s.queue <- r:
+				s.runs[r.ID] = r
+				s.order = append(s.order, r.ID)
+				j.record(r)
+				r.events.Publish(progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusQueued)})
+				s.logger.Printf("journal: re-enqueued run %d (%s task)", r.ID, r.Spec.Task)
+				continue
+			default:
+				// A shrunken queue cannot hold the backlog; fall through to
+				// an honest terminal state rather than blocking startup.
+				s.registerInterruptedLocked(r, "journal recovery: queue full")
+			}
+		default:
+			// Running (or any unknown status from a newer format): the
+			// engine state died with the old process, so the only honest
+			// outcome is failed(interrupted).
+			s.registerInterruptedLocked(r, "interrupted by server restart")
+		}
+		j.remove(r.ID)
+	}
+	if n := len(entries); n > 0 {
+		s.logger.Printf("journal: recovered %d entr%s from %s", n, map[bool]string{true: "y", false: "ies"}[n == 1], dir)
+	}
+	return nil
+}
+
+// registerInterruptedLocked registers a recovered run in a terminal failed
+// state with the interrupted detail. Callers hold s.mu.
+func (s *server) registerInterruptedLocked(r *run, reason string) {
+	r.Status = statusFailed
+	r.Error = reason
+	r.Detail = progress.DetailInterrupted
+	r.Finished = now()
+	s.runs[r.ID] = r
+	s.order = append(s.order, r.ID)
+	r.events.Publish(progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusFailed), Err: r.Error, Detail: r.Detail})
+	r.events.Close()
+	s.logger.Printf("journal: run %d marked failed (%s)", r.ID, reason)
+}

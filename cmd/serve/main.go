@@ -61,6 +61,7 @@ func main() {
 		history  = fs.Int("history", 1024, "finished runs retained for GET /v1/runs/{id}; the oldest are evicted beyond this")
 		maxBody  = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
 		bench    = fs.String("bench-trajectory", "results/bench/BENCH_kernel.json", "benchmark trajectory backing the kernel ns/event gauges on /metrics; missing file disables them")
+		journal  = fs.String("journal", "", "directory persisting queued/running run specs across restarts; empty disables the journal")
 		showVers = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -75,6 +76,11 @@ func main() {
 	srv := newServer(*runners, *queue, *maxBody, logger)
 	srv.history = *history
 	srv.kernelBench = loadKernelBench(*bench)
+	if *journal != "" {
+		if err := srv.attachJournal(*journal); err != nil {
+			logger.Fatal(err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -117,6 +123,9 @@ type run struct {
 	Spec   scenario.Spec    `json:"spec"`
 	Result *scenario.Result `json:"result,omitempty"`
 	Error  string           `json:"error,omitempty"`
+	// Detail classifies a failure ("panic", "timeout", "interrupted") so
+	// clients can distinguish failure modes without parsing Error.
+	Detail string `json:"detail,omitempty"`
 	// Submitted, Started and Finished are RFC 3339 UTC timestamps; empty
 	// until the run reaches that stage.
 	Submitted string `json:"submitted,omitempty"`
@@ -160,6 +169,10 @@ type server struct {
 	baseCtx  context.Context
 	stopBase context.CancelFunc
 	workers  sync.WaitGroup
+	// journal persists queued/running run specs so a crashed or restarted
+	// server can account for them; nil (the default) disables journaling.
+	// Its methods are nil-safe. Guarded by mu wherever runs are mutated.
+	journal *journal
 
 	// heartbeat is the SSE idle-tick interval and throttle the minimum gap
 	// between forwarded trial snapshots per stream; tests shrink both.
@@ -235,6 +248,7 @@ func (s *server) execute(r *run) {
 	r.Started = now()
 	r.cancel = cancel
 	spec := r.Spec
+	s.journal.record(r)
 	s.mu.Unlock()
 	defer cancel()
 	r.events.Publish(progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusRunning)})
@@ -255,11 +269,14 @@ func (s *server) execute(r *run) {
 	case errors.Is(err, context.Canceled):
 		r.Status = statusCancelled
 		r.Error = err.Error()
+		r.Detail = scenario.FailureDetail(err)
 	default:
 		r.Status = statusFailed
 		r.Error = err.Error()
+		r.Detail = scenario.FailureDetail(err)
 	}
-	terminal := progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(r.Status), Err: r.Error}
+	s.journal.remove(r.ID)
+	terminal := progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(r.Status), Err: r.Error, Detail: r.Detail}
 	s.durations.Add(elapsed)
 	s.durSum += elapsed
 	s.evictLocked()
@@ -330,6 +347,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 		return
 	}
+	// A client that disconnected mid-POST gets nothing enqueued on its
+	// behalf: the spec may have arrived truncated, and nobody is left to
+	// read the run ID, so executing it would only burn worker time.
+	if err := req.Context().Err(); err != nil {
+		s.logger.Printf("submit aborted: client disconnected: %v", err)
+		return
+	}
 	spec, err := scenario.ParseSpec(body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -353,12 +377,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	case s.queue <- r:
 	default:
 		s.mu.Unlock()
+		// Queue pressure is transient by construction (bounded queue,
+		// draining workers); tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "queue full (%d queued); retry later", cap(s.queue))
 		return
 	}
 	s.nextID++
 	s.runs[r.ID] = r
 	s.order = append(s.order, r.ID)
+	s.journal.record(r)
 	id := r.ID
 	// Published before the lock is released: a worker that dequeues the run
 	// publishes "running" only after it takes s.mu, so the stream always
@@ -428,6 +456,7 @@ func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
 	case statusQueued:
 		r.Status = statusCancelled
 		r.Finished = now()
+		s.journal.remove(r.ID)
 		terminal = &progress.Event{Kind: progress.KindPhase, Scope: runScope(r.ID), Phase: string(statusCancelled)}
 		s.evictLocked()
 	case statusRunning:

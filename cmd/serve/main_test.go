@@ -14,12 +14,16 @@ import (
 	"time"
 
 	"lvmajority/internal/scenario"
+	"lvmajority/internal/testutil"
 )
 
 // newTestServer starts a server on httptest and tears it down with the
-// test.
+// test. The goroutine-leak check registers first so it runs after the
+// teardown cleanup: every worker, SSE subscription and broadcaster the test
+// spawned must have unwound by then.
 func newTestServer(t *testing.T, runners, queueDepth int) (*server, *httptest.Server) {
 	t.Helper()
+	testutil.CheckGoroutineLeaks(t)
 	s := newServer(runners, queueDepth, 1<<20, log.New(io.Discard, "", 0))
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(func() {

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/progress"
+	"lvmajority/internal/testutil"
+)
+
+// journalFiles lists the live run-*.json entries under dir.
+func journalFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func cancelRun(t *testing.T, ts *httptest.Server, id int) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%d", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestSubmitRetryAfterOnQueueFull: the 503 on queue overflow carries a
+// Retry-After header, since queue pressure is transient by construction.
+func TestSubmitRetryAfterOnQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, 1, 1)
+
+	// Occupy the single runner, then fill the one queue slot.
+	code, created := postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	runningID := int(created["id"].(float64))
+	code, created = postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("queued POST status %d", code)
+	}
+	queuedID := int(created["id"].(float64))
+
+	data, err := json.Marshal(slowSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow POST status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("503 response has no Retry-After header")
+	}
+
+	cancelRun(t, ts, queuedID)
+	cancelRun(t, ts, runningID)
+	waitForRun(t, ts, runningID, 60*time.Second)
+}
+
+// TestSubmitDisconnectedClientAborts: a POST whose client vanished before
+// the handler ran enqueues nothing — the spec may be truncated and nobody
+// is left to read the run ID.
+func TestSubmitDisconnectedClientAborts(t *testing.T) {
+	s, _ := newTestServer(t, 1, 4)
+
+	data, err := json.Marshal(estimateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(data)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleSubmit(rec, req)
+
+	s.mu.Lock()
+	registered := len(s.runs)
+	s.mu.Unlock()
+	if registered != 0 {
+		t.Errorf("disconnected POST registered %d runs, want 0", registered)
+	}
+}
+
+// TestJournalLifecycle: a journaled run has an on-disk entry exactly while
+// it is live — present when queued or running, gone at any terminal state,
+// whether it finished or was cancelled.
+func TestJournalLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, 1, 4)
+	if err := s.attachJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the runner so the next submission stays observably queued.
+	code, created := postSpec(t, ts, slowSweepSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	slowID := int(created["id"].(float64))
+	code, created = postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("queued POST status %d", code)
+	}
+	queuedID := int(created["id"].(float64))
+
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		return len(journalFiles(t, dir)) == 2
+	}, "both live runs journaled (have %d entries)", len(journalFiles(t, dir)))
+
+	// The queued entry round-trips: it holds the exact spec and ID.
+	var e journalEntry
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("run-%d.json", queuedID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != queuedID || e.Status != statusQueued || e.Spec.Task != estimateSpec().Task {
+		t.Errorf("journal entry %+v does not match the queued run %d", e, queuedID)
+	}
+
+	cancelRun(t, ts, queuedID)
+	if r := waitForRun(t, ts, queuedID, 10*time.Second); r.Status != statusCancelled {
+		t.Fatalf("queued run finished %s, want cancelled", r.Status)
+	}
+	cancelRun(t, ts, slowID)
+	waitForRun(t, ts, slowID, 60*time.Second)
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		return len(journalFiles(t, dir)) == 0
+	}, "journal entries removed at terminal state: %v", journalFiles(t, dir))
+}
+
+// TestJournalRestartRecovery: replaying a journal left by a dead process
+// re-enqueues runs that never started (same ID, same spec — re-running them
+// is safe because specs are deterministic), reports runs that died
+// mid-execution as failed(interrupted), quarantines unreadable entries, and
+// moves the ID counter past everything recovered.
+func TestJournalRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) {
+		t.Helper()
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("run-5.json", journalEntry{ID: 5, Status: statusQueued, Spec: estimateSpec(), Submitted: "2026-08-07T00:00:00Z"})
+	write("run-7.json", journalEntry{ID: 7, Status: statusRunning, Spec: estimateSpec(), Submitted: "2026-08-07T00:00:01Z", Started: "2026-08-07T00:00:02Z"})
+	if err := os.WriteFile(filepath.Join(dir, "run-3.json"), []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, 1, 4)
+	if err := s.attachJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mid-execution run is already terminal: failed, interrupted.
+	var interrupted run
+	if code := getJSON(t, ts, "/v1/runs/7", &interrupted); code != http.StatusOK {
+		t.Fatalf("GET recovered run 7: status %d", code)
+	}
+	if interrupted.Status != statusFailed || interrupted.Detail != progress.DetailInterrupted {
+		t.Errorf("mid-execution run recovered as %s/%s, want failed/%s",
+			interrupted.Status, interrupted.Detail, progress.DetailInterrupted)
+	}
+
+	// The queued run re-executes to completion under its original ID.
+	if r := waitForRun(t, ts, 5, 30*time.Second); r.Status != statusDone || r.Result == nil || r.Result.Estimate == nil {
+		t.Errorf("re-enqueued run finished %s (%s) with result %v", r.Status, r.Error, r.Result)
+	}
+
+	// The torn entry was quarantined, not fatal.
+	if _, err := os.Stat(filepath.Join(dir, "run-3.json.corrupt")); err != nil {
+		t.Errorf("torn journal entry not quarantined: %v", err)
+	}
+
+	// New submissions get IDs above everything recovered.
+	code, created := postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("post-recovery POST status %d", code)
+	}
+	if id := int(created["id"].(float64)); id != 8 {
+		t.Errorf("post-recovery run got id %d, want 8 (past recovered id 7)", id)
+	}
+	waitForRun(t, ts, 8, 30*time.Second)
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		return len(journalFiles(t, dir)) == 0
+	}, "journal drained after recovery: %v", journalFiles(t, dir))
+}
+
+// TestChaosServeEnginePanic: a panic deep in the Monte-Carlo engine fails
+// only the run it hit — the response classifies it, the server stays
+// healthy, and the next submission succeeds.
+func TestChaosServeEnginePanic(t *testing.T) {
+	_, ts := newTestServer(t, 1, 4)
+
+	faultpoint.Arm(faultpoint.NewPlan(faultpoint.Rule{
+		Site: faultpoint.TrialStart, After: 10, Mode: faultpoint.ModePanic, Msg: "chaos",
+	}))
+	defer faultpoint.Disarm()
+
+	code, created := postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	id := int(created["id"].(float64))
+	r := waitForRun(t, ts, id, 30*time.Second)
+	if r.Status != statusFailed {
+		t.Fatalf("run with injected panic finished %s, want failed", r.Status)
+	}
+	if r.Detail != progress.DetailPanic {
+		t.Errorf("failed run detail %q, want %q", r.Detail, progress.DetailPanic)
+	}
+	if r.Error == "" {
+		t.Error("failed run carries no error message")
+	}
+
+	// The server survived: healthz answers and a clean run completes.
+	faultpoint.Disarm()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts, "/v1/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz after panic: status %d, %+v", code, health)
+	}
+	code, created = postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("post-panic POST status %d", code)
+	}
+	if r := waitForRun(t, ts, int(created["id"].(float64)), 30*time.Second); r.Status != statusDone {
+		t.Errorf("post-panic run finished %s (%s), want done", r.Status, r.Error)
+	}
+}
+
+// TestChaosJournalWriteFault: persistent journal-write failures degrade the
+// journal, never the runs — submissions are accepted and complete with
+// correct results while every journal write fails.
+func TestChaosJournalWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, 1, 4)
+	if err := s.attachJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultpoint.NewPlan(faultpoint.Rule{
+		Site: faultpoint.JournalWrite, Times: 1 << 20, Mode: faultpoint.ModeError, Msg: "disk gone",
+	})
+	faultpoint.Arm(plan)
+	defer faultpoint.Disarm()
+
+	code, created := postSpec(t, ts, estimateSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d with journal down", code)
+	}
+	id := int(created["id"].(float64))
+	if r := waitForRun(t, ts, id, 30*time.Second); r.Status != statusDone || r.Result == nil {
+		t.Errorf("run finished %s (%s) with journal down, want done", r.Status, r.Error)
+	}
+	if plan.Triggered() == 0 {
+		t.Error("no journal faults injected; the test exercised nothing")
+	}
+	if files := journalFiles(t, dir); len(files) != 0 {
+		t.Errorf("failed journal writes left entries: %v", files)
+	}
+}

@@ -1,0 +1,43 @@
+package consensus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lvmajority/internal/mc"
+	"lvmajority/internal/rng"
+)
+
+// panickyProtocol panics on a specific trial pattern — a stand-in for an
+// engine invariant violation deep inside a threshold search.
+type panickyProtocol struct{}
+
+func (panickyProtocol) Name() string { return "panicky" }
+
+func (panickyProtocol) Trial(_, delta int, src *rng.Source) (bool, error) {
+	if delta >= 8 {
+		panic("state table corrupted")
+	}
+	return src.Bernoulli(0.5), nil
+}
+
+// TestFindThresholdPanicBecomesError: an engine panic inside a probe must
+// surface from FindThreshold as an error that (a) names the failing probe
+// coordinates and (b) still unwraps to mc.TrialPanicError — not crash the
+// search.
+func TestFindThresholdPanicBecomesError(t *testing.T) {
+	_, err := FindThreshold(panickyProtocol{}, 100, ThresholdOptions{
+		Trials: 50, Workers: 4, Seed: 17,
+	})
+	if err == nil {
+		t.Fatal("panic inside probe did not fail the search")
+	}
+	var tp *mc.TrialPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("error %v does not unwrap to a TrialPanicError", err)
+	}
+	if !strings.Contains(err.Error(), "probe n=100") {
+		t.Errorf("error %q lacks probe coordinates", err)
+	}
+}

@@ -154,9 +154,14 @@ func FindThreshold(p Protocol, n int, opts ThresholdOptions) (ThresholdResult, e
 			Workers:   opts.Workers,
 			Seed:      opts.Seed ^ (uint64(delta)*0x9e3779b97f4a7c15 + 0x1234567),
 			Interrupt: opts.Interrupt,
+			Progress:  opts.Progress,
 		})
 		if err != nil {
-			return false, err
+			// Wrap with the probe's coordinates so a failure deep in an
+			// engine (a panic recovered by mc, an injected fault) reports
+			// which point of the search died, while %w keeps the underlying
+			// error reachable for errors.Is/As.
+			return false, fmt.Errorf("consensus: probe n=%d delta=%d failed: %w", n, delta, err)
 		}
 		res.Evaluations = append(res.Evaluations, Evaluation{Delta: delta, Estimate: est})
 		ok := est.P() >= target

@@ -1,0 +1,117 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestUnarmedHitIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with no plan")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := Hit(TrialStart); err != nil {
+			t.Fatalf("unarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestErrorRuleTriggersExactWindow(t *testing.T) {
+	p := NewPlan(Rule{Site: CacheWrite, After: 2, Times: 3, Mode: ModeError, Msg: "disk full"})
+	Arm(p)
+	defer Disarm()
+
+	var failed []int
+	for i := 0; i < 10; i++ {
+		if err := Hit(CacheWrite); err != nil {
+			failed = append(failed, i)
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Site != CacheWrite {
+				t.Fatalf("hit %d: error %v is not an InjectedError at cache-write", i, err)
+			}
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(failed) != len(want) {
+		t.Fatalf("failed hits %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed hits %v, want %v", failed, want)
+		}
+	}
+	if p.Triggered() != 3 {
+		t.Errorf("Triggered() = %d, want 3", p.Triggered())
+	}
+	if p.Hits(CacheWrite) != 10 {
+		t.Errorf("Hits(cache-write) = %d, want 10", p.Hits(CacheWrite))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	Arm(NewPlan(Rule{Site: TrialStart, After: 0, Mode: ModePanic, Msg: "boom"}))
+	defer Disarm()
+
+	func() {
+		defer func() {
+			v := recover()
+			ip, ok := v.(InjectedPanic)
+			if !ok || ip.Site != TrialStart || ip.Msg != "boom" {
+				t.Errorf("recovered %#v, want InjectedPanic at trial-start", v)
+			}
+		}()
+		Hit(TrialStart)
+		t.Error("Hit did not panic")
+	}()
+
+	// The window is exhausted: subsequent hits pass.
+	if err := Hit(TrialStart); err != nil {
+		t.Errorf("hit after window returned %v", err)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	Arm(NewPlan(Rule{Site: JournalWrite, After: 0, Times: 1, Mode: ModeError}))
+	defer Disarm()
+	if err := Hit(CacheRead); err != nil {
+		t.Errorf("unarmed site injected %v", err)
+	}
+	if err := Hit(JournalWrite); err == nil {
+		t.Error("armed site injected nothing")
+	}
+}
+
+// TestConcurrentCountExact: the injected fault count must be exact under
+// concurrency even though which goroutine draws the fault is
+// scheduling-dependent — the contract the mc pools rely on.
+func TestConcurrentCountExact(t *testing.T) {
+	p := NewPlan(Rule{Site: TrialStart, After: 50, Times: 7, Mode: ModeError})
+	Arm(p)
+	defer Disarm()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := Hit(TrialStart); err != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != 7 {
+		t.Errorf("%d faults injected, want exactly 7", injected)
+	}
+	if p.Hits(TrialStart) != 800 {
+		t.Errorf("Hits = %d, want 800", p.Hits(TrialStart))
+	}
+}

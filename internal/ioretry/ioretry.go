@@ -1,0 +1,82 @@
+// Package ioretry is the small retry-with-backoff helper behind the
+// fault-tolerant file I/O of the execution stack: probe-cache flushes,
+// serve journal writes, and any other side-channel persistence that must
+// survive transient failures (a busy filesystem, a momentary EIO, an
+// injected fault) without ever changing a computed result.
+//
+// The backoff is jittered but deterministic: the jitter sequence is drawn
+// from an internal/rng stream keyed by the policy's seed, never from the
+// wall clock or the global math/rand state, so a retried run sleeps the
+// same schedule every time — timing is reproducible even where failure
+// is simulated.
+package ioretry
+
+import (
+	"fmt"
+	"time"
+
+	"lvmajority/internal/rng"
+)
+
+// Policy configures Do. The zero value is usable: 4 attempts, 5ms base
+// backoff doubling to a 250ms cap, seed 0, real sleeping.
+type Policy struct {
+	// Attempts is the total number of times op runs (default 4).
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles per
+	// attempt (default 5ms).
+	Base time.Duration
+	// Max caps the backoff (default 250ms).
+	Max time.Duration
+	// Seed keys the deterministic jitter stream.
+	Seed uint64
+	// Sleep, when non-nil, replaces time.Sleep — tests inject a recorder
+	// so retry schedules are asserted without real waiting.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) normalized() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 250 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Do runs op up to p.Attempts times, sleeping a jittered exponential
+// backoff between attempts, and returns nil on the first success. When
+// every attempt fails it returns the last error wrapped with the attempt
+// count, so callers can still errors.Is/As through it.
+func Do(p Policy, op func() error) error {
+	p = p.normalized()
+	// One jitter stream per Do call, keyed by the policy seed: the k-th
+	// backoff of a given policy is identical across runs.
+	src := rng.NewStream(p.Seed, 0x10e7e747)
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		d := p.Base << uint(attempt)
+		if d > p.Max || d <= 0 {
+			d = p.Max
+		}
+		// Jitter into [d/2, d): desynchronizes concurrent retriers while
+		// keeping every sleep bounded by the nominal backoff.
+		half := d / 2
+		d = half + time.Duration(src.Float64()*float64(half))
+		p.Sleep(d)
+	}
+	return fmt.Errorf("ioretry: %d attempts failed: %w", p.Attempts, err)
+}

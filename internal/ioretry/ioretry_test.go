@@ -1,0 +1,103 @@
+package ioretry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFirstSuccessNoSleep(t *testing.T) {
+	slept := 0
+	p := Policy{Sleep: func(time.Duration) { slept++ }}
+	calls := 0
+	if err := Do(p, func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || slept != 0 {
+		t.Errorf("calls=%d slept=%d, want 1 call and no sleeps", calls, slept)
+	}
+}
+
+func TestRetriesThenSucceeds(t *testing.T) {
+	var sleeps []time.Duration
+	p := Policy{Attempts: 5, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }}
+	calls := 0
+	err := Do(p, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(sleeps) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 calls and 2 sleeps", calls, len(sleeps))
+	}
+	// Jittered into [base<<k / 2, base<<k): bounded both sides.
+	for i, d := range sleeps {
+		nominal := p.Base << uint(i)
+		if d < nominal/2 || d >= nominal {
+			t.Errorf("sleep %d = %v outside [%v, %v)", i, d, nominal/2, nominal)
+		}
+	}
+}
+
+func TestExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("persistent failure")
+	p := Policy{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := Do(p, func() error { calls++; return sentinel })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("exhaustion error %v does not wrap the last error", err)
+	}
+}
+
+func TestBackoffCappedAtMax(t *testing.T) {
+	var sleeps []time.Duration
+	p := Policy{Attempts: 8, Base: 10 * time.Millisecond, Max: 25 * time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }}
+	Do(p, func() error { return errors.New("always") })
+	for i, d := range sleeps {
+		if d >= p.Max {
+			t.Errorf("sleep %d = %v not capped below %v", i, d, p.Max)
+		}
+	}
+}
+
+// TestJitterDeterministic: the same policy seed must produce the same
+// sleep schedule — retry timing is reproducible like everything else.
+func TestJitterDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var sleeps []time.Duration
+		p := Policy{Attempts: 4, Seed: seed, Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }}
+		Do(p, func() error { return errors.New("always") })
+		return sleeps
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("schedules %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sleep %d: %v != %v for identical seeds", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}

@@ -128,6 +128,10 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 var enginePackages = []string{
 	"protocols", "crn", "lv", "mc", "sim", "moran",
 	"gossip", "spatial", "consensus", "sweep", "rng",
+	// The fault-tolerance layers execute inside trial and flush loops:
+	// injected faults and retry backoffs must be as reproducible as the
+	// trials they perturb, so they obey the same discipline.
+	"faultpoint", "ioretry",
 }
 
 // inEngineScope reports whether pkgPath contains an internal/<engine>

@@ -63,7 +63,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 		workers = blocks
 	}
 	if workers <= 1 {
-		fn, err := newWorker()
+		fn, err := newWorkerSafe(newWorker, opts.Seed)
 		if err != nil {
 			return 0, err
 		}
@@ -75,7 +75,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 			if end > hi {
 				end = hi
 			}
-			if err := fn(opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
+			if err := callBlock(fn, opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
 				return 0, err
 			}
 			report(b, end)
@@ -92,7 +92,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			fn, err := newWorker()
+			fn, err := newWorkerSafe(newWorker, opts.Seed)
 			if err != nil {
 				errs[w] = err
 				failed.Store(true)
@@ -112,7 +112,7 @@ func countWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (Bloc
 				if end > hi {
 					end = hi
 				}
-				if err := fn(opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
+				if err := callBlock(fn, opts.Seed, b, end, wins[b-lo:end-lo]); err != nil {
 					errs[w] = err
 					failed.Store(true)
 					return

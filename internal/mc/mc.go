@@ -140,7 +140,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 	}
 	report := trialReporter(lo, n, opts)
 	if workers <= 1 {
-		fn, err := newWorker()
+		fn, err := newWorkerSafe(newWorker, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -150,7 +150,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 				return err
 			}
 			src.ReseedStream(opts.Seed, uint64(rep))
-			if err := fn(rep, &src); err != nil {
+			if err := callReplicate(fn, rep, opts.Seed, &src); err != nil {
 				return err
 			}
 			report(1)
@@ -167,7 +167,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			fn, err := newWorker()
+			fn, err := newWorkerSafe(newWorker, opts.Seed)
 			if err != nil {
 				errs[w] = err
 				failed.Store(true)
@@ -185,7 +185,7 @@ func runPool(lo, hi int, opts Options, newWorker func() (replicateFunc, error)) 
 					return
 				}
 				src.ReseedStream(opts.Seed, uint64(rep))
-				if err := fn(rep, &src); err != nil {
+				if err := callReplicate(fn, rep, opts.Seed, &src); err != nil {
 					errs[w] = err
 					failed.Store(true)
 					return

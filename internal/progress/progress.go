@@ -58,6 +58,25 @@ const (
 	KindHeartbeat Kind = "heartbeat"
 )
 
+// Lifecycle phases of KindPhase events, and the failure classes carried in
+// Detail on a failed phase. They are plain strings so external consumers
+// (SSE clients, logs) need no mapping; the constants exist so emitters and
+// tests agree on spelling.
+const (
+	PhaseStart  = "start"
+	PhaseDone   = "done"
+	PhaseFailed = "failed"
+
+	// DetailPanic marks a failure caused by a recovered panic (see
+	// mc.TrialPanicError), DetailTimeout one caused by an expired run
+	// deadline, and DetailInterrupted one caused by an external
+	// cancellation — including a serve process restart that orphaned the
+	// run.
+	DetailPanic       = "panic"
+	DetailTimeout     = "timeout"
+	DetailInterrupted = "interrupted"
+)
+
 // Event is one observation from a running computation. Only the fields
 // meaningful for the Kind are set; every field is a copy, so holding an
 // Event cannot alias live engine state.
@@ -91,6 +110,10 @@ type Event struct {
 	Found     bool `json:"found,omitempty"`
 	// Err carries a failure message on terminal KindPhase events.
 	Err string `json:"error,omitempty"`
+	// Detail classifies a failed KindPhase event (DetailPanic,
+	// DetailTimeout, DetailInterrupted) so consumers can distinguish
+	// failure modes without parsing Err.
+	Detail string `json:"detail,omitempty"`
 }
 
 // Hook receives Events. A nil Hook is valid everywhere and costs one nil
@@ -206,10 +229,14 @@ func renderLine(e Event) string {
 	}
 	switch e.Kind {
 	case KindPhase:
-		if e.Err != "" {
-			return fmt.Sprintf("%s: %s (%s)", prefix, e.Phase, e.Err)
+		phase := e.Phase
+		if e.Detail != "" {
+			phase += "/" + e.Detail
 		}
-		return fmt.Sprintf("%s: %s", prefix, e.Phase)
+		if e.Err != "" {
+			return fmt.Sprintf("%s: %s (%s)", prefix, phase, e.Err)
+		}
+		return fmt.Sprintf("%s: %s", prefix, phase)
 	case KindTrials:
 		at := where(e)
 		if e.Wins > 0 && e.Done > 0 {

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecJSON asserts the parser's total-function contract: no byte
+// sequence may panic ParseSpec or ParseSpecs — malformed specs fail with an
+// error, and anything accepted must survive a validate round trip. The seed
+// corpus is every committed golden spec (the experiment and tier-1 specs
+// plus the speclock corpus), so the fuzzer starts from the real schema and
+// mutates outward.
+func FuzzSpecJSON(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "specs", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, filepath.Join("testdata", "speclock_golden.json"))
+	if len(seeds) < 2 {
+		f.Fatalf("seed corpus too small: %v", seeds)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"task":"estimate"`))
+	f.Add([]byte(`[[]]`))
+	f.Add([]byte(`{"version":1e999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are the expected outcome for junk.
+		if s, err := ParseSpec(data); err == nil {
+			if verr := s.Validate(); verr != nil {
+				t.Errorf("ParseSpec accepted a spec Validate rejects: %v", verr)
+			}
+		}
+		if specs, err := ParseSpecs(data); err == nil {
+			for i := range specs {
+				if verr := specs[i].Validate(); verr != nil {
+					t.Errorf("ParseSpecs accepted spec %d that Validate rejects: %v", i, verr)
+				}
+			}
+		}
+	})
+}

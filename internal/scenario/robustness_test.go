@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/mc"
+	"lvmajority/internal/progress"
+)
+
+// eventLog collects progress events concurrently-safely for assertions.
+type eventLog struct {
+	mu     sync.Mutex
+	events []progress.Event
+}
+
+func (l *eventLog) hook() progress.Hook {
+	return func(e progress.Event) {
+		l.mu.Lock()
+		l.events = append(l.events, e)
+		l.mu.Unlock()
+	}
+}
+
+func (l *eventLog) failedEvent(t *testing.T) progress.Event {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.Kind == progress.KindPhase && e.Phase == progress.PhaseFailed {
+			return e
+		}
+	}
+	t.Fatal("no failed phase event emitted")
+	return progress.Event{}
+}
+
+// TestRunTimeoutClassified: a spec whose wall-clock budget expires fails
+// with context.DeadlineExceeded, and the failed phase event carries the
+// timeout detail.
+func TestRunTimeoutClassified(t *testing.T) {
+	spec := New(TaskSweep)
+	spec.Model = lvSDModel()
+	spec.Seed = 3
+	spec.Timeout = "1ms"
+	spec.Sweep = &SweepSpec{Grid: []int{512, 1024, 2048}, Trials: 8000, Target: 0.9}
+
+	var log eventLog
+	r := &Runner{Now: zeroNow}
+	_, err := r.RunWithProgress(context.Background(), spec, log.hook())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run returned %v, want DeadlineExceeded", err)
+	}
+	if got := FailureDetail(err); got != progress.DetailTimeout {
+		t.Errorf("FailureDetail = %q, want %q", got, progress.DetailTimeout)
+	}
+	if e := log.failedEvent(t); e.Detail != progress.DetailTimeout {
+		t.Errorf("failed event detail %q, want %q", e.Detail, progress.DetailTimeout)
+	}
+}
+
+// TestRunCancelClassified: external cancellation is classified as
+// interrupted, distinct from a timeout.
+func TestRunCancelClassified(t *testing.T) {
+	spec := New(TaskSweep)
+	spec.Model = lvSDModel()
+	spec.Seed = 3
+	spec.Sweep = &SweepSpec{Grid: []int{192, 256, 384}, Trials: 4000, Target: 0.9}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	var log eventLog
+	r := &Runner{Now: zeroNow, Progress: func(e progress.Event) {
+		// Cancel as soon as the run demonstrably started working.
+		if e.Kind == progress.KindTrials {
+			once.Do(cancel)
+		}
+	}}
+	defer cancel()
+	_, err := r.RunWithProgress(ctx, spec, log.hook())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want Canceled", err)
+	}
+	if e := log.failedEvent(t); e.Detail != progress.DetailInterrupted {
+		t.Errorf("failed event detail %q, want %q", e.Detail, progress.DetailInterrupted)
+	}
+}
+
+// TestChaosRunEnginePanicClassified: a panic injected at the trial-start
+// site — the same path a real engine panic takes — fails the run with a
+// structured TrialPanicError and the panic detail; the Runner survives to
+// execute the next spec correctly.
+func TestChaosRunEnginePanicClassified(t *testing.T) {
+	spec := New(TaskEstimate)
+	spec.Model = lvSDModel()
+	spec.Seed = 7
+	spec.Estimate = &EstimateSpec{N: 100, Delta: 20, Trials: 400}
+
+	faultpoint.Arm(faultpoint.NewPlan(faultpoint.Rule{
+		Site: faultpoint.TrialStart, After: 17, Mode: faultpoint.ModePanic, Msg: "chaos",
+	}))
+	var log eventLog
+	r := &Runner{Now: zeroNow}
+	_, err := r.RunWithProgress(context.Background(), spec, log.hook())
+	faultpoint.Disarm()
+	var tp *mc.TrialPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("injected panic surfaced as %v, not TrialPanicError", err)
+	}
+	if e := log.failedEvent(t); e.Detail != progress.DetailPanic {
+		t.Errorf("failed event detail %q, want %q", e.Detail, progress.DetailPanic)
+	}
+
+	// The runner is intact: the same spec now runs cleanly.
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("post-panic run failed: %v", err)
+	}
+	if res.Estimate == nil {
+		t.Fatal("post-panic run produced no estimate")
+	}
+}
+
+// TestTaskPanicRecovered: a panic above the mc pools — here a nil-options
+// dereference driven through the dispatch boundary directly — becomes a
+// TaskPanicError instead of crashing the process.
+func TestTaskPanicRecovered(t *testing.T) {
+	r := &Runner{Now: zeroNow}
+	// An estimate spec with nil task options panics inside the task body;
+	// dispatch must contain it. (Validate rejects this shape, which is
+	// exactly why it exercises the last-resort boundary.)
+	spec := New(TaskEstimate)
+	spec.Model = lvSDModel()
+	err := r.dispatch(context.Background(), &spec, nil, &Result{Spec: spec}, nil)
+	var tp *TaskPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("task panic surfaced as %v, not TaskPanicError", err)
+	}
+	if tp.Task != TaskEstimate || tp.Stack == "" {
+		t.Errorf("TaskPanicError{Task: %q, stack %d bytes} missing context", tp.Task, len(tp.Stack))
+	}
+	if FailureDetail(err) != progress.DetailPanic {
+		t.Errorf("FailureDetail = %q, want %q", FailureDetail(err), progress.DetailPanic)
+	}
+}
+
+// TestTimeoutValidation pins the spec-level timeout contract.
+func TestTimeoutValidation(t *testing.T) {
+	spec := New(TaskEstimate)
+	spec.Model = lvSDModel()
+	spec.Estimate = &EstimateSpec{N: 64, Delta: 8, Trials: 10}
+
+	spec.Timeout = "90s"
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid timeout rejected: %v", err)
+	}
+	spec.Timeout = "soon"
+	if err := spec.Validate(); err == nil {
+		t.Error("malformed timeout accepted")
+	}
+	spec.Timeout = "-1s"
+	if err := spec.Validate(); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	spec.Timeout = "0s"
+	if err := spec.Validate(); err == nil {
+		t.Error("zero timeout accepted")
+	}
+}

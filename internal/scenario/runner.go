@@ -3,9 +3,11 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -210,33 +212,33 @@ func (r *Runner) RunWithProgress(ctx context.Context, spec Spec, hook progress.H
 	}
 	start := time.Now()
 
+	// The spec's wall-clock budget, when set, bounds the whole task through
+	// the same context every Monte-Carlo engine already polls.
+	if spec.Timeout != "" {
+		d, derr := time.ParseDuration(spec.Timeout)
+		if derr != nil {
+			return nil, fmt.Errorf("scenario: invalid timeout %q: %w", spec.Timeout, derr)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
 	hook = scoped(progress.Tee(r.Progress, hook), scopeOf(&spec))
-	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "start"})
+	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: progress.PhaseStart})
 
 	res := &Result{Spec: spec}
-	switch spec.Task {
-	case TaskEstimate:
-		err = r.runEstimate(ctx, &spec, res, hook)
-	case TaskThreshold:
-		err = r.runThreshold(ctx, &spec, res, hook)
-	case TaskSweep:
-		err = r.runSweep(ctx, &spec, cache, res, hook)
-	case TaskSimulate:
-		err = r.runSimulate(ctx, &spec, res, hook)
-	case TaskExact:
-		err = r.runExact(&spec, res)
-	case TaskExperiment:
-		err = r.runExperiment(ctx, &spec, cache, res, hook)
-	case TaskReport:
-		err = r.runReport(&spec, res)
-	default:
-		err = fmt.Errorf("scenario: unknown task %q", spec.Task)
-	}
+	err = r.dispatch(ctx, &spec, cache, res, hook)
 	if err != nil {
-		hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "failed", Err: err.Error()})
+		hook.Emit(progress.Event{
+			Kind:   progress.KindPhase,
+			Phase:  progress.PhaseFailed,
+			Err:    err.Error(),
+			Detail: FailureDetail(err),
+		})
 		return nil, err
 	}
-	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: "done"})
+	hook.Emit(progress.Event{Kind: progress.KindPhase, Phase: progress.PhaseDone})
 
 	// Stamp provenance on every manifest the task assembled.
 	for _, m := range res.Manifests {
@@ -252,6 +254,76 @@ func (r *Runner) RunWithProgress(ctx context.Context, spec Spec, hook progress.H
 		}
 	}
 	return res, nil
+}
+
+// dispatch executes the task behind its panic-isolation boundary: a panic
+// anywhere in a task — below the mc pools' own recovery, in a solver, in
+// report generation — fails the run with a TaskPanicError instead of
+// killing the process (and with it, every other in-flight run a server is
+// executing).
+func (r *Runner) dispatch(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result, hook progress.Hook) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &TaskPanicError{Task: spec.Task, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	switch spec.Task {
+	case TaskEstimate:
+		return r.runEstimate(ctx, spec, res, hook)
+	case TaskThreshold:
+		return r.runThreshold(ctx, spec, res, hook)
+	case TaskSweep:
+		return r.runSweep(ctx, spec, cache, res, hook)
+	case TaskSimulate:
+		return r.runSimulate(ctx, spec, res, hook)
+	case TaskExact:
+		return r.runExact(spec, res)
+	case TaskExperiment:
+		return r.runExperiment(ctx, spec, cache, res, hook)
+	case TaskReport:
+		return r.runReport(spec, res)
+	default:
+		return fmt.Errorf("scenario: unknown task %q", spec.Task)
+	}
+}
+
+// TaskPanicError reports a panic recovered at the task boundary.
+type TaskPanicError struct {
+	// Task is the task that panicked.
+	Task Task
+	// Value is the recovered panic value; Stack the goroutine stack at the
+	// recovery point.
+	Value any
+	Stack string
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("scenario: panic in %s task: %v", e.Task, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *TaskPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// FailureDetail classifies a run failure into the progress Detail classes:
+// panic (a recovered engine or task panic), timeout (the spec's deadline
+// expired), interrupted (external cancellation), or "" for ordinary errors.
+func FailureDetail(err error) string {
+	var taskPanic *TaskPanicError
+	var trialPanic *mc.TrialPanicError
+	switch {
+	case errors.As(err, &taskPanic), errors.As(err, &trialPanic):
+		return progress.DetailPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return progress.DetailTimeout
+	case errors.Is(err, context.Canceled):
+		return progress.DetailInterrupted
+	}
+	return ""
 }
 
 // scopeOf names a spec's observation stream: the experiment ID for

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"lvmajority/internal/protocols"
 )
@@ -78,6 +79,13 @@ type Spec struct {
 	// Workers is the parallel worker budget (0 = GOMAXPROCS). It affects
 	// scheduling only, never results.
 	Workers int `json:"workers,omitempty"`
+	// Timeout is the wall-clock budget for the run as a Go duration string
+	// (e.g. "90s", "5m"); empty means no deadline. A run that exceeds it
+	// fails with a timeout error — partial results already settled in a
+	// persistent cache are kept, so a rerun with a larger budget resumes
+	// rather than restarts. Like Workers it can only abort a run, never
+	// change a completed run's results.
+	Timeout string `json:"timeout,omitempty"`
 	// Cache selects the threshold-probe cache policy (nil = off).
 	Cache *CacheSpec `json:"cache,omitempty"`
 
@@ -329,6 +337,15 @@ func (s *Spec) Validate() error {
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("scenario: negative workers %d", s.Workers)
+	}
+	if s.Timeout != "" {
+		d, err := time.ParseDuration(s.Timeout)
+		if err != nil {
+			return fmt.Errorf("scenario: invalid timeout %q: %w", s.Timeout, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("scenario: non-positive timeout %q", s.Timeout)
+		}
 	}
 	if err := s.Cache.validate(); err != nil {
 		return err

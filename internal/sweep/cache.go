@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +10,8 @@ import (
 	"sort"
 	"sync"
 
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/ioretry"
 	"lvmajority/internal/stats"
 )
 
@@ -60,26 +64,61 @@ type cacheEntry struct {
 	Estimate stats.BernoulliEstimate `json:"estimate"`
 }
 
-// cacheFile is the JSON document stored on disk.
+// cacheFile is the JSON document stored on disk. Checksum is the SHA-256 of
+// the encoded entries, so a torn or bit-flipped file is detected as corrupt
+// even when it still parses as JSON.
 type cacheFile struct {
-	Version int          `json:"version"`
-	Entries []cacheEntry `json:"entries"`
+	Version  int          `json:"version"`
+	Checksum string       `json:"checksum,omitempty"`
+	Entries  []cacheEntry `json:"entries"`
 }
 
 // cacheVersion invalidates every persisted entry when the probe semantics
-// change incompatibly (e.g. a new per-gap seed derivation).
-const cacheVersion = 1
+// change incompatibly (e.g. a new per-gap seed derivation). Version 2 added
+// the entries checksum.
+const cacheVersion = 2
+
+// entriesChecksum is the integrity hash persisted alongside the entries.
+func entriesChecksum(entries []cacheEntry) (string, error) {
+	data, err := json.Marshal(entries)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cacheRetry is the retry policy for cache file I/O. The seed is arbitrary
+// but fixed: retry timing, like everything else, is reproducible.
+var cacheRetry = ioretry.Policy{Seed: 0xcac4e}
 
 // Cache is a concurrency-safe store of settled probe estimates, optionally
 // persisted to a JSON file. A Cache with an empty path is memory-only:
-// Save is then a no-op, which is what tests and one-shot callers want.
+// Save and Checkpoint are then no-ops, which is what tests and one-shot
+// callers want.
+//
+// Persistence is crash-safe and non-fatal by design: files are written to a
+// temp file, fsynced, and renamed into place, so a kill at any moment
+// leaves either the old or the new file, never a torn one; a corrupt file
+// is quarantined (renamed aside) at open instead of failing the run; and
+// when writes keep failing after retries the cache degrades to memory-only
+// for the rest of its life (Degraded reports why) rather than failing a
+// computed sweep — persistence is an optimization, never a correctness
+// dependency.
 type Cache struct {
 	mu      sync.Mutex
 	path    string
 	entries map[Key]stats.BernoulliEstimate
 	dirty   bool
+	gen     int64
 	hits    int64
 	misses  int64
+
+	// saveMu serializes persistence so retrying writers never interleave;
+	// it is always acquired before mu, and mu is never held across I/O.
+	saveMu      sync.Mutex
+	degradedErr error
+	quarantined string
 }
 
 // NewCache returns an empty memory-only cache.
@@ -90,32 +129,84 @@ func NewCache() *Cache {
 // OpenCache loads the cache persisted at path, or returns an empty cache
 // bound to that path when the file does not exist yet. An empty path
 // returns a memory-only cache.
+//
+// A file that cannot be read (after retries), parsed, or verified against
+// its checksum is quarantined: renamed to path+".corrupt" (best-effort) and
+// replaced by an empty cache, so a damaged file costs recomputation, never
+// the run. Quarantined reports the quarantine path when this happened.
 func OpenCache(path string) (*Cache, error) {
 	c := NewCache()
 	c.path = path
 	if path == "" {
 		return c, nil
 	}
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+	var data []byte
+	err := ioretry.Do(cacheRetry, func() error {
+		if err := faultpoint.Hit(faultpoint.CacheRead); err != nil {
+			return err
+		}
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		if os.IsNotExist(rerr) {
+			data = nil
+			return nil
+		}
+		return rerr
+	})
+	if err != nil {
+		c.quarantine()
 		return c, nil
 	}
-	if err != nil {
-		return nil, fmt.Errorf("sweep: reading cache %s: %w", path, err)
+	if data == nil {
+		return c, nil
 	}
 	var file cacheFile
 	if err := json.Unmarshal(data, &file); err != nil {
-		return nil, fmt.Errorf("sweep: corrupt cache %s: %w", path, err)
+		c.quarantine()
+		return c, nil
 	}
 	if file.Version != cacheVersion {
 		// Probe semantics changed; start over rather than replay
 		// incompatible results.
 		return c, nil
 	}
+	if file.Checksum != "" {
+		sum, err := entriesChecksum(file.Entries)
+		if err != nil || sum != file.Checksum {
+			c.quarantine()
+			return c, nil
+		}
+	}
 	for _, e := range file.Entries {
 		c.entries[e.Key] = e.Estimate
 	}
 	return c, nil
+}
+
+// quarantine moves the cache file aside so the damaged bytes survive for
+// diagnosis without being replayed. Best-effort: if even the rename fails
+// the next Save simply overwrites the file.
+func (c *Cache) quarantine() {
+	q := c.path + ".corrupt"
+	if err := os.Rename(c.path, q); err == nil {
+		c.quarantined = q
+	}
+}
+
+// Quarantined returns the path the damaged cache file was moved to at open,
+// or "" when the file loaded cleanly.
+func (c *Cache) Quarantined() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
+// Degraded returns the persistence error that switched the cache to
+// memory-only operation, or nil while persistence is healthy.
+func (c *Cache) Degraded() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	return c.degradedErr
 }
 
 // Get returns the cached estimate for k, if any, and counts the lookup as
@@ -150,6 +241,7 @@ func (c *Cache) Put(k Key, est stats.BernoulliEstimate) {
 	}
 	c.entries[k] = est
 	c.dirty = true
+	c.gen++
 }
 
 // Len returns the number of cached probes.
@@ -160,36 +252,118 @@ func (c *Cache) Len() int {
 }
 
 // Save atomically persists the cache to its path. It is a no-op for
-// memory-only caches and when nothing changed since the last Save.
+// memory-only caches, when nothing changed since the last Save, and once
+// the cache has degraded (the error that degraded it was already returned).
+//
+// Failed attempts are retried with backoff; if every attempt fails the
+// cache degrades to memory-only and the error is returned once. Callers
+// treat it as a lost optimization, not a failed run.
 func (c *Cache) Save() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.path == "" || !c.dirty {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	return c.saveLocked()
+}
+
+// Checkpoint persists the cache at a probe boundary. It is Save plus the
+// probe-flush fault point, which chaos tests arm to simulate a process
+// killed mid-sweep with only the checkpointed probes on disk.
+func (c *Cache) Checkpoint() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if c.path == "" {
 		return nil
 	}
-	file := cacheFile{Version: cacheVersion, Entries: make([]cacheEntry, 0, len(c.entries))}
-	for k, est := range c.entries {
-		file.Entries = append(file.Entries, cacheEntry{Key: k, Estimate: est})
+	if err := faultpoint.Hit(faultpoint.ProbeFlush); err != nil {
+		return err
 	}
+	return c.saveLocked()
+}
+
+// saveLocked implements Save; the caller holds saveMu (never mu — the
+// entries snapshot takes mu briefly, and no I/O happens under it).
+func (c *Cache) saveLocked() error {
+	if c.path == "" || c.degradedErr != nil {
+		return nil
+	}
+	c.mu.Lock()
+	if !c.dirty {
+		c.mu.Unlock()
+		return nil
+	}
+	gen := c.gen
+	entries := make([]cacheEntry, 0, len(c.entries))
+	for k, est := range c.entries {
+		entries = append(entries, cacheEntry{Key: k, Estimate: est})
+	}
+	c.mu.Unlock()
+
 	// Map order would leak into the persisted JSON, making the cache file
 	// byte-different on every save; sorted entries keep it content-stable.
-	sort.Slice(file.Entries, func(i, j int) bool { return file.Entries[i].Key.less(file.Entries[j].Key) })
-	data, err := json.Marshal(file)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key.less(entries[j].Key) })
+	sum, err := entriesChecksum(entries)
 	if err != nil {
 		return fmt.Errorf("sweep: encoding cache: %w", err)
 	}
-	if dir := filepath.Dir(c.path); dir != "." {
+	data, err := json.Marshal(cacheFile{Version: cacheVersion, Checksum: sum, Entries: entries})
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache: %w", err)
+	}
+	err = ioretry.Do(cacheRetry, func() error {
+		if err := faultpoint.Hit(faultpoint.CacheWrite); err != nil {
+			return err
+		}
+		return writeFileAtomic(c.path, data)
+	})
+	if err != nil {
+		c.degradedErr = fmt.Errorf("sweep: persisting cache %s: %w", c.path, err)
+		return c.degradedErr
+	}
+	// Clear dirtiness only if no Put landed after the snapshot was taken —
+	// otherwise those entries would silently miss the next Save.
+	c.mu.Lock()
+	if c.gen == gen {
+		c.dirty = false
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// writeFileAtomic installs data at path through a fsynced temp file and
+// rename, so a crash at any instant leaves either the previous file or the
+// complete new one — never a truncated hybrid.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("sweep: creating cache directory: %w", err)
+			return err
 		}
 	}
-	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("sweep: writing cache: %w", err)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
-		return fmt.Errorf("sweep: installing cache: %w", err)
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
 	}
-	c.dirty = false
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Fsync the directory so the rename itself survives a power cut.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
 }

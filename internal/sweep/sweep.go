@@ -224,10 +224,19 @@ func Run(p consensus.Protocol, opts Options) (Result, error) {
 		wg.Add(1)
 		go func(lane int) {
 			defer wg.Done()
+			// A panic escaping a search (an engine defect below the mc
+			// recovery boundary, or an injected probe-flush fault) must fail
+			// the sweep, not the process: the other lanes drain, settled
+			// probes stay checkpointed, and the caller gets an error.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[lane] = fmt.Errorf("sweep: panic in lane %d: %v", lane, v)
+				}
+			}()
 			hint := 0
 			for i := lane; i < len(grid); i += lanes {
 				n := grid[i]
-				pt, err := runPoint(p, n, hint, laneWorkers(lane), opts, &estimatorCalls, &cacheHits)
+				pt, err := runPoint(p, n, hint, laneWorkers(lane), opts, logf, &estimatorCalls, &cacheHits)
 				if err != nil {
 					errs[lane] = fmt.Errorf("sweep: threshold search at n=%d: %w", n, err)
 					return
@@ -260,8 +269,10 @@ func Run(p consensus.Protocol, opts Options) (Result, error) {
 	res.EstimatorCalls = int(estimatorCalls.Load())
 	res.CacheHits = int(cacheHits.Load())
 	if opts.Cache != nil {
+		// Losing persistence never fails a computed sweep: the results in
+		// hand are correct regardless of whether the cache reached disk.
 		if err := opts.Cache.Save(); err != nil {
-			return res, err
+			logf("sweep: saving probe cache failed (results unaffected): %v", err)
 		}
 	}
 	return res, nil
@@ -269,7 +280,7 @@ func Run(p consensus.Protocol, opts Options) (Result, error) {
 
 // runPoint runs the warm-started, cache-backed threshold search for one
 // population size.
-func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimatorCalls, cacheHits *atomic.Int64) (Point, error) {
+func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, logf func(string, ...any), estimatorCalls, cacheHits *atomic.Int64) (Point, error) {
 	target := opts.targetFor(n)
 	trials := opts.trialsFor(n)
 	seed := opts.seedFor(n)
@@ -320,6 +331,14 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, estimato
 		estimatorCalls.Add(1)
 		if opts.Cache != nil {
 			opts.Cache.Put(key, est)
+			// Checkpoint at the probe boundary: a process killed at any
+			// instant resumes from the settled probes already on disk. A
+			// checkpoint that cannot be persisted (even after retries) is a
+			// lost optimization, not a failed probe — the estimate in hand
+			// is correct either way.
+			if err := opts.Cache.Checkpoint(); err != nil {
+				logf("sweep: probe cache checkpoint failed (continuing without persistence): %v", err)
+			}
 		}
 		emitProbe(pointHook, n, delta, est, false)
 		return est, nil

@@ -1,0 +1,83 @@
+// Package testutil holds small helpers shared by test suites across the
+// repository. It is imported only from _test files.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need; taking the interface
+// keeps testutil importable without the testing package appearing in any
+// exported API.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// CheckGoroutineLeaks snapshots the goroutine count and registers a test
+// cleanup that fails if, after a settling grace period, more goroutines
+// remain than at the snapshot. Call it FIRST in a test (before starting
+// servers, pools, or subscriptions) so the cleanup runs last, after every
+// other cleanup has torn its resources down.
+//
+// The check is count-based with retries: goroutines legitimately take a
+// moment to unwind after a channel closes or a context cancels, so the
+// cleanup polls until the count settles back to the baseline or the
+// deadline expires. On failure it dumps all goroutine stacks, which is
+// what actually identifies the leaked worker or subscription.
+func CheckGoroutineLeaks(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutines at cleanup, %d at test start\n%s",
+			n, base, goroutineDump())
+	})
+}
+
+// goroutineDump renders every goroutine stack, trimmed to keep failure
+// output readable.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	const maxDump = 16 << 10
+	s := string(buf)
+	if len(s) > maxDump {
+		s = s[:maxDump] + "\n... (stack dump truncated)"
+	}
+	return s
+}
+
+// WaitFor polls cond every 10ms until it returns true or the timeout
+// expires, failing the test with msg on expiry. It is the shared
+// eventually-consistent assertion of the robustness suites.
+func WaitFor(t TB, timeout time.Duration, cond func() bool, msg string, args ...any) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("condition not met within %v: %s", timeout, strings.TrimSpace(fmt.Sprintf(msg, args...)))
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
