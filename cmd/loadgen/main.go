@@ -1,0 +1,236 @@
+// Command loadgen benchmarks a serving coordinator: it submits specs from a
+// corpus to POST /v1/runs at fixed concurrency levels, polls each run to a
+// terminal state, and reports end-to-end latency quantiles (merging
+// quantile sketches, internal/stats) and throughput.
+//
+// Output is go-bench-style lines with custom units so the committed
+// trajectory machinery (internal/benchgate) can record and gate it:
+//
+//	BenchmarkFabricLoad/c=2    32    18500000 p50-ns    41000000 p99-ns    12.41 runs/s
+//
+// Pipe the output through cmd/benchgate to update or check
+// results/bench/BENCH_fabric.json:
+//
+//	loadgen -server http://127.0.0.1:8080 -specs examples/fleet/specs \
+//	  | go run ./cmd/benchgate -update results/bench/BENCH_fabric.json -pr N
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lvmajority/internal/scenario"
+	"lvmajority/internal/stats"
+)
+
+func main() {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "http://127.0.0.1:8080", "coordinator base URL (the serve run API)")
+		specsDir = fs.String("specs", "examples/fleet/specs", "directory of spec JSON files to submit round-robin")
+		levels   = fs.String("levels", "2,8", "comma-separated concurrency levels")
+		runs     = fs.Int("runs", 32, "submissions per concurrency level")
+		poll     = fs.Duration("poll", 25*time.Millisecond, "status poll interval")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-run completion deadline")
+		showVers = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *showVers {
+		fmt.Println(scenario.Version())
+		return
+	}
+	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
+
+	specs, err := loadCorpus(*specsDir)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("corpus: %d specs from %s", len(specs), *specsDir)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, lvl := range strings.Split(*levels, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(lvl))
+		if err != nil || c < 1 {
+			logger.Fatalf("bad concurrency level %q", lvl)
+		}
+		res, err := runLevel(client, *server, specs, c, *runs, *poll, *timeout)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		// The go-bench line format benchgate parses: name, iteration count,
+		// then value/unit pairs.
+		fmt.Printf("BenchmarkFabricLoad/c=%d \t%8d \t%12.0f p50-ns \t%12.0f p99-ns \t%8.2f runs/s\n",
+			c, *runs, res.p50, res.p99, res.throughput)
+		logger.Printf("c=%d: %d runs in %.2fs (p50 %.1fms, p99 %.1fms, %.2f runs/s, %d failed)",
+			c, *runs, res.wall.Seconds(), res.p50/1e6, res.p99/1e6, res.throughput, res.failed)
+		if res.failed > 0 {
+			logger.Fatalf("%d of %d runs did not finish cleanly", res.failed, *runs)
+		}
+	}
+}
+
+// loadCorpus reads every spec file in dir (each holding one spec or an
+// array) and returns the validated, server-submittable corpus.
+func loadCorpus(dir string) ([]scenario.Spec, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var specs []scenario.Spec
+	for _, path := range paths {
+		loaded, err := scenario.LoadSpecs(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", path, err)
+		}
+		for _, s := range loaded {
+			if paths := s.LocalPaths(); len(paths) > 0 {
+				return nil, fmt.Errorf("corpus %s: spec touches local paths %v; the server would reject it", path, paths)
+			}
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no specs in %s", dir)
+	}
+	return specs, nil
+}
+
+// levelResult aggregates one concurrency level.
+type levelResult struct {
+	p50, p99   float64 // nanoseconds
+	throughput float64 // completed runs per second of wall time
+	wall       time.Duration
+	failed     int
+}
+
+// runLevel submits total specs at concurrency c and waits for each to reach
+// a terminal state, sketching end-to-end latency.
+func runLevel(client *http.Client, server string, specs []scenario.Spec, c, total int, poll, timeout time.Duration) (levelResult, error) {
+	var (
+		mu     sync.Mutex
+		sketch = stats.NewQuantileSketch(0)
+		failed int
+		wg     sync.WaitGroup
+		jobs   = make(chan int)
+	)
+	start := time.Now()
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				lat, err := submitAndWait(client, server, specs[job%len(specs)], poll, timeout)
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else {
+					sketch.Add(float64(lat.Nanoseconds()))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for job := 0; job < total; job++ {
+		jobs <- job
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := levelResult{wall: wall, failed: failed}
+	if n := sketch.N(); n > 0 {
+		var err error
+		if res.p50, err = sketch.Quantile(0.5); err != nil {
+			return res, err
+		}
+		if res.p99, err = sketch.Quantile(0.99); err != nil {
+			return res, err
+		}
+		res.throughput = n / wall.Seconds()
+	}
+	return res, nil
+}
+
+// submitAndWait POSTs one spec and polls its run to a terminal status,
+// returning the submit-to-done latency.
+func submitAndWait(client *http.Client, server string, spec scenario.Spec, poll, timeout time.Duration) (time.Duration, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var submitted struct {
+		ID  int    `json:"id"`
+		URL string `json:"url"`
+	}
+	// A 503 means transient queue pressure; back off and resubmit — that is
+	// the protocol the server documents.
+	for {
+		resp, err := client.Post(server+"/v1/runs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if time.Since(start) > timeout {
+				return 0, fmt.Errorf("submission retried past the %v deadline", timeout)
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, fmt.Errorf("submit answered %s: %s", resp.Status, data)
+		}
+		if err := json.Unmarshal(data, &submitted); err != nil {
+			return 0, err
+		}
+		break
+	}
+
+	for {
+		if time.Since(start) > timeout {
+			return 0, fmt.Errorf("run %d still live past the %v deadline", submitted.ID, timeout)
+		}
+		resp, err := client.Get(fmt.Sprintf("%s/v1/runs/%d", server, submitted.ID))
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		var run struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &run); err != nil {
+			return 0, err
+		}
+		switch run.Status {
+		case "done":
+			return time.Since(start), nil
+		case "failed", "cancelled":
+			return 0, fmt.Errorf("run %d %s: %s", submitted.ID, run.Status, run.Error)
+		}
+		time.Sleep(poll)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"lvmajority/internal/experiment"
+	"lvmajority/internal/fabric"
 	"lvmajority/internal/progress"
 	"lvmajority/internal/scenario"
 	"lvmajority/internal/stats"
@@ -62,6 +63,9 @@ func main() {
 		maxBody  = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
 		bench    = fs.String("bench-trajectory", "results/bench/BENCH_kernel.json", "benchmark trajectory backing the kernel ns/event gauges on /metrics; missing file disables them")
 		journal  = fs.String("journal", "", "directory persisting queued/running run specs across restarts; empty disables the journal")
+		fleet    = fs.Bool("fleet", false, "act as a fabric coordinator: accept worker registrations, shard Monte-Carlo windows across the fleet, and serve the shared probe cache at /fabric/v1/cache")
+		shardTr  = fs.Int("shard-trials", 0, "largest trial window dispatched as one fleet shard (0 = default); never changes results")
+		lease    = fs.Duration("lease", 0, "fleet worker lease TTL (0 = default)")
 		showVers = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -80,6 +84,23 @@ func main() {
 		if err := srv.attachJournal(*journal); err != nil {
 			logger.Fatal(err)
 		}
+	}
+	if *fleet {
+		// The coordinator shares the runner's probe cache (fleet pushes land
+		// where local sweeps look) and the journal directory (worker
+		// registrations recover alongside run specs).
+		coord, err := fabric.New(fabric.Config{
+			ShardTrials: *shardTr,
+			LeaseTTL:    *lease,
+			Cache:       srv.runner.Cache,
+			JournalDir:  *journal,
+			Logger:      logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		srv.fleet = coord
+		srv.runner.Probes = coord.Probes()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -185,6 +206,10 @@ type server struct {
 	// kernelBench is the per-kernel ns/event gauge set, loaded once at
 	// startup from the committed benchmark trajectory (may be empty).
 	kernelBench map[string]float64
+	// fleet is the fabric coordinator in -fleet mode; nil otherwise. When
+	// set, the runner's probe estimates shard across registered workers and
+	// the /fabric/v1 endpoints are mounted.
+	fleet *fabric.Coordinator
 }
 
 // newServer builds a server with its worker pool started.
@@ -325,6 +350,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.fleet != nil {
+		s.fleet.Routes(mux)
+	}
 	return mux
 }
 
@@ -366,6 +394,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	if spec.Task == scenario.TaskReport {
 		httpError(w, http.StatusUnprocessableEntity, "the report task is CLI-only")
+		return
+	}
+	if spec.Cache != nil && spec.Cache.Policy == scenario.CacheRemote {
+		// The serving process IS the remote cache: submitted runs use the
+		// shared cache directly, and a spec pointing the server at another
+		// cache URL would make run results depend on an outside service.
+		httpError(w, http.StatusUnprocessableEntity,
+			"the remote cache policy is for CLI and worker runs; submitted runs share the server's cache (use policy \"shared\")")
 		return
 	}
 

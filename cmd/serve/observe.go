@@ -162,6 +162,29 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&sb, "lvmajority_run_duration_seconds_sum %g\n", durSum)
 	fmt.Fprintf(&sb, "lvmajority_run_duration_seconds_count %d\n", durCount)
 
+	if s.fleet != nil {
+		st := s.fleet.FleetStats()
+		family("lvmajority_fleet_workers", "Registered fabric workers by lease state.", "gauge")
+		fmt.Fprintf(&sb, "lvmajority_fleet_workers{state=\"live\"} %d\n", st.WorkersLive)
+		fmt.Fprintf(&sb, "lvmajority_fleet_workers{state=\"expired\"} %d\n", st.WorkersExpired)
+		family("lvmajority_fleet_shards_in_flight", "Trial windows currently dispatched to workers.", "gauge")
+		fmt.Fprintf(&sb, "lvmajority_fleet_shards_in_flight %d\n", st.InFlightShards)
+		family("lvmajority_fleet_shards_dispatched_total", "Trial windows dispatched to fabric workers.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_shards_dispatched_total %d\n", st.ShardsDispatched)
+		family("lvmajority_fleet_shards_local_total", "Trial windows executed locally because no worker was available.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_shards_local_total %d\n", st.ShardsLocal)
+		family("lvmajority_fleet_reassignments_total", "Shards reassigned after a worker failed mid-window.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_reassignments_total %d\n", st.Reassignments)
+		family("lvmajority_fleet_evictions_total", "Workers dropped on failure or lease expiry.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_evictions_total %d\n", st.Evictions)
+		family("lvmajority_fleet_remote_cache_hits_total", "Remote cache fetches answered 304 Not Modified.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_remote_cache_hits_total %d\n", st.CacheHits)
+		family("lvmajority_fleet_remote_cache_misses_total", "Remote cache fetches that shipped a full snapshot.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_remote_cache_misses_total %d\n", st.CacheMisses)
+		family("lvmajority_fleet_remote_cache_merged_total", "Probe entries merged from worker cache pushes.", "counter")
+		fmt.Fprintf(&sb, "lvmajority_fleet_remote_cache_merged_total %d\n", st.CacheMerges)
+	}
+
 	if len(s.kernelBench) > 0 {
 		family("lvmajority_kernel_ns_per_event", "Per-event cost of the population kernels from the committed benchmark trajectory.", "gauge")
 		names := make([]string, 0, len(s.kernelBench))

@@ -1,0 +1,115 @@
+// Command worker is a fabric fleet member: it registers with a coordinator
+// (cmd/serve -fleet), heartbeats to keep its lease, and executes the trial
+// shards the coordinator dispatches to POST /fabric/v1/shards. A shard's
+// result is a pure function of its request — trial i draws randomness only
+// from its own stream keyed by the trial index — so any number of workers,
+// joining and leaving at any time, yields estimates byte-identical to a
+// single-process run.
+//
+//	worker -coordinator http://coord:8080 -addr :9090
+//
+// The advertised URL defaults to the listen address with a loopback host;
+// set -advertise when the coordinator reaches this machine by another name.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lvmajority/internal/fabric"
+	"lvmajority/internal/scenario"
+)
+
+func main() {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8080", "coordinator base URL")
+		addr        = fs.String("addr", ":9090", "listen address for shard requests")
+		advertise   = fs.String("advertise", "", "base URL the coordinator uses to reach this worker (default: the listen address on loopback)")
+		id          = fs.String("id", "", "worker id (default: w-<pid>)")
+		cores       = fs.Int("cores", 0, "advertised parallelism (0 = GOMAXPROCS); never changes results")
+		heartbeat   = fs.Duration("heartbeat", 0, "lease-renewal interval (0 = a third of the coordinator's lease TTL)")
+		showVers    = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *showVers {
+		fmt.Println(scenario.Version())
+		return
+	}
+	logger := log.New(os.Stderr, "worker: ", log.LstdFlags)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	if *advertise == "" {
+		*advertise = advertiseURL(ln.Addr().String())
+	}
+
+	w, err := fabric.NewWorker(fabric.WorkerConfig{
+		ID:           *id,
+		Coordinator:  *coordinator,
+		AdvertiseURL: *advertise,
+		Cores:        *cores,
+		Heartbeat:    *heartbeat,
+		Logger:       logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	w.Routes(mux)
+	httpSrv := &http.Server{Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	logger.Printf("worker %s serving on %s, advertising %s (%s)", *id, ln.Addr(), *advertise, scenario.Version())
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		logger.Fatal(err)
+	}
+}
+
+// advertiseURL derives the default advertised URL from the bound listen
+// address: an unspecified host becomes loopback, since the default only
+// makes sense for single-machine fleets anyway.
+func advertiseURL(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	if strings.Contains(host, ":") {
+		host = "[" + host + "]"
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
+}

@@ -23,6 +23,13 @@ type Metrics struct {
 	NsPerEvent  *float64 `json:"ns_per_event,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	// Latency quantiles and throughput, reported by cmd/loadgen in its
+	// go-bench-style output (p50-ns, p99-ns, runs/s units). Latencies keep
+	// the repeatable floor like the other metrics; throughput keeps the
+	// maximum, since higher is better.
+	P50Ns      *float64 `json:"p50_ns,omitempty"`
+	P99Ns      *float64 `json:"p99_ns,omitempty"`
+	RunsPerSec *float64 `json:"runs_per_sec,omitempty"`
 }
 
 // Record is one trajectory entry: the benchmark set of one PR.
@@ -70,6 +77,12 @@ func Parse(r io.Reader) (map[string]Metrics, error) {
 				got.AllocsPerOp = minMetric(got.AllocsPerOp, v)
 			case "B/op":
 				got.BytesPerOp = minMetric(got.BytesPerOp, v)
+			case "p50-ns":
+				got.P50Ns = minMetric(got.P50Ns, v)
+			case "p99-ns":
+				got.P99Ns = minMetric(got.P99Ns, v)
+			case "runs/s":
+				got.RunsPerSec = maxMetric(got.RunsPerSec, v)
 			}
 		}
 		out[name] = got
@@ -85,6 +98,13 @@ func Parse(r io.Reader) (map[string]Metrics, error) {
 
 func minMetric(cur *float64, v float64) *float64 {
 	if cur == nil || v < *cur {
+		return &v
+	}
+	return cur
+}
+
+func maxMetric(cur *float64, v float64) *float64 {
+	if cur == nil || v > *cur {
 		return &v
 	}
 	return cur

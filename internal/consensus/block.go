@@ -26,6 +26,43 @@ type BlockTrialer interface {
 	NewTrialBlock(n, delta int) (func(seed uint64, lo, hi int, wins []bool) error, error)
 }
 
+// CountWins runs the protocol's trials [lo, hi) and returns the number of
+// consensus wins in that window, dispatching to the block pool when the
+// protocol opts in via BlockTrialer — the same capability check the
+// estimators make, so a window counted here agrees trial-for-trial with the
+// window an estimator would run. Trial rep draws only from
+// rng.NewStream(opts.Seed, rep): the count is a pure function of (protocol
+// behaviour, n, delta, seed, window), independent of worker count and of
+// which process executes it. This is the unit of work a fabric worker
+// executes for the coordinator.
+func CountWins(p Protocol, n, delta, lo, hi int, opts EstimateOptions) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("consensus: nil protocol")
+	}
+	if _, _, err := SplitInitial(n, delta); err != nil {
+		return 0, err
+	}
+	mopts := mc.Options{Workers: opts.Workers, Seed: opts.Seed, Interrupt: opts.Interrupt, Progress: opts.Progress}
+	if bt, ok := p.(BlockTrialer); ok {
+		if lanes := bt.TrialBlockLanes(); lanes > 0 {
+			wins, err := mc.CountWinsBlocks(lo, hi, mopts, lanes, func() (mc.BlockFunc, error) {
+				return bt.NewTrialBlock(n, delta)
+			})
+			if err != nil {
+				return 0, fmt.Errorf("consensus: trial block failed: %w", err)
+			}
+			return wins, nil
+		}
+	}
+	wins, err := mc.CountWins(lo, hi, mopts, func(_ int, src *rng.Source) (bool, error) {
+		return p.Trial(n, delta, src)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("consensus: trial failed: %w", err)
+	}
+	return wins, nil
+}
+
 // estimateBernoulli runs the protocol's trials under opts, dispatching to
 // the block pool when the protocol opts in via BlockTrialer. Both
 // EstimateWinProbability and EstimateWithEarlyStop funnel through here, so

@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lvmajority/internal/sweep"
+)
+
+// The coordinator's HTTP surface. Routes mounts it on a mux the serving
+// process owns (cmd/serve -fleet), so fleet endpoints share the listener,
+// logging, and shutdown of the run API.
+
+// Routes mounts the coordinator's endpoints on mux.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fabric/v1/workers", c.handleRegister)
+	mux.HandleFunc("GET /fabric/v1/workers", c.handleWorkers)
+	mux.HandleFunc("DELETE /fabric/v1/workers/{id}", c.handleDeregister)
+	mux.HandleFunc("GET /fabric/v1/cache", c.handleCacheGet)
+	mux.HandleFunc("POST /fabric/v1/cache", c.handleCachePush)
+}
+
+// fabricError is the uniform JSON error envelope, matching the run API's.
+func fabricError(w http.ResponseWriter, code int, format string, args ...any) {
+	fabricJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func fabricJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleRegister registers a worker or renews its lease; the same POST is
+// the heartbeat.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		fabricError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	var info WorkerInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		fabricError(w, http.StatusBadRequest, "parsing registration: %v", err)
+		return
+	}
+	if _, err := c.Register(info); err != nil {
+		fabricError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.mu.Lock()
+	count := len(c.workers)
+	c.mu.Unlock()
+	fabricJSON(w, http.StatusOK, registerResponse{
+		ID:           info.ID,
+		LeaseSeconds: c.leaseTTL.Seconds(),
+		Workers:      count,
+	})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	fabricJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	c.Deregister(id)
+	fabricJSON(w, http.StatusOK, map[string]string{"id": id, "status": "deregistered"})
+}
+
+// handleCacheGet serves the probe cache's canonical document,
+// content-addressed on the entries checksum: the ETag is the checksum, an
+// If-None-Match hit answers 304 with no body, and the steady state of a
+// polling fleet costs nothing but the header exchange.
+func (c *Coordinator) handleCacheGet(w http.ResponseWriter, req *http.Request) {
+	var entries []sweep.Entry
+	if c.cache != nil {
+		entries = c.cache.Entries()
+	}
+	data, sum, err := sweep.EncodeEntries(entries)
+	if err != nil {
+		fabricError(w, http.StatusInternalServerError, "encoding cache: %v", err)
+		return
+	}
+	etag := `"` + sum + `"`
+	w.Header().Set("Etag", etag)
+	if req.Header.Get("If-None-Match") == etag {
+		c.mu.Lock()
+		c.cacheHits++
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	c.mu.Lock()
+	c.cacheMisses++
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleCachePush merges a pushed cache document into the coordinator's
+// cache. Merging is by key with first-write-wins, so a retried or duplicated
+// push converges; the response reports how many entries were new.
+func (c *Coordinator) handleCachePush(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, c.maxBody))
+	if err != nil {
+		fabricError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	entries, _, err := sweep.DecodeEntries(body)
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, "parsing cache document: %v", err)
+		return
+	}
+	merged := 0
+	if c.cache != nil {
+		merged = c.cache.MergeEntries(entries)
+	}
+	c.mu.Lock()
+	c.cacheMerges += int64(merged)
+	c.mu.Unlock()
+	fabricJSON(w, http.StatusOK, map[string]int{"received": len(entries), "merged": merged})
+}

@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/ioretry"
+)
+
+// Worker-registration journal: one worker-<id>.json per registered worker,
+// written on registration (and every heartbeat refresh of a changed body),
+// removed on deregistration and eviction. On restart the coordinator replays
+// the directory and re-adopts workers that still answer their healthz, so a
+// coordinator crash does not orphan a live fleet until the next heartbeat
+// round. Like the serve run journal, I/O is best-effort: a write failure is
+// logged and the registration proceeds — journaling degrades, the fleet does
+// not. Unreadable entries are quarantined (*.corrupt), never fatal.
+
+// workerJournalRetry is the backoff policy for journal writes.
+// Deterministic seed, like every other stream in the repository.
+var workerJournalRetry = ioretry.Policy{Seed: 0xfab71c}
+
+// workerJournal persists registrations under one directory. A nil
+// *workerJournal is the disabled state: record and remove are no-ops.
+type workerJournal struct {
+	dir    string
+	logger *log.Logger
+}
+
+func (j *workerJournal) path(id string) string {
+	return filepath.Join(j.dir, "worker-"+id+".json")
+}
+
+// record persists (or refreshes) a worker's registration.
+func (j *workerJournal) record(info WorkerInfo) {
+	if j == nil {
+		return
+	}
+	data, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		j.logger.Printf("fabric: journal: marshal worker %s: %v", info.ID, err)
+		return
+	}
+	err = ioretry.Do(workerJournalRetry, func() error {
+		if err := faultpoint.Hit(faultpoint.JournalWrite); err != nil {
+			return err
+		}
+		return writeFileAtomic(j.path(info.ID), data)
+	})
+	if err != nil {
+		j.logger.Printf("fabric: journal: record worker %s: %v (registration unaffected)", info.ID, err)
+	}
+}
+
+// remove deletes a worker's entry.
+func (j *workerJournal) remove(id string) {
+	if j == nil {
+		return
+	}
+	if err := os.Remove(j.path(id)); err != nil && !os.IsNotExist(err) {
+		j.logger.Printf("fabric: journal: remove worker %s: %v", id, err)
+	}
+}
+
+// openWorkerJournal creates (if needed) and replays the journal directory,
+// returning the journal and the surviving entries sorted by ID. Unreadable
+// or invalid entries are quarantined as *.corrupt and logged.
+func openWorkerJournal(dir string, logger *log.Logger) (*workerJournal, []WorkerInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("fabric: journal: %w", err)
+	}
+	j := &workerJournal{dir: dir, logger: logger}
+	paths, err := filepath.Glob(filepath.Join(dir, "worker-*.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabric: journal: %w", err)
+	}
+	var entries []WorkerInfo
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		var info WorkerInfo
+		if err == nil {
+			err = json.Unmarshal(data, &info)
+		}
+		if err == nil {
+			err = info.validate()
+		}
+		if err == nil && j.path(info.ID) != path {
+			err = fmt.Errorf("entry %s names worker %q", filepath.Base(path), info.ID)
+		}
+		if err != nil {
+			os.Rename(path, path+".corrupt")
+			logger.Printf("fabric: journal: quarantined unreadable entry %s: %v", filepath.Base(path), err)
+			continue
+		}
+		entries = append(entries, info)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].ID < entries[b].ID })
+	return j, entries, nil
+}
+
+// writeFileAtomic writes data via a temp file in the same directory, fsyncs,
+// and renames over the destination, so the recovery scan only ever sees
+// complete entries.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"time"
+
+	"lvmajority/internal/consensus"
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/ioretry"
+	"lvmajority/internal/scenario"
+)
+
+// workerRegisterRetry is the backoff policy for registration and heartbeat
+// exchanges with the coordinator.
+var workerRegisterRetry = ioretry.Policy{Seed: 0xfabbee}
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// ID names the worker to the coordinator (workerIDPattern).
+	ID string
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// AdvertiseURL is the base URL where the coordinator reaches this
+	// worker's listener.
+	AdvertiseURL string
+	// Cores is the advertised parallelism (default GOMAXPROCS). Shards run
+	// with this worker count; it never changes results.
+	Cores int
+	// Heartbeat overrides the lease-renewal interval; zero derives it from
+	// the coordinator's lease TTL (a third of it).
+	Heartbeat time.Duration
+	// Logger receives operational events; nil discards them.
+	Logger *log.Logger
+	// Client issues coordinator requests; nil gets a default.
+	Client *http.Client
+}
+
+// Worker executes shards for a coordinator: it serves POST /fabric/v1/shards
+// and keeps itself registered with heartbeats. Results are pure functions of
+// the shard (model, window, seed), so any fleet member — or the coordinator
+// itself — computes identical win counts.
+type Worker struct {
+	info        WorkerInfo
+	coordinator string
+	heartbeat   time.Duration
+	logger      *log.Logger
+	client      *http.Client
+}
+
+// NewWorker validates the configuration and builds a Worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	u, err := url.Parse(cfg.Coordinator)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("fabric: coordinator url %q is not an absolute URL", cfg.Coordinator)
+	}
+	w := &Worker{
+		info: WorkerInfo{
+			ID: cfg.ID, URL: cfg.AdvertiseURL,
+			Cores: cfg.Cores, Version: scenario.Version(),
+		},
+		coordinator: strings.TrimSuffix(cfg.Coordinator, "/"),
+		heartbeat:   cfg.Heartbeat,
+		logger:      cfg.Logger,
+		client:      cfg.Client,
+	}
+	if err := w.info.validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Routes mounts the worker's endpoints on mux.
+func (w *Worker) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fabric/v1/shards", w.handleShard)
+	mux.HandleFunc("GET /fabric/v1/healthz", w.handleHealthz)
+}
+
+// handleShard runs trials [lo, hi) of one window and answers with the win
+// count. The window's randomness is fully determined by the request (trial
+// rep draws only from rng.NewStream(seed, rep)), so the response is a pure
+// function of the body. Execution errors answer 422 — the coordinator knows
+// not to reassign a shard that failed deterministically — while transport
+// and decode problems answer 400.
+func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, 1<<20))
+	if err != nil {
+		fabricError(rw, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	var shard ShardRequest
+	if err := json.Unmarshal(body, &shard); err != nil {
+		fabricError(rw, http.StatusBadRequest, "parsing shard: %v", err)
+		return
+	}
+	if err := shard.validate(); err != nil {
+		fabricError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := shard.Model.BuildProtocol()
+	if err != nil {
+		fabricError(rw, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	wins, err := consensus.CountWins(p, shard.N, shard.Delta, shard.Lo, shard.Hi, consensus.EstimateOptions{
+		Workers: w.info.Cores,
+		Seed:    shard.Seed,
+		// A coordinator that gave up on the shard (or died) cancels the
+		// request context; aborting between trials frees the cores for the
+		// reassigned copy.
+		Interrupt: req.Context().Err,
+	})
+	if err != nil {
+		fabricError(rw, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	fabricJSON(rw, http.StatusOK, ShardResult{Wins: wins, Trials: shard.Hi - shard.Lo})
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	fabricJSON(rw, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"id":      w.info.ID,
+		"version": w.info.Version,
+		"cores":   w.info.Cores,
+	})
+}
+
+// register performs one registration (or heartbeat) exchange and returns the
+// coordinator's lease TTL.
+func (w *Worker) register() (time.Duration, error) {
+	body, err := json.Marshal(w.info)
+	if err != nil {
+		return 0, err
+	}
+	var lease time.Duration
+	err = ioretry.Do(workerRegisterRetry, func() error {
+		resp, err := w.client.Post(w.coordinator+"/fabric/v1/workers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fabric: coordinator answered %s", resp.Status)
+		}
+		var r registerResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			return err
+		}
+		lease = time.Duration(r.LeaseSeconds * float64(time.Second))
+		return nil
+	})
+	return lease, err
+}
+
+// deregister says goodbye; best-effort, for graceful shutdown.
+func (w *Worker) deregister() {
+	req, err := http.NewRequest(http.MethodDelete, w.coordinator+"/fabric/v1/workers/"+w.info.ID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.logger.Printf("fabric: deregister: %v", err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// Run registers with the coordinator and heartbeats until ctx is cancelled,
+// then deregisters. A heartbeat that fails (including one suppressed by the
+// worker-heartbeat fault point) is logged and retried at the next tick; the
+// lease protocol turns a persistently silent worker into an evicted one, so
+// Run never needs to crash the process.
+func (w *Worker) Run(ctx context.Context) error {
+	lease, err := w.register()
+	if err != nil {
+		return fmt.Errorf("fabric: registering with %s: %w", w.coordinator, err)
+	}
+	interval := w.heartbeat
+	if interval <= 0 {
+		interval = lease / 3
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	w.logger.Printf("fabric: registered %s with %s (lease %v, heartbeat every %v)", w.info.ID, w.coordinator, lease, interval)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			w.deregister()
+			return ctx.Err()
+		case <-ticker.C:
+			if err := faultpoint.Hit(faultpoint.WorkerHeartbeat); err != nil {
+				w.logger.Printf("fabric: heartbeat suppressed: %v", err)
+				continue
+			}
+			if _, err := w.register(); err != nil {
+				w.logger.Printf("fabric: heartbeat: %v", err)
+			}
+		}
+	}
+}

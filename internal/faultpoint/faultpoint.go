@@ -50,6 +50,19 @@ const (
 	// JournalWrite fires on every attempt to persist a serve run-journal
 	// entry.
 	JournalWrite Site = "journal-write"
+	// ShardDispatch fires when the fabric coordinator is about to send a
+	// trial-block shard to a worker. An injected error simulates a worker
+	// that became unreachable between pick and dispatch; the coordinator
+	// must evict it and reassign the shard.
+	ShardDispatch Site = "shard-dispatch"
+	// ShardResult fires when the coordinator is about to accept a worker's
+	// shard result. An injected error simulates a torn or corrupt response;
+	// the shard must be reassigned, never partially counted.
+	ShardResult Site = "shard-result"
+	// WorkerHeartbeat fires when a fabric worker is about to send a
+	// heartbeat. An injected error simulates a dropped heartbeat; enough of
+	// them expire the worker's lease on the coordinator.
+	WorkerHeartbeat Site = "worker-heartbeat"
 )
 
 // Mode selects what an armed rule does when it triggers.

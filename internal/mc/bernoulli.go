@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"lvmajority/internal/progress"
@@ -40,6 +41,60 @@ func EstimateBernoulli(opts BernoulliOptions, trial func(rep int, src *rng.Sourc
 	return estimateBernoulli(opts, func(lo, hi int, opts Options) (int, error) {
 		return countWins(lo, hi, opts, trial)
 	})
+}
+
+// EstimateBernoulliCounted runs the Bernoulli estimator over an arbitrary
+// window-count function: count must run trials [lo, hi) — drawing trial
+// rep's randomness only from rng.NewStream(opts.Seed, rep) — and return the
+// number of successes. This is the seam the distributed fabric plugs into:
+// both the fixed-size and the early-stopping control loops (and with them
+// the batch boundaries the sequential path inspects) live here, so an
+// implementation of count that farms windows out to remote workers yields
+// estimates byte-identical to the local pools for any worker count and any
+// shard assignment — window sums of wins are order-independent integers.
+func EstimateBernoulliCounted(opts BernoulliOptions, count func(lo, hi int, opts Options) (int, error)) (stats.BernoulliEstimate, error) {
+	return estimateBernoulli(opts, count)
+}
+
+// CountWins runs trials [lo, hi) on the scalar pool and returns the number
+// of successes. Trial rep draws only from rng.NewStream(opts.Seed, rep), so
+// a window's win count is independent of where — and alongside what — it is
+// executed. opts.Replicates is only the progress total; Workers defaults to
+// GOMAXPROCS.
+func CountWins(lo, hi int, opts Options, trial func(rep int, src *rng.Source) (bool, error)) (int, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("mc: inverted trial window [%d, %d)", lo, hi)
+	}
+	return countWins(lo, hi, normalizeWindow(lo, hi, opts), trial)
+}
+
+// CountWinsBlocks is CountWins for block trial sources (see
+// EstimateBernoulliBlocks): trials [lo, hi) are advanced in blocks of at
+// most lanes per call.
+func CountWinsBlocks(lo, hi int, opts Options, lanes int, newWorker func() (BlockFunc, error)) (int, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("mc: inverted trial window [%d, %d)", lo, hi)
+	}
+	if lanes <= 0 {
+		return 0, fmt.Errorf("mc: non-positive block width %d", lanes)
+	}
+	return countWinsBlocks(lo, hi, normalizeWindow(lo, hi, opts), lanes, newWorker)
+}
+
+// normalizeWindow resolves worker and progress-total defaults for an
+// explicit-window count: unlike Options.normalized it must not invent a
+// 1000-replicate default, because the window bounds are the caller's.
+func normalizeWindow(lo, hi int, opts Options) Options {
+	if opts.Replicates < hi {
+		opts.Replicates = hi
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if n := hi - lo; opts.Workers > n && n > 0 {
+		opts.Workers = n
+	}
+	return opts
 }
 
 // estimateBernoulli is the estimator shared by the scalar and block trial

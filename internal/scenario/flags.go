@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 
 	"lvmajority/internal/report"
 )
@@ -44,17 +45,21 @@ func RegisterSpec(fs *flag.FlagSet) *Common {
 	return c
 }
 
-// RegisterCache registers the shared -cache flag (a probe-cache file path)
-// and returns a pointer to its value.
+// RegisterCache registers the shared -cache flag (a probe-cache file path
+// or cache-server URL) and returns a pointer to its value.
 func RegisterCache(fs *flag.FlagSet) *string {
-	return fs.String("cache", "", "threshold-probe cache file; settled probes are replayed across runs (empty = no cache)")
+	return fs.String("cache", "", "threshold-probe cache: a file path, or an http(s):// cache-server URL (a coordinator's /fabric/v1/cache); settled probes are replayed across runs (empty = no cache)")
 }
 
 // FileCache converts a -cache flag value to the spec cache policy: nil for
-// an empty path, the file policy otherwise.
+// an empty value, the remote policy for an http(s) URL, the file policy
+// otherwise.
 func FileCache(path string) *CacheSpec {
 	if path == "" {
 		return nil
+	}
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		return &CacheSpec{Policy: CacheRemote, URL: path}
 	}
 	return &CacheSpec{Policy: CacheFile, Path: path}
 }

@@ -137,9 +137,13 @@ func LVModelOf(p lv.Params) *LVModel {
 	}
 }
 
-// protocol builds the consensus.Protocol the estimate, threshold, and sweep
-// tasks measure.
-func (m *Model) protocol() (consensus.Protocol, error) {
+// BuildProtocol builds the consensus.Protocol the estimate, threshold, and
+// sweep tasks measure. It is exported for the fabric worker, which receives
+// a Model over the wire and must build exactly the protocol — including any
+// kernel override, which changes how trial streams are consumed — that the
+// coordinator's local run would build; every other caller goes through the
+// Runner.
+func (m *Model) BuildProtocol() (consensus.Protocol, error) {
 	switch m.Kind {
 	case ModelLV:
 		params, err := m.LV.Params()

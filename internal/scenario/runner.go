@@ -48,9 +48,25 @@ type Runner struct {
 	// process-wide default; per-run hooks go through RunWithProgress.
 	// Observation-only: attaching a hook never changes results.
 	Progress progress.Hook
+	// Probes, when non-nil, builds the per-gap probe estimator of the
+	// estimate, threshold, and sweep tasks in place of the local default —
+	// the seam the fabric coordinator uses to shard a probe's trial
+	// windows across a worker fleet. The factory must return estimators
+	// deterministic in their arguments and byte-equivalent to
+	// consensus.DefaultEstimator, which the fabric guarantees by running
+	// the same estimator control loop over location-independent window
+	// counts. Tasks without probe estimators (simulate, exact, experiment,
+	// report) always run locally.
+	Probes ProbeFactory
 
 	mu sync.Mutex // guards lazy creation of Cache
 }
+
+// ProbeFactory builds the probe estimator for one (model, population,
+// target) configuration; see Runner.Probes. The model is the estimator's
+// wire-serializable description of p — what a coordinator forwards to its
+// workers — and target and earlyStop arrive already resolved.
+type ProbeFactory func(model *Model, p consensus.Protocol, n int, target float64, earlyStop bool) consensus.ProbeEstimator
 
 // Result is the typed outcome of one executed Spec. Manifests carry the
 // run's tables with full provenance (internal/report) for every computing
@@ -173,6 +189,12 @@ func (r *Runner) cacheFor(spec *Spec) (cache *sweep.Cache, save bool, err error)
 		return r.sharedCache(), false, nil
 	case CacheFile:
 		c, err := sweep.OpenCache(spec.Cache.Path)
+		if err != nil {
+			return nil, false, err
+		}
+		return c, true, nil
+	case CacheRemote:
+		c, err := sweep.OpenRemoteCache(spec.Cache.URL, nil)
 		if err != nil {
 			return nil, false, err
 		}
@@ -364,7 +386,7 @@ func interruptFrom(ctx context.Context) func() error {
 }
 
 func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
-	p, err := spec.Model.protocol()
+	p, err := spec.Model.BuildProtocol()
 	if err != nil {
 		return err
 	}
@@ -376,12 +398,15 @@ func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result, hook 
 		Interrupt: interruptFrom(ctx),
 		Progress:  hook,
 	}
-	var est stats.BernoulliEstimate
-	if e.EarlyStop {
-		est, err = consensus.EstimateWithEarlyStop(p, e.N, e.Delta, e.Target, opts)
-	} else {
-		est, err = consensus.EstimateWinProbability(p, e.N, e.Delta, opts)
+	// DefaultEstimator dispatches exactly as the direct calls used to:
+	// EstimateWithEarlyStop when early-stopping, EstimateWinProbability
+	// otherwise — so routing through the estimator seam leaves local
+	// results byte-identical.
+	estimate := consensus.DefaultEstimator(p, e.N, e.Target, e.EarlyStop)
+	if r.Probes != nil {
+		estimate = r.Probes(spec.Model, p, e.N, e.Target, e.EarlyStop)
 	}
+	est, err := estimate(e.Delta, opts)
 	if err != nil {
 		return err
 	}
@@ -400,11 +425,21 @@ func (r *Runner) runEstimate(ctx context.Context, spec *Spec, res *Result, hook 
 }
 
 func (r *Runner) runThreshold(ctx context.Context, spec *Spec, res *Result, hook progress.Hook) error {
-	p, err := spec.Model.protocol()
+	p, err := spec.Model.BuildProtocol()
 	if err != nil {
 		return err
 	}
 	th := spec.Threshold
+	var estimator consensus.ProbeEstimator
+	if r.Probes != nil {
+		// Resolve the target the way FindThreshold will, so the factory
+		// sees the value the early-stop comparison actually uses.
+		target := th.Target
+		if target <= 0 {
+			target = 1 - 1/float64(th.N)
+		}
+		estimator = r.Probes(spec.Model, p, th.N, target, !th.NoEarlyStop)
+	}
 	out, err := consensus.FindThreshold(p, th.N, consensus.ThresholdOptions{
 		Target:    th.Target,
 		Trials:    th.Trials,
@@ -413,6 +448,7 @@ func (r *Runner) runThreshold(ctx context.Context, spec *Spec, res *Result, hook
 		MaxDelta:  th.MaxDelta,
 		EarlyStop: !th.NoEarlyStop,
 		Hint:      th.Hint,
+		Estimator: estimator,
 		Interrupt: interruptFrom(ctx),
 		Progress:  hook,
 	})
@@ -448,7 +484,7 @@ func DefaultSweepTrials(n int) int {
 }
 
 func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, res *Result, hook progress.Hook) error {
-	p, err := spec.Model.protocol()
+	p, err := spec.Model.BuildProtocol()
 	if err != nil {
 		return err
 	}
@@ -469,6 +505,12 @@ func (r *Runner) runSweep(ctx context.Context, spec *Spec, cache *sweep.Cache, r
 	}
 	if sw.Trials == 0 {
 		opts.TrialsFor = DefaultSweepTrials
+	}
+	if r.Probes != nil {
+		model := spec.Model
+		opts.Estimator = func(p consensus.Protocol, n int, target float64, earlyStop bool) consensus.ProbeEstimator {
+			return r.Probes(model, p, n, target, earlyStop)
+		}
 	}
 	if r.Log != nil {
 		opts.Log = r.logf

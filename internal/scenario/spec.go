@@ -163,11 +163,16 @@ type CRNModel struct {
 type CacheSpec struct {
 	// Policy is "off", "memory" (fresh in-memory cache for this run),
 	// "shared" (the Runner's process-wide cache, shared by every run that
-	// asks for it), or "file" (persisted at Path). The cache never changes
-	// results; it only skips already-settled Monte-Carlo work.
+	// asks for it), "file" (persisted at Path), or "remote" (exchanged
+	// with the HTTP cache server at URL — typically a fabric coordinator's
+	// /fabric/v1/cache endpoint — so a fleet warm-starts from one
+	// another's probes). The cache never changes results; it only skips
+	// already-settled Monte-Carlo work.
 	Policy string `json:"policy"`
 	// Path is the cache file for the "file" policy.
 	Path string `json:"path,omitempty"`
+	// URL is the cache server for the "remote" policy.
+	URL string `json:"url,omitempty"`
 }
 
 // EstimateSpec parameterizes TaskEstimate.
@@ -511,8 +516,18 @@ func (c *CacheSpec) validate() error {
 		if c.Path == "" {
 			return fmt.Errorf("scenario: file cache policy without a path")
 		}
+	case CacheRemote:
+		if c.Path != "" {
+			return fmt.Errorf("scenario: cache path %q with policy %q", c.Path, c.Policy)
+		}
+		if c.URL == "" {
+			return fmt.Errorf("scenario: remote cache policy without a url")
+		}
 	default:
 		return fmt.Errorf("scenario: unknown cache policy %q", c.Policy)
+	}
+	if c.URL != "" && c.Policy != CacheRemote {
+		return fmt.Errorf("scenario: cache url %q with policy %q", c.URL, c.Policy)
 	}
 	return nil
 }
@@ -523,6 +538,7 @@ const (
 	CacheMemory = "memory"
 	CacheShared = "shared"
 	CacheFile   = "file"
+	CacheRemote = "remote"
 )
 
 // LocalPaths returns every local-filesystem path the spec would read or

@@ -58,19 +58,21 @@ func (k Key) less(o Key) bool {
 	}
 }
 
-// cacheEntry pairs a key with its settled estimate in the on-disk encoding.
-type cacheEntry struct {
+// Entry pairs a key with its settled estimate — the unit of the cache's
+// persisted and wire encodings.
+type Entry struct {
 	Key      Key                     `json:"key"`
 	Estimate stats.BernoulliEstimate `json:"estimate"`
 }
 
-// cacheFile is the JSON document stored on disk. Checksum is the SHA-256 of
-// the encoded entries, so a torn or bit-flipped file is detected as corrupt
-// even when it still parses as JSON.
+// cacheFile is the JSON document stored on disk and exchanged with a remote
+// cache server. Checksum is the SHA-256 of the encoded entries, so a torn
+// or bit-flipped file (or HTTP body) is detected as corrupt even when it
+// still parses as JSON.
 type cacheFile struct {
-	Version  int          `json:"version"`
-	Checksum string       `json:"checksum,omitempty"`
-	Entries  []cacheEntry `json:"entries"`
+	Version  int     `json:"version"`
+	Checksum string  `json:"checksum,omitempty"`
+	Entries  []Entry `json:"entries"`
 }
 
 // cacheVersion invalidates every persisted entry when the probe semantics
@@ -79,13 +81,56 @@ type cacheFile struct {
 const cacheVersion = 2
 
 // entriesChecksum is the integrity hash persisted alongside the entries.
-func entriesChecksum(entries []cacheEntry) (string, error) {
+func entriesChecksum(entries []Entry) (string, error) {
 	data, err := json.Marshal(entries)
 	if err != nil {
 		return "", err
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// EncodeEntries renders entries in the cache's canonical encoding — sorted
+// by key, version-stamped, checksummed — and returns the document plus the
+// checksum. The checksum is content-addressed: equal entry sets encode to
+// equal documents with equal checksums, which is what the remote backend's
+// ETag validation relies on. The input slice is not modified.
+func EncodeEntries(entries []Entry) (data []byte, checksum string, err error) {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key.less(sorted[j].Key) })
+	sum, err := entriesChecksum(sorted)
+	if err != nil {
+		return nil, "", fmt.Errorf("sweep: encoding cache: %w", err)
+	}
+	data, err = json.Marshal(cacheFile{Version: cacheVersion, Checksum: sum, Entries: sorted})
+	if err != nil {
+		return nil, "", fmt.Errorf("sweep: encoding cache: %w", err)
+	}
+	return data, sum, nil
+}
+
+// DecodeEntries parses a canonical cache document, verifying its checksum.
+// A document whose checksum does not cover its entries — a torn write, a
+// truncated response — is an error, never silently partial data. A document
+// from an incompatible cache version decodes to no entries: replaying
+// probes across a semantics change would be wrong, starting cold is merely
+// slow.
+func DecodeEntries(data []byte) (entries []Entry, checksum string, err error) {
+	var file cacheFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, "", fmt.Errorf("sweep: decoding cache: %w", err)
+	}
+	if file.Version != cacheVersion {
+		return nil, "", nil
+	}
+	sum, err := entriesChecksum(file.Entries)
+	if err != nil {
+		return nil, "", fmt.Errorf("sweep: decoding cache: %w", err)
+	}
+	if file.Checksum != "" && sum != file.Checksum {
+		return nil, "", fmt.Errorf("sweep: cache document failed checksum validation")
+	}
+	return file.Entries, sum, nil
 }
 
 // cacheRetry is the retry policy for cache file I/O. The seed is arbitrary
@@ -116,7 +161,9 @@ type Cache struct {
 
 	// saveMu serializes persistence so retrying writers never interleave;
 	// it is always acquired before mu, and mu is never held across I/O.
+	// The remote client is driven only under saveMu as well.
 	saveMu      sync.Mutex
+	remote      *remoteClient
 	degradedErr error
 	quarantined string
 }
@@ -160,24 +207,12 @@ func OpenCache(path string) (*Cache, error) {
 	if data == nil {
 		return c, nil
 	}
-	var file cacheFile
-	if err := json.Unmarshal(data, &file); err != nil {
+	entries, _, err := DecodeEntries(data)
+	if err != nil {
 		c.quarantine()
 		return c, nil
 	}
-	if file.Version != cacheVersion {
-		// Probe semantics changed; start over rather than replay
-		// incompatible results.
-		return c, nil
-	}
-	if file.Checksum != "" {
-		sum, err := entriesChecksum(file.Entries)
-		if err != nil || sum != file.Checksum {
-			c.quarantine()
-			return c, nil
-		}
-	}
-	for _, e := range file.Entries {
+	for _, e := range entries {
 		c.entries[e.Key] = e.Estimate
 	}
 	return c, nil
@@ -210,16 +245,25 @@ func (c *Cache) Degraded() error {
 }
 
 // Get returns the cached estimate for k, if any, and counts the lookup as
-// a hit or miss (see Counters).
+// a hit or miss (see Counters). A remote-backed cache revalidates against
+// the server on a local miss — usually one conditional GET answered 304 —
+// so probes another fleet member settled since the last exchange are found
+// without a fresh Monte-Carlo run.
 func (c *Cache) Get(k Key) (stats.BernoulliEstimate, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	est, ok := c.entries[k]
+	if !ok && c.remote != nil {
+		c.mu.Unlock()
+		c.revalidate()
+		c.mu.Lock()
+		est, ok = c.entries[k]
+	}
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
+	c.mu.Unlock()
 	return est, ok
 }
 
@@ -251,6 +295,51 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Entries returns a snapshot of the cache's contents in the canonical key
+// order — the form EncodeEntries expects and a cache server serves.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	entries := make([]Entry, 0, len(c.entries))
+	for k, est := range c.entries {
+		entries = append(entries, Entry{Key: k, Estimate: est})
+	}
+	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key.less(entries[j].Key) })
+	return entries
+}
+
+// MergeEntries adopts every entry whose key the cache does not hold yet and
+// returns how many were new. Keys already present keep their local
+// estimate: an entry is deterministic in its key, so a conflicting value
+// means the peers run incompatible semantics, and first-write-wins keeps
+// this cache self-consistent. Adopted entries count as local changes (they
+// are persisted by the next Save), which is what a cache server merging
+// pushed fleet entries needs.
+func (c *Cache) MergeEntries(entries []Entry) int {
+	return c.adopt(entries, true)
+}
+
+// adopt merges entries, optionally marking the cache dirty. The remote
+// revalidation path adopts without dirtying: entries fetched from the
+// server are already on the server, so pushing them back would be churn.
+func (c *Cache) adopt(entries []Entry, markDirty bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, e := range entries {
+		if _, ok := c.entries[e.Key]; ok {
+			continue
+		}
+		c.entries[e.Key] = e.Estimate
+		added++
+	}
+	if added > 0 && markDirty {
+		c.dirty = true
+		c.gen++
+	}
+	return added
+}
+
 // Save atomically persists the cache to its path. It is a no-op for
 // memory-only caches, when nothing changed since the last Save, and once
 // the cache has degraded (the error that degraded it was already returned).
@@ -270,7 +359,7 @@ func (c *Cache) Save() error {
 func (c *Cache) Checkpoint() error {
 	c.saveMu.Lock()
 	defer c.saveMu.Unlock()
-	if c.path == "" {
+	if c.path == "" && c.remote == nil {
 		return nil
 	}
 	if err := faultpoint.Hit(faultpoint.ProbeFlush); err != nil {
@@ -282,7 +371,7 @@ func (c *Cache) Checkpoint() error {
 // saveLocked implements Save; the caller holds saveMu (never mu — the
 // entries snapshot takes mu briefly, and no I/O happens under it).
 func (c *Cache) saveLocked() error {
-	if c.path == "" || c.degradedErr != nil {
+	if (c.path == "" && c.remote == nil) || c.degradedErr != nil {
 		return nil
 	}
 	c.mu.Lock()
@@ -291,32 +380,43 @@ func (c *Cache) saveLocked() error {
 		return nil
 	}
 	gen := c.gen
-	entries := make([]cacheEntry, 0, len(c.entries))
+	entries := make([]Entry, 0, len(c.entries))
 	for k, est := range c.entries {
-		entries = append(entries, cacheEntry{Key: k, Estimate: est})
+		entries = append(entries, Entry{Key: k, Estimate: est})
 	}
 	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key.less(entries[j].Key) })
 
 	// Map order would leak into the persisted JSON, making the cache file
-	// byte-different on every save; sorted entries keep it content-stable.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key.less(entries[j].Key) })
-	sum, err := entriesChecksum(entries)
+	// byte-different on every save; EncodeEntries sorts (again — the sort
+	// above keeps the snapshot deterministic for any reader), keeping the
+	// document content-stable.
+	data, _, err := EncodeEntries(entries)
 	if err != nil {
-		return fmt.Errorf("sweep: encoding cache: %w", err)
+		return err
 	}
-	data, err := json.Marshal(cacheFile{Version: cacheVersion, Checksum: sum, Entries: entries})
-	if err != nil {
-		return fmt.Errorf("sweep: encoding cache: %w", err)
-	}
-	err = ioretry.Do(cacheRetry, func() error {
-		if err := faultpoint.Hit(faultpoint.CacheWrite); err != nil {
-			return err
+	if c.remote != nil {
+		err = ioretry.Do(cacheRetry, func() error {
+			if err := faultpoint.Hit(faultpoint.CacheWrite); err != nil {
+				return err
+			}
+			return c.remote.push(data)
+		})
+		if err != nil {
+			c.degradedErr = fmt.Errorf("sweep: pushing cache to %s: %w", c.remote.url, err)
+			return c.degradedErr
 		}
-		return writeFileAtomic(c.path, data)
-	})
-	if err != nil {
-		c.degradedErr = fmt.Errorf("sweep: persisting cache %s: %w", c.path, err)
-		return c.degradedErr
+	} else {
+		err = ioretry.Do(cacheRetry, func() error {
+			if err := faultpoint.Hit(faultpoint.CacheWrite); err != nil {
+				return err
+			}
+			return writeFileAtomic(c.path, data)
+		})
+		if err != nil {
+			c.degradedErr = fmt.Errorf("sweep: persisting cache %s: %w", c.path, err)
+			return c.degradedErr
+		}
 	}
 	// Clear dirtiness only if no Put landed after the snapshot was taken —
 	// otherwise those entries would silently miss the next Save.

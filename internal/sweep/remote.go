@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"lvmajority/internal/faultpoint"
+	"lvmajority/internal/ioretry"
+)
+
+// The remote cache backend: a Cache whose persistence target is an HTTP
+// cache server (the fabric coordinator's /fabric/v1/cache endpoint) instead
+// of a local file, so every member of a worker fleet warm-starts from the
+// probes the others already settled.
+//
+// The exchange is content-addressed on the canonical entries checksum
+// (EncodeEntries): the server's ETag is the checksum of the entry set it
+// holds, GETs revalidate with If-None-Match (the steady state is a 304 with
+// no body), and every full body is verified against both its embedded
+// checksum and the ETag that framed it — a torn or proxied-half response is
+// detected, never merged. Pushes POST the canonical document; the server
+// merges by key, which makes them idempotent.
+//
+// Failure degrades exactly like the file backend: an exchange that still
+// fails after retries switches the cache to memory-only for the rest of its
+// life (Degraded reports why) — the fleet cache is an optimization, never a
+// correctness dependency, and a flaky cache server must not fail runs.
+
+// maxRemoteBody bounds a cache response body; a server streaming garbage
+// must not balloon a worker's memory.
+const maxRemoteBody = 64 << 20
+
+// OpenRemoteCache returns a cache backed by the HTTP cache server at
+// rawURL, warm-started with the entries the server currently holds. client
+// may be nil for a default with a conservative timeout. Only an unusable
+// URL is an error; a server that is down merely degrades the cache to
+// memory-only operation.
+func OpenRemoteCache(rawURL string, client *http.Client) (*Cache, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("sweep: remote cache URL %q is not an absolute URL", rawURL)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := NewCache()
+	c.remote = &remoteClient{url: u.String(), client: client}
+	c.revalidate()
+	return c, nil
+}
+
+// revalidate exchanges state with the remote server: a conditional GET that
+// adopts any entries the fleet settled since the last exchange. It holds
+// saveMu — the same lock persistence holds — so remote I/O never
+// interleaves, and it is a no-op once the cache has degraded.
+func (c *Cache) revalidate() {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if c.remote == nil || c.degradedErr != nil {
+		return
+	}
+	var entries []Entry
+	err := ioretry.Do(cacheRetry, func() error {
+		if err := faultpoint.Hit(faultpoint.CacheRead); err != nil {
+			return err
+		}
+		var ferr error
+		entries, ferr = c.remote.fetch()
+		return ferr
+	})
+	if err != nil {
+		c.degradedErr = fmt.Errorf("sweep: fetching remote cache %s: %w", c.remote.url, err)
+		return
+	}
+	// Fetched entries are already on the server; adopt them without
+	// dirtying so the next push carries only locally settled probes.
+	c.adopt(entries, false)
+}
+
+// remoteClient is the HTTP half of the remote backend. It is driven only
+// under the owning cache's saveMu, so it needs no locking of its own.
+type remoteClient struct {
+	url    string
+	client *http.Client
+	// etag is the validator of the last entry set fetched or pushed — the
+	// quoted entries checksum.
+	etag string
+}
+
+// fetch GETs the server's entry set, revalidating with If-None-Match. It
+// returns nil entries on a 304 (the common steady state), and an error for
+// any response that cannot be fully verified.
+func (r *remoteClient) fetch() ([]Entry, error) {
+	req, err := http.NewRequest(http.MethodGet, r.url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.etag != "" {
+		req.Header.Set("If-None-Match", r.etag)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, nil
+	case http.StatusOK:
+	default:
+		return nil, fmt.Errorf("cache server answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxRemoteBody {
+		return nil, fmt.Errorf("cache response exceeds %d bytes", maxRemoteBody)
+	}
+	entries, sum, err := DecodeEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-check the transport validator against the body: an ETag minted
+	// for different bytes means the response was torn or rewritten.
+	if etag := strings.Trim(resp.Header.Get("Etag"), `"`); etag != "" && sum != "" && etag != sum {
+		return nil, fmt.Errorf("cache response body does not match its ETag")
+	}
+	if sum != "" {
+		r.etag = `"` + sum + `"`
+	}
+	return entries, nil
+}
+
+// push POSTs the canonical cache document. The server merges entries by
+// key, so a retried or duplicated push converges instead of corrupting.
+func (r *remoteClient) push(data []byte) error {
+	resp, err := r.client.Post(r.url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("cache server answered %s", resp.Status)
+	}
+	// The push changed (or confirmed) the server's entry set; drop the
+	// validator so the next fetch revalidates against the merged state.
+	r.etag = ""
+	return nil
+}

@@ -1,0 +1,246 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"lvmajority/internal/stats"
+)
+
+// The remote-backend chaos suite: a cache server that fails — 500s, torn
+// bodies, rewritten validators, incompatible documents — must degrade the
+// cache to memory-only operation without ever changing sweep results. The
+// remote cache is an optimization; these tests pin that it is never a
+// correctness dependency.
+
+// remoteCacheServer is a scriptable stand-in for the coordinator's
+// /fabric/v1/cache endpoint. The onGet/onPost hooks run per request; nil
+// hooks serve the happy path for an empty entry set.
+type remoteCacheServer struct {
+	*httptest.Server
+	gets, posts atomic.Int64
+	onGet       func(w http.ResponseWriter)
+	onPost      func(w http.ResponseWriter)
+}
+
+func newRemoteCacheServer(t *testing.T) *remoteCacheServer {
+	t.Helper()
+	s := &remoteCacheServer{}
+	s.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			s.gets.Add(1)
+			if s.onGet != nil {
+				s.onGet(w)
+				return
+			}
+			data, sum, err := EncodeEntries(nil)
+			if err != nil {
+				t.Error(err)
+			}
+			w.Header().Set("Etag", `"`+sum+`"`)
+			w.Write(data)
+		case http.MethodPost:
+			s.posts.Add(1)
+			if s.onPost != nil {
+				s.onPost(w)
+				return
+			}
+			w.Write([]byte(`{"received":0,"merged":0}`))
+		}
+	}))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRemoteCachePushFailureDegrades: a server that 500s every push must
+// degrade the cache after the checkpoint that first needs it — and the
+// degrade is sticky: no further exchanges are attempted, the sweep finishes
+// on the in-memory entries, and its thresholds match the reference run.
+func TestRemoteCachePushFailureDegrades(t *testing.T) {
+	ref := chaosReference(t)
+	srv := newRemoteCacheServer(t)
+	srv.onPost = func(w http.ResponseWriter) {
+		http.Error(w, "injected outage", http.StatusInternalServerError)
+	}
+
+	cache, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Degraded() != nil {
+		t.Fatalf("cache degraded before any push: %v", cache.Degraded())
+	}
+	got, err := Run(logisticProtocol{}, chaosOpts(cache))
+	if err != nil {
+		t.Fatalf("sweep must survive a dead cache server: %v", err)
+	}
+	sameThresholds(t, got, ref, "push-500")
+	if cache.Degraded() == nil {
+		t.Error("cache not degraded after every push failed")
+	}
+	postsAtDegrade := srv.posts.Load()
+	if postsAtDegrade == 0 {
+		t.Error("no push was ever attempted")
+	}
+	// Sticky: a degraded cache stops talking to the server entirely.
+	cache.Put(Key{N: 9999, Target: 0.5, Trials: 1}, stats.BernoulliEstimate{Successes: 1, Trials: 2})
+	if err := cache.Checkpoint(); err != nil {
+		t.Errorf("checkpoint after degrade must be a no-op, got %v", err)
+	}
+	if srv.posts.Load() != postsAtDegrade {
+		t.Errorf("degraded cache pushed again: %d posts, had %d", srv.posts.Load(), postsAtDegrade)
+	}
+}
+
+// TestRemoteCacheTornBodyDegrades: a 200 whose body is half a document must
+// be detected at open (checksum/parse) and degrade the cache — which still
+// works memory-only and still produces reference results.
+func TestRemoteCacheTornBodyDegrades(t *testing.T) {
+	ref := chaosReference(t)
+	srv := newRemoteCacheServer(t)
+	srv.onGet = func(w http.ResponseWriter) {
+		data, sum, err := EncodeEntries(nil)
+		if err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Etag", `"`+sum+`"`)
+		w.Write(data[:len(data)/2])
+	}
+
+	cache, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Degraded() == nil {
+		t.Fatal("torn fetch body did not degrade the cache")
+	}
+	got, err := Run(logisticProtocol{}, chaosOpts(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameThresholds(t, got, ref, "torn-body")
+	if srv.posts.Load() != 0 {
+		t.Errorf("degraded cache pushed %d times", srv.posts.Load())
+	}
+}
+
+// TestRemoteCacheEtagMismatchDegrades: a body that parses but was framed by
+// an ETag minted for different bytes (a rewriting proxy, a half-applied
+// server update) must be rejected, not merged.
+func TestRemoteCacheEtagMismatchDegrades(t *testing.T) {
+	srv := newRemoteCacheServer(t)
+	srv.onGet = func(w http.ResponseWriter) {
+		data, _, err := EncodeEntries(nil)
+		if err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Etag", `"deadbeef"`)
+		w.Write(data)
+	}
+	cache, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Degraded() == nil {
+		t.Fatal("ETag/body mismatch did not degrade the cache")
+	}
+}
+
+// TestRemoteCacheVersionMismatchAdoptsNothing: a document from an
+// incompatible cache version is valid JSON but carries nothing adoptable —
+// the cache opens empty and healthy, exactly like the file backend's
+// version handling.
+func TestRemoteCacheVersionMismatchAdoptsNothing(t *testing.T) {
+	srv := newRemoteCacheServer(t)
+	srv.onGet = func(w http.ResponseWriter) {
+		fmt.Fprint(w, `{"version":999,"entries":[{"key":{"n":8,"target":0.9,"trials":100},"estimate":{"successes":90,"trials":100}}]}`)
+	}
+	cache, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Degraded(); err != nil {
+		t.Fatalf("version mismatch must not degrade, got %v", err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("adopted %d entries from an incompatible document", cache.Len())
+	}
+}
+
+// TestRemoteCacheWarmStartAndSteadyState pins the happy-path protocol: a
+// second cache warm-starts from what the first pushed, and its misses
+// revalidate with If-None-Match so the steady state moves no bodies.
+func TestRemoteCacheWarmStartAndSteadyState(t *testing.T) {
+	ref := chaosReference(t)
+	// A real in-process cache server: entries live in a shared Cache.
+	shared := NewCache()
+	var gets304 atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		data, sum, err := EncodeEntries(shared.Entries())
+		if err != nil {
+			t.Error(err)
+		}
+		switch req.Method {
+		case http.MethodGet:
+			if req.Header.Get("If-None-Match") == `"`+sum+`"` {
+				gets304.Add(1)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			w.Header().Set("Etag", `"`+sum+`"`)
+			w.Write(data)
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			entries, _, err := DecodeEntries(body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			shared.MergeEntries(entries)
+			fmt.Fprintf(w, `{"merged":%d}`, len(entries))
+		}
+	}))
+	defer srv.Close()
+
+	first, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Run(logisticProtocol{}, chaosOpts(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameThresholds(t, res1, ref, "first fleet member")
+	if shared.Len() == 0 {
+		t.Fatal("first member pushed nothing to the cache server")
+	}
+
+	second, err := OpenRemoteCache(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Len() != shared.Len() {
+		t.Fatalf("warm start adopted %d entries, server holds %d", second.Len(), shared.Len())
+	}
+	res2, err := Run(logisticProtocol{}, chaosOpts(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameThresholds(t, res2, ref, "warm-started member")
+	if calls := res2.EstimatorCalls; calls != 0 {
+		t.Errorf("warm-started sweep ran %d fresh probes; all were cached", calls)
+	}
+	// Misses on the second cache revalidated conditionally at least once.
+	if second.Degraded() != nil {
+		t.Errorf("steady-state exchange degraded: %v", second.Degraded())
+	}
+}

@@ -90,6 +90,15 @@ type Options struct {
 	// Cache, when non-nil, serves settled probes and records fresh ones.
 	// Run saves it before returning.
 	Cache *Cache
+	// Estimator, when non-nil, builds the per-gap probe estimator for one
+	// population size instead of consensus.DefaultEstimator — the seam the
+	// distributed fabric uses to farm a probe's trial windows out to a
+	// worker fleet. The sweep's memoization and persistent cache layer on
+	// top unchanged, so cache keys and replay behaviour are identical to
+	// the local estimator's. The returned estimator must be deterministic
+	// in its arguments (same contract as consensus.ThresholdOptions
+	// .Estimator); target and earlyStop arrive already resolved.
+	Estimator func(p consensus.Protocol, n int, target float64, earlyStop bool) consensus.ProbeEstimator
 	// Interrupt, when non-nil, is polled between trials of every fresh
 	// probe; a non-nil return aborts the sweep with that error. Probes
 	// already settled (and cached) are kept, so an interrupted sweep can
@@ -286,6 +295,9 @@ func runPoint(p consensus.Protocol, n, hint, workers int, opts Options, logf fun
 	seed := opts.seedFor(n)
 	earlyStop := !opts.NoEarlyStop
 	inner := consensus.DefaultEstimator(p, n, target, earlyStop)
+	if opts.Estimator != nil {
+		inner = opts.Estimator(p, n, target, earlyStop)
+	}
 
 	identity := protocolIdentity(p)
 
